@@ -1,0 +1,308 @@
+//! FlexPath-like publish/subscribe staging transport.
+//!
+//! The world splits into a **writer group** (the simulation) and an
+//! **endpoint group** (the analysis readers) — the paper's co-scheduled
+//! configuration puts one endpoint per writer core's sibling
+//! hyperthread, but the pairing works for any M-writers/N-endpoints
+//! split, including the in transit case on disjoint nodes.
+//!
+//! Per-step protocol, matching Fig. 8's decomposition:
+//!
+//! * `advance` — the writer's metadata update: blocks until the reader
+//!   has acknowledged the *previous* step (bounded queue of depth 1 —
+//!   back-pressure is where "blocking time if the reader is not yet
+//!   ready" appears);
+//! * `write` — ships the serialized [`BpStep`] (the marshaling copy;
+//!   FlexPath is not yet zero-copy);
+//! * readers `begin_step`/`end_step` around their analysis.
+//!
+//! Writers may `close` at any time (FlexPath supports dynamic
+//! disconnection); endpoints drain remaining steps and observe EOF.
+
+use minimpi::Comm;
+
+use crate::bp::BpStep;
+
+const TAG_DATA: u32 = 0xAD10_0001;
+const TAG_ACK: u32 = 0xAD10_0002;
+
+/// Message from writer to reader.
+enum Frame {
+    Step(Vec<u8>),
+    Close,
+}
+
+// Frames travel as (bool is_close, Vec<u8>) to keep payload types simple
+// across the Any-based channel.
+
+/// This rank's role after [`pair`].
+pub enum Role {
+    /// A simulation (writer) rank.
+    Writer {
+        /// Sub-communicator over the writer group.
+        sub: Comm,
+        /// Transport handle to the paired endpoint.
+        writer: FlexpathWriter,
+    },
+    /// An analysis (endpoint) rank.
+    Endpoint {
+        /// Sub-communicator over the endpoint group.
+        sub: Comm,
+        /// Transport handle to the served writers.
+        reader: FlexpathReader,
+    },
+}
+
+/// Split `world` into `n_writers` writers and the rest endpoints, and
+/// wire the pairing: writer `w` publishes to endpoint `w % n_endpoints`.
+///
+/// # Panics
+/// Panics unless `0 < n_writers < world.size()`.
+pub fn pair(world: &Comm, n_writers: usize) -> Role {
+    let p = world.size();
+    assert!(n_writers > 0 && n_writers < p, "need writers and endpoints");
+    let n_endpoints = p - n_writers;
+    let me = world.rank();
+    let is_writer = me < n_writers;
+    let sub = world.split(u32::from(is_writer), me as u32);
+    if is_writer {
+        let peer = n_writers + (me % n_endpoints);
+        Role::Writer {
+            sub,
+            writer: FlexpathWriter {
+                peer,
+                outstanding: false,
+                closed: false,
+            },
+        }
+    } else {
+        let e = me - n_writers;
+        let writers: Vec<usize> = (0..n_writers).filter(|w| w % n_endpoints == e).collect();
+        Role::Endpoint {
+            sub,
+            reader: FlexpathReader { writers },
+        }
+    }
+}
+
+/// Writer-side transport handle.
+pub struct FlexpathWriter {
+    peer: usize,
+    outstanding: bool,
+    closed: bool,
+}
+
+impl FlexpathWriter {
+    /// The endpoint rank this writer publishes to (world index).
+    pub fn peer(&self) -> usize {
+        self.peer
+    }
+
+    /// Metadata advance: waits for the reader's acknowledgment of the
+    /// previous step (returns the blocking seconds, the Fig. 8
+    /// `adios::advance`+blocking component).
+    pub fn advance(&mut self, world: &Comm) -> f64 {
+        assert!(!self.closed, "advance after close");
+        if !self.outstanding {
+            return 0.0;
+        }
+        let t0 = std::time::Instant::now();
+        let _ack: u64 = world.recv(self.peer, TAG_ACK);
+        self.outstanding = false;
+        t0.elapsed().as_secs_f64()
+    }
+
+    /// Ship one step (serializes = the marshaling copy). Returns the
+    /// bytes shipped.
+    pub fn write(&mut self, world: &Comm, step: &BpStep) -> usize {
+        assert!(!self.closed, "write after close");
+        assert!(!self.outstanding, "write without advance");
+        let bytes = step.encode().to_vec();
+        let n = bytes.len();
+        world.send(self.peer, TAG_DATA, (false, bytes));
+        self.outstanding = true;
+        n
+    }
+
+    /// Disconnect from the endpoint.
+    pub fn close(&mut self, world: &Comm) {
+        if !self.closed {
+            if self.outstanding {
+                let _ack: u64 = world.recv(self.peer, TAG_ACK);
+                self.outstanding = false;
+            }
+            world.send(self.peer, TAG_DATA, (true, Vec::<u8>::new()));
+            self.closed = true;
+        }
+    }
+}
+
+/// Reader-side transport handle.
+pub struct FlexpathReader {
+    writers: Vec<usize>,
+}
+
+impl FlexpathReader {
+    /// World ranks of the writers this endpoint serves.
+    pub fn writers(&self) -> &[usize] {
+        &self.writers
+    }
+
+    /// Receive one step from every still-connected writer. Returns
+    /// `None` once all writers have closed. Steps arrive with their
+    /// source world rank.
+    pub fn begin_step(&mut self, world: &Comm) -> Option<Vec<(usize, BpStep)>> {
+        if self.writers.is_empty() {
+            return None;
+        }
+        let mut steps = Vec::with_capacity(self.writers.len());
+        let mut still_open = Vec::with_capacity(self.writers.len());
+        for &w in &self.writers {
+            let frame: (bool, Vec<u8>) = world.recv(w, TAG_DATA);
+            match decode_frame(frame) {
+                Frame::Close => {}
+                Frame::Step(bytes) => {
+                    let step = BpStep::decode(&bytes)
+                        .unwrap_or_else(|e| panic!("flexpath: bad step from rank {w}: {e}"));
+                    steps.push((w, step));
+                    still_open.push(w);
+                }
+            }
+        }
+        self.writers = still_open;
+        if steps.is_empty() {
+            None
+        } else {
+            Some(steps)
+        }
+    }
+
+    /// Acknowledge the current step to the writers that sent it,
+    /// releasing their back-pressure.
+    pub fn end_step(&self, world: &Comm, sources: &[(usize, BpStep)]) {
+        for (w, step) in sources {
+            world.send(*w, TAG_ACK, step.step);
+        }
+    }
+}
+
+fn decode_frame((is_close, bytes): (bool, Vec<u8>)) -> Frame {
+    if is_close {
+        Frame::Close
+    } else {
+        Frame::Step(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bp::BpVar;
+    use minimpi::World;
+
+    fn step_with(step: u64, v: f64) -> BpStep {
+        let mut s = BpStep::new(step, step as f64 * 0.1);
+        s.vars
+            .push(BpVar::new("data", [2, 1, 1], [0, 0, 0], [2, 1, 1], vec![v, v]));
+        s
+    }
+
+    #[test]
+    fn one_writer_one_endpoint_streams_steps() {
+        World::run(2, |world| match pair(world, 1) {
+            Role::Writer { sub, mut writer } => {
+                assert_eq!(sub.size(), 1);
+                for s in 0..5u64 {
+                    writer.advance(world);
+                    writer.write(world, &step_with(s, s as f64));
+                }
+                writer.close(world);
+            }
+            Role::Endpoint { sub, mut reader } => {
+                assert_eq!(sub.size(), 1);
+                let mut seen = 0u64;
+                while let Some(steps) = reader.begin_step(world) {
+                    assert_eq!(steps.len(), 1);
+                    assert_eq!(steps[0].1.step, seen);
+                    assert_eq!(steps[0].1.var("data").unwrap().data[0], seen as f64);
+                    reader.end_step(world, &steps);
+                    seen += 1;
+                }
+                assert_eq!(seen, 5);
+            }
+        });
+    }
+
+    #[test]
+    fn many_writers_fan_in_to_fewer_endpoints() {
+        // 4 writers, 2 endpoints: each endpoint serves 2 writers.
+        World::run(6, |world| match pair(world, 4) {
+            Role::Writer { mut writer, .. } => {
+                for s in 0..3u64 {
+                    writer.advance(world);
+                    writer.write(world, &step_with(s, world.rank() as f64));
+                }
+                writer.close(world);
+            }
+            Role::Endpoint { mut reader, .. } => {
+                assert_eq!(reader.writers().len(), 2);
+                let mut rounds = 0;
+                while let Some(steps) = reader.begin_step(world) {
+                    assert_eq!(steps.len(), 2, "one step per served writer");
+                    reader.end_step(world, &steps);
+                    rounds += 1;
+                }
+                assert_eq!(rounds, 3);
+            }
+        });
+    }
+
+    #[test]
+    fn back_pressure_blocks_writer() {
+        World::run(2, |world| match pair(world, 1) {
+            Role::Writer { mut writer, .. } => {
+                let b0 = writer.advance(world);
+                assert_eq!(b0, 0.0, "first advance never blocks");
+                writer.write(world, &step_with(0, 0.0));
+                // Reader sleeps before acking; this advance must block.
+                let blocked = writer.advance(world);
+                assert!(blocked > 0.02, "advance blocked {blocked}s");
+                writer.write(world, &step_with(1, 1.0));
+                writer.close(world);
+            }
+            Role::Endpoint { mut reader, .. } => {
+                let first = reader.begin_step(world).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(40));
+                reader.end_step(world, &first);
+                let second = reader.begin_step(world).unwrap();
+                reader.end_step(world, &second);
+                assert!(reader.begin_step(world).is_none());
+            }
+        });
+    }
+
+    #[test]
+    fn subcommunicators_are_usable_for_analysis() {
+        World::run(4, |world| match pair(world, 2) {
+            Role::Writer { sub, mut writer } => {
+                // Writers can still do collective work among themselves.
+                let total = sub.allreduce_scalar(1usize, |a, b| a + b);
+                assert_eq!(total, 2);
+                writer.close(world);
+            }
+            Role::Endpoint { sub, mut reader } => {
+                let total = sub.allreduce_scalar(1usize, |a, b| a + b);
+                assert_eq!(total, 2);
+                while reader.begin_step(world).is_some() {}
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "need writers and endpoints")]
+    fn all_writers_is_invalid() {
+        World::run(2, |world| {
+            let _ = pair(world, 2);
+        });
+    }
+}

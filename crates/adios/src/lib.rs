@@ -1,0 +1,34 @@
+//! # adios — an ADIOS-like adaptive I/O service with FlexPath staging
+//!
+//! ADIOS lets applications switch between I/O service providers — files,
+//! in situ, in transit — by changing parameters, not code. Unlike
+//! Catalyst/Libsim it carries no analytics of its own: it marshals
+//! self-describing data to wherever the analysis runs. This crate
+//! reproduces the pieces §4.1.4 exercises:
+//!
+//! * [`bp`] — **BP-lite**, a self-describing binary format: named,
+//!   typed, block-decomposed variables with global/local dimensions and
+//!   offsets, serializable to bytes (staging) or appended to `.bp` files
+//!   (post hoc);
+//! * [`flexpath`] — a publish/subscribe staging transport pairing a
+//!   writer group (the simulation) with an endpoint group (the analysis
+//!   reader), with the `advance` metadata handshake, bounded queue
+//!   back-pressure (writers block when the reader lags — the
+//!   `adios::analysis` time of Fig. 8), and dynamic disconnect;
+//! * [`staging`] — the two-executable pattern: a SENSEI
+//!   [`sensei::AnalysisAdaptor`] for the writer side
+//!   ([`staging::AdiosWriterAnalysis`]) that ships each step's data,
+//!   and an endpoint loop ([`staging::run_endpoint`]) that reconstructs
+//!   datasets and drives any SENSEI analyses — so a Catalyst slice or a
+//!   histogram runs *in transit* without the simulation knowing.
+//!
+//! The transport deliberately serializes (one marshaling copy): FlexPath
+//! "does not yet use zero-copy" in the paper, and that copy is part of
+//! the measured overhead.
+
+pub mod bp;
+pub mod flexpath;
+pub mod staging;
+
+pub use bp::{BpError, BpFile, BpStep, BpVar};
+pub use flexpath::{pair, FlexpathReader, FlexpathWriter, Role};

@@ -1,0 +1,103 @@
+//! Fig. 3 (real mode): the cost of the SENSEI generic data interface.
+//!
+//! Measures (a) zero-copy adaptor construction, (b) a full
+//! simulate+analyze run driven via direct subroutine call vs. via the
+//! bridge — the two configurations whose equality is the paper's
+//! headline interface result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minimpi::World;
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use sensei::analysis::autocorrelation::Autocorrelation;
+use sensei::analysis::AnalysisAdaptor as _;
+use sensei::{Bridge, DataAdaptor as _};
+
+/// Build a stepped single-rank simulation on a throwaway world; the
+/// state is `Send`, so the benchmarks measure against it directly.
+fn stepped_sim(grid: usize) -> Simulation {
+    let deck = format_deck(&demo_oscillators());
+    World::run(1, move |comm| {
+        let cfg = SimConfig {
+            grid: [grid, grid, grid],
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(comm, cfg, Some(deck.as_str()));
+        sim.step(comm);
+        sim
+    })
+    .pop()
+    .expect("one rank")
+}
+
+fn adaptor_construction(c: &mut Criterion) {
+    let sim = stepped_sim(32);
+    let mut group = c.benchmark_group("fig03");
+    group
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(700));
+    group.bench_function("zero_copy_adaptor_construction", |b| {
+        b.iter(|| {
+            let a = OscillatorAdaptor::new(&sim);
+            std::hint::black_box(a.step())
+        })
+    });
+    group.bench_function("full_mesh_zero_copy_attach", |b| {
+        b.iter(|| {
+            let a = OscillatorAdaptor::new(&sim);
+            std::hint::black_box(a.full_mesh().num_points())
+        })
+    });
+    group.finish();
+}
+
+fn direct_vs_bridge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig03");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    let deck = format_deck(&demo_oscillators());
+    let d1 = deck.clone();
+    group.bench_function("original_subroutine_run", |b| {
+        b.iter(|| {
+            let d = d1.clone();
+            World::run(2, move |comm| {
+                let cfg = SimConfig {
+                    grid: [16, 16, 16],
+                    ..SimConfig::default()
+                };
+                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let mut sim = Simulation::new(comm, cfg, root);
+                let mut ac = Autocorrelation::new("data", 4, 4);
+                for _ in 0..3 {
+                    sim.step(comm);
+                    ac.execute(&OscillatorAdaptor::new(&sim), comm);
+                }
+            })
+        })
+    });
+    group.bench_function("sensei_bridge_run", |b| {
+        b.iter(|| {
+            let d = deck.clone();
+            World::run(2, move |comm| {
+                let cfg = SimConfig {
+                    grid: [16, 16, 16],
+                    ..SimConfig::default()
+                };
+                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let mut sim = Simulation::new(comm, cfg, root);
+                let mut bridge = Bridge::new();
+                bridge.add_analysis(Box::new(Autocorrelation::new("data", 4, 4)));
+                for _ in 0..3 {
+                    sim.step(comm);
+                    bridge.execute(&OscillatorAdaptor::new(&sim), comm);
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, adaptor_construction, direct_vs_bridge);
+criterion_main!(benches);

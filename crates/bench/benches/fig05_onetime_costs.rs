@@ -1,0 +1,62 @@
+//! Fig. 5 (real mode): one-time costs — analysis initialization
+//! (session parsing, Libsim config check, pipeline construction) and
+//! the autocorrelation finalize reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minimpi::World;
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use sensei::analysis::autocorrelation::Autocorrelation;
+use sensei::analysis::AnalysisAdaptor as _;
+
+fn onetime_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    group.bench_function("libsim_init_session_and_config_check", |b| {
+        b.iter(|| {
+            let session = libsim::Session::parse(
+                "image 1600 1600\nfrequency 5\nplot pseudocolor data axis=z index=8\nplot isosurface data levels=0.2,0.5,0.8\n",
+            )
+            .unwrap();
+            let a = libsim::LibsimAnalysis::new(session, std::path::Path::new("/nonexistent/.visitrc"));
+            std::hint::black_box(a.startup_seconds())
+        })
+    });
+
+    group.bench_function("catalyst_pipeline_construction", |b| {
+        b.iter(|| {
+            let pipe = catalyst::SlicePipeline::new("data", 2, 8);
+            std::hint::black_box(catalyst::CatalystSliceAnalysis::new(pipe).images_written())
+        })
+    });
+
+    group.bench_function("autocorrelation_finalize_reduction", |b| {
+        let deck = format_deck(&demo_oscillators());
+        b.iter(|| {
+            let d = deck.clone();
+            World::run(4, move |comm| {
+                let cfg = SimConfig {
+                    grid: [17, 17, 17],
+                    ..SimConfig::default()
+                };
+                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let mut sim = Simulation::new(comm, cfg, root);
+                let mut ac = Autocorrelation::new("data", 8, 16);
+                for _ in 0..8 {
+                    sim.step(comm);
+                    ac.execute(&OscillatorAdaptor::new(&sim), comm);
+                }
+                let t0 = std::time::Instant::now();
+                ac.finalize(comm);
+                t0.elapsed().as_secs_f64()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, onetime_costs);
+criterion_main!(benches);

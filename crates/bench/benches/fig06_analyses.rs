@@ -1,0 +1,70 @@
+//! Fig. 6 (real mode): per-timestep analysis costs of the direct
+//! analyses (histogram, autocorrelation, descriptive stats) against the
+//! simulation step itself, on thread-backed ranks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minimpi::World;
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use sensei::analysis::autocorrelation::Autocorrelation;
+use sensei::analysis::descriptive::DescriptiveStats;
+use sensei::analysis::histogram::HistogramAnalysis;
+use sensei::analysis::AnalysisAdaptor;
+
+fn per_step_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    let deck = format_deck(&demo_oscillators());
+
+    // The simulation step alone (the blue bars).
+    let d0 = deck.clone();
+    group.bench_function("simulation_step", |b| {
+        b.iter(|| {
+            let d = d0.clone();
+            World::run(4, move |comm| {
+                let cfg = SimConfig {
+                    grid: [33, 33, 33],
+                    ..SimConfig::default()
+                };
+                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let mut sim = Simulation::new(comm, cfg, root);
+                sim.step(comm);
+                sim.step(comm);
+            })
+        })
+    });
+
+    // Each analysis on a fixed stepped state (the orange bars).
+    for analysis in ["histogram", "autocorrelation", "descriptive-stats"] {
+        let deck = deck.clone();
+        group.bench_function(format!("{analysis}_per_step"), |b| {
+            b.iter(|| {
+                let d = deck.clone();
+                World::run(4, move |comm| {
+                    let cfg = SimConfig {
+                        grid: [33, 33, 33],
+                        ..SimConfig::default()
+                    };
+                    let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                    let mut sim = Simulation::new(comm, cfg, root);
+                    sim.step(comm);
+                    let mut a: Box<dyn AnalysisAdaptor> = match analysis {
+                        "histogram" => Box::new(HistogramAnalysis::new("data", 64)),
+                        "autocorrelation" => Box::new(Autocorrelation::new("data", 10, 16)),
+                        _ => Box::new(DescriptiveStats::new("data")),
+                    };
+                    for _ in 0..3 {
+                        a.execute(&OscillatorAdaptor::new(&sim), comm);
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, per_step_costs);
+criterion_main!(benches);

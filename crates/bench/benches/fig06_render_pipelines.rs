@@ -1,0 +1,109 @@
+//! Fig. 6 (real mode), rendering configurations: the Catalyst-slice and
+//! Libsim-slice per-step pipelines — extraction, rasterization,
+//! parallel compositing, and PNG encoding — with the two compositor
+//! families whose differing scaling the paper notes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minimpi::World;
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use sensei::analysis::AnalysisAdaptor as _;
+
+fn render_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig06_render");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    let deck = format_deck(&demo_oscillators());
+
+    let d1 = deck.clone();
+    group.bench_function("catalyst_slice_step_4ranks", |b| {
+        b.iter(|| {
+            let d = d1.clone();
+            World::run(4, move |comm| {
+                let cfg = SimConfig {
+                    grid: [25, 25, 25],
+                    ..SimConfig::default()
+                };
+                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let mut sim = Simulation::new(comm, cfg, root);
+                sim.step(comm);
+                let mut pipe = catalyst::SlicePipeline::new("data", 2, 12);
+                pipe.width = 320;
+                pipe.height = 180;
+                let mut a = catalyst::CatalystSliceAnalysis::new(pipe);
+                a.execute(&OscillatorAdaptor::new(&sim), comm);
+            })
+        })
+    });
+
+    group.bench_function("libsim_slice_step_4ranks", |b| {
+        b.iter(|| {
+            let d = deck.clone();
+            World::run(4, move |comm| {
+                let cfg = SimConfig {
+                    grid: [25, 25, 25],
+                    ..SimConfig::default()
+                };
+                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let mut sim = Simulation::new(comm, cfg, root);
+                sim.step(comm);
+                let session =
+                    libsim::Session::parse("image 320 320\nplot pseudocolor data axis=z index=12\n")
+                        .unwrap();
+                let mut a = libsim::LibsimAnalysis::new(
+                    session,
+                    std::path::Path::new("/nonexistent/.visitrc"),
+                );
+                a.execute(&OscillatorAdaptor::new(&sim), comm);
+            })
+        })
+    });
+    group.finish();
+}
+
+fn compositors(c: &mut Criterion) {
+    use render::color::Color;
+    use render::composite::{binary_swap, direct_send_tree};
+    use render::framebuffer::Framebuffer;
+
+    let mut group = c.benchmark_group("fig06_compositors");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    for p in [4usize, 8] {
+        group.bench_function(format!("binary_swap_{p}ranks_512sq"), |b| {
+            b.iter(|| {
+                World::run(p, move |comm| {
+                    let mut fb = Framebuffer::new(512, 512);
+                    for y in (comm.rank()..512).step_by(comm.size()) {
+                        for x in 0..512 {
+                            fb.set_pixel(x, y, comm.rank() as f32, Color::rgb(200, 10, 10));
+                        }
+                    }
+                    binary_swap(comm, fb).map(|f| f.covered_pixels())
+                })
+            })
+        });
+        group.bench_function(format!("direct_send_tree_{p}ranks_512sq"), |b| {
+            b.iter(|| {
+                World::run(p, move |comm| {
+                    let mut fb = Framebuffer::new(512, 512);
+                    for y in (comm.rank()..512).step_by(comm.size()) {
+                        for x in 0..512 {
+                            fb.set_pixel(x, y, comm.rank() as f32, Color::rgb(200, 10, 10));
+                        }
+                    }
+                    direct_send_tree(comm, fb, 4).map(|f| f.covered_pixels())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, render_pipelines, compositors);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Fig. 10 / Table 1 (real mode): the two write paths — file-per-rank
+//! VTK-style pieces vs. a collective shared file — plus the GLEAN
+//! aggregated alternative.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datamodel::Extent;
+use minimpi::World;
+
+fn write_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_io");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    let base = std::env::temp_dir().join(format!("bench_io_{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+
+    let dir = base.clone();
+    group.bench_function("file_per_rank_4ranks_32cubed", |b| {
+        b.iter(|| {
+            let d = dir.clone();
+            World::run(4, move |comm| {
+                let global = Extent::whole([33, 33, 33]);
+                let dims = datamodel::dims_create(comm.size());
+                let local = datamodel::partition_extent(&global, dims, comm.rank());
+                let values: Vec<f64> = local.iter_points().map(|p| p[0] as f64).collect();
+                let piece = iosim::Piece {
+                    extent: local,
+                    global,
+                    spacing: [1.0; 3],
+                    arrays: vec![("data".to_string(), values)],
+                };
+                iosim::write_piece(&d, 0, comm.rank(), &piece).unwrap();
+                comm.barrier();
+            })
+        })
+    });
+
+    let dir = base.clone();
+    group.bench_function("collective_mpiio_4ranks_32cubed", |b| {
+        b.iter(|| {
+            let d = dir.clone();
+            World::run(4, move |comm| {
+                let global = Extent::whole([33, 33, 33]);
+                let dims = datamodel::dims_create(comm.size());
+                let local = datamodel::partition_extent(&global, dims, comm.rank());
+                let values: Vec<f64> = local.iter_points().map(|p| p[0] as f64).collect();
+                iosim::collective_write(comm, &d.join("shared.bin"), &local, &global, &values, 2)
+                    .unwrap();
+            })
+        })
+    });
+
+    let dir = base.clone();
+    group.bench_function("glean_aggregated_4ranks_32cubed", |b| {
+        b.iter(|| {
+            let d = dir.clone();
+            World::run(4, move |comm| {
+                use sensei::analysis::AnalysisAdaptor as _;
+                let global = Extent::whole([33, 33, 33]);
+                let dims = datamodel::dims_create(comm.size());
+                let local = datamodel::partition_extent(&global, dims, comm.rank());
+                let mut g = datamodel::ImageData::new(local, global);
+                g.add_point_array(datamodel::DataArray::owned(
+                    "data",
+                    1,
+                    local.iter_points().map(|p| p[0] as f64).collect(),
+                ));
+                let adaptor =
+                    sensei::InMemoryAdaptor::new(datamodel::DataSet::Image(g), 0.0, 0);
+                let mut w =
+                    glean::GleanWriter::new(glean::Topology::new(2), "data", d.clone());
+                w.execute(&adaptor, comm);
+                w.finalize(comm);
+            })
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+criterion_group!(benches, write_paths);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fig. 11 (real mode): the post hoc workflow — fewer readers pull the
+//! pieces back, reassemble, and run the same analysis that could have
+//! run in situ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datamodel::{partition_extent, Extent};
+use iosim::{posthoc_analysis, write_manifest, write_piece, Piece};
+use minimpi::World;
+use sensei::analysis::histogram::HistogramAnalysis;
+
+fn write_dataset(dir: &std::path::Path, steps: u64, writers: usize, n: usize) {
+    let global = Extent::whole([n, n, n]);
+    for step in 0..steps {
+        let mut extents = Vec::new();
+        for w in 0..writers {
+            let local = partition_extent(&global, [writers, 1, 1], w);
+            extents.push(local);
+            let piece = Piece {
+                extent: local,
+                global,
+                spacing: [1.0; 3],
+                arrays: vec![(
+                    "data".to_string(),
+                    local.iter_points().map(|p| (p[0] + step as i64) as f64).collect(),
+                )],
+            };
+            write_piece(dir, step, w, &piece).unwrap();
+        }
+        write_manifest(dir, step, &extents).unwrap();
+    }
+}
+
+fn posthoc(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("bench_posthoc_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    write_dataset(&dir, 4, 10, 41);
+
+    let mut group = c.benchmark_group("fig11");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    // 1 reader = 10% of the 10 writers, as in the paper's setup.
+    let d = dir.clone();
+    group.bench_function("posthoc_histogram_10pct_readers", |b| {
+        b.iter(|| {
+            let d2 = d.clone();
+            World::run(1, move |comm| {
+                let hist = HistogramAnalysis::new("data", 64);
+                let (_, report) =
+                    posthoc_analysis(comm, &d2, 4, 10, vec![Box::new(hist)], None);
+                report.bytes_read
+            })
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, posthoc);
+criterion_main!(benches);

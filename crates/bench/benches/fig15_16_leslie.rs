@@ -1,0 +1,66 @@
+//! Figs. 15–16 (real mode): the AVF-LESLIE proxy — solver step with
+//! halo exchange, the SENSEI adaptor (vorticity derivation + ghost
+//! blanking), and the full Libsim render invocation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minimpi::World;
+use science::{Leslie, LeslieAdaptor, LeslieConfig};
+use sensei::analysis::AnalysisAdaptor as _;
+use sensei::DataAdaptor as _;
+
+fn cfg() -> LeslieConfig {
+    LeslieConfig {
+        grid: [24, 25, 8],
+        ..LeslieConfig::default()
+    }
+}
+
+fn leslie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_leslie");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("avf_timestep_2ranks", |b| {
+        b.iter(|| {
+            World::run(2, |comm| {
+                let mut sim = Leslie::new(comm, cfg());
+                sim.step(comm);
+                sim.step(comm);
+            })
+        })
+    });
+
+    group.bench_function("sensei_adaptor_vorticity_2ranks", |b| {
+        b.iter(|| {
+            World::run(2, |comm| {
+                let sim = Leslie::new(comm, cfg());
+                let a = LeslieAdaptor::new(&sim);
+                std::hint::black_box(a.step())
+            })
+        })
+    });
+
+    group.bench_function("libsim_render_invocation_2ranks", |b| {
+        b.iter(|| {
+            World::run(2, |comm| {
+                let mut sim = Leslie::new(comm, cfg());
+                sim.step(comm);
+                let session = libsim::Session::parse(
+                    "image 256 256\nplot isosurface vorticity levels=0.3,0.6\nplot pseudocolor vorticity axis=z index=2\n",
+                )
+                .unwrap();
+                let mut a = libsim::LibsimAnalysis::new(
+                    session,
+                    std::path::Path::new("/nonexistent/.visitrc"),
+                );
+                a.execute(&LeslieAdaptor::new(&sim), comm);
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, leslie);
+criterion_main!(benches);

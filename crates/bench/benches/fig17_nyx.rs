@@ -1,0 +1,62 @@
+//! Fig. 17 (real mode): the Nyx proxy — particle-mesh step with
+//! migration, and the two in situ analyses (histogram, Catalyst slice)
+//! whose cost the paper shows to be negligible next to the solver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minimpi::World;
+use science::{Nyx, NyxAdaptor, NyxConfig};
+use sensei::analysis::histogram::HistogramAnalysis;
+use sensei::analysis::AnalysisAdaptor as _;
+
+fn cfg() -> NyxConfig {
+    NyxConfig {
+        grid: [16, 16, 16],
+        ..NyxConfig::default()
+    }
+}
+
+fn nyx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_nyx");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+
+    group.bench_function("solver_step_4ranks", |b| {
+        b.iter(|| {
+            World::run(4, |comm| {
+                let mut sim = Nyx::new(comm, cfg());
+                sim.step(comm);
+                sim.step(comm);
+                sim.num_particles()
+            })
+        })
+    });
+
+    group.bench_function("histogram_step_4ranks", |b| {
+        b.iter(|| {
+            World::run(4, |comm| {
+                let sim = Nyx::new(comm, cfg());
+                let mut h = HistogramAnalysis::new("density", 128);
+                h.execute(&NyxAdaptor::new(&sim), comm)
+            })
+        })
+    });
+
+    group.bench_function("catalyst_slice_step_4ranks", |b| {
+        b.iter(|| {
+            World::run(4, |comm| {
+                let sim = Nyx::new(comm, cfg());
+                let mut pipe = catalyst::SlicePipeline::new("density", 2, 8);
+                pipe.width = 256;
+                pipe.height = 256;
+                let mut a = catalyst::CatalystSliceAnalysis::new(pipe);
+                a.execute(&NyxAdaptor::new(&sim), comm)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, nyx);
+criterion_main!(benches);

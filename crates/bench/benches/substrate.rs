@@ -1,0 +1,146 @@
+//! Substrate microbenchmarks: the building blocks under every figure —
+//! collectives, DEFLATE throughput, data-model access, and zero-copy vs
+//! deep-copy array mapping (the difference the SENSEI interface
+//! preserves).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use minimpi::World;
+use std::sync::Arc;
+
+fn collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_collectives");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    for p in [4usize, 8] {
+        group.bench_function(format!("allreduce_scalar_{p}ranks_x100"), |b| {
+            b.iter(|| {
+                World::run(p, |comm| {
+                    let mut acc = 0.0f64;
+                    for i in 0..100 {
+                        acc += comm.allreduce_scalar(i as f64, |a, b| a + b);
+                    }
+                    acc
+                })
+            })
+        });
+        group.bench_function(format!("bcast_1mb_{p}ranks"), |b| {
+            b.iter(|| {
+                World::run(p, |comm| {
+                    let v = if comm.rank() == 0 {
+                        Some(vec![1u8; 1 << 20])
+                    } else {
+                        None
+                    };
+                    comm.bcast(0, v).len()
+                })
+            })
+        });
+        group.bench_function(format!("gather_64kb_{p}ranks"), |b| {
+            b.iter(|| {
+                World::run(p, |comm| {
+                    comm.gather(0, vec![comm.rank() as u8; 64 << 10])
+                        .map(|v| v.len())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn deflate_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_deflate");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    let data: Vec<u8> = (0..1_000_000u32)
+        .map(|i| ((i / 17) % 251) as u8)
+        .collect();
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    let d1 = data.clone();
+    group.bench_function("zlib_fixed_1mb", move |b| {
+        b.iter(|| render::deflate::zlib_compress(&d1, render::deflate::Mode::Fixed).len())
+    });
+    let d2 = data.clone();
+    group.bench_function("zlib_stored_1mb", move |b| {
+        b.iter(|| render::deflate::zlib_compress(&d2, render::deflate::Mode::Stored).len())
+    });
+    let compressed = render::deflate::zlib_compress(&data, render::deflate::Mode::Fixed);
+    group.bench_function("inflate_1mb", move |b| {
+        b.iter(|| render::deflate::zlib_decompress(&compressed).unwrap().len())
+    });
+    group.finish();
+}
+
+fn data_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_datamodel");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    let field = Arc::new(vec![1.5f64; 1 << 20]);
+
+    let f1 = Arc::clone(&field);
+    group.bench_function("zero_copy_array_map_1m_doubles", move |b| {
+        b.iter(|| {
+            let a = datamodel::DataArray::shared("data", 1, Arc::clone(&f1));
+            std::hint::black_box(a.num_tuples())
+        })
+    });
+    let f2 = Arc::clone(&field);
+    group.bench_function("deep_copy_array_map_1m_doubles", move |b| {
+        b.iter(|| {
+            let a = datamodel::DataArray::owned("data", 1, f2.as_ref().clone());
+            std::hint::black_box(a.num_tuples())
+        })
+    });
+    let arr = datamodel::DataArray::shared("data", 1, Arc::clone(&field));
+    group.bench_function("range_scan_1m_doubles", move |b| {
+        b.iter(|| std::hint::black_box(arr.range(0)))
+    });
+    group.finish();
+}
+
+fn isosurface_and_slice(c: &mut Criterion) {
+    use datamodel::Extent;
+    let mut group = c.benchmark_group("substrate_render");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    let e = Extent::whole([33, 33, 33]);
+    let center = 16.0;
+    let vals: Vec<f64> = e
+        .iter_points()
+        .map(|p| {
+            let dx = p[0] as f64 - center;
+            let dy = p[1] as f64 - center;
+            let dz = p[2] as f64 - center;
+            (dx * dx + dy * dy + dz * dz).sqrt()
+        })
+        .collect();
+    let v1 = vals.clone();
+    group.bench_function("marching_tetrahedra_32cubed", move |b| {
+        b.iter(|| {
+            render::isosurface::marching_tetrahedra(&e, &v1, 10.0, [0.0; 3], [1.0; 3]).len()
+        })
+    });
+    group.bench_function("slice_extract_32cubed", move |b| {
+        b.iter(|| {
+            render::slice::extract_plane(&e, &e, &vals, 2, 16)
+                .map(|s| s.values.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    collectives,
+    deflate_throughput,
+    data_model,
+    isosurface_and_slice
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table 2 (real mode): the PHASTA in situ cost centers — the
+//! unstructured-mesh cut, and the serial PNG/zlib encode whose image-
+//! size dependence (800×200 vs 2900×725) the paper traced as the
+//! dominant term. The `stored` variants reproduce the paper's
+//! skip-the-compression ablation.
+
+use bench::realruns::pseudocolor_like_image;
+use criterion::{criterion_group, criterion_main, Criterion};
+use minimpi::World;
+use render::deflate::Mode;
+use science::{Phasta, PhastaAdaptor, PhastaConfig};
+use sensei::DataAdaptor as _;
+
+fn png_image_size_effect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_png");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for (w, h, tag) in [(800usize, 200usize, "is1_800x200"), (2900, 725, "is2_2900x725")] {
+        let rgb = pseudocolor_like_image(w, h);
+        let rgb2 = rgb.clone();
+        group.bench_function(format!("zlib_fixed_{tag}"), move |b| {
+            b.iter(|| std::hint::black_box(render::png::encode_rgb(w, h, &rgb2, Mode::Fixed).len()))
+        });
+        group.bench_function(format!("stored_ablation_{tag}"), move |b| {
+            b.iter(|| std::hint::black_box(render::png::encode_rgb(w, h, &rgb, Mode::Stored).len()))
+        });
+    }
+    group.finish();
+}
+
+fn phasta_cut(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_phasta");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("tet_mesh_plane_cut_2ranks", |b| {
+        b.iter(|| {
+            World::run(2, |comm| {
+                let mut sim = Phasta::new(
+                    comm,
+                    PhastaConfig {
+                        lattice: [17, 13, 13],
+                        ..PhastaConfig::default()
+                    },
+                );
+                sim.step(comm);
+                let adaptor = PhastaAdaptor::new(&sim);
+                let mesh = adaptor.full_mesh();
+                let datamodel::DataSet::Unstructured(g) = &mesh else {
+                    unreachable!()
+                };
+                catalyst::cutter::cut_tets(g, "velmag", [0.0, 1.0, 0.0], 0.5).len()
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, png_image_size_effect, phasta_cut);
+criterion_main!(benches);

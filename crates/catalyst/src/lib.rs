@@ -1,0 +1,27 @@
+//! # catalyst — a ParaView Catalyst-like in situ infrastructure
+//!
+//! Catalyst exposes ParaView's pipeline machinery in situ. This crate
+//! reproduces the pieces the paper exercises:
+//!
+//! * **Editions** ([`Edition`]) — feature-trimmed library builds that
+//!   shrink the executable footprint (the paper's PHASTA run used a
+//!   rendering-only Edition: 153 MB statically linked, 87 MB dynamic);
+//! * the **slice pipeline** ([`SlicePipeline`]) — extract a 2D slice
+//!   from the 3D volume, pseudocolor it, **binary-swap** composite to a
+//!   1920×1080 image on rank 0, and PNG-encode it there (serial zlib,
+//!   the Table 2 cost center);
+//! * a tetrahedral **cutter** ([`cutter`]) for unstructured meshes
+//!   (PHASTA's slice-through-the-wing images);
+//! * a SENSEI [`sensei::AnalysisAdaptor`] wrapper
+//!   ([`CatalystSliceAnalysis`]) so simulations drive Catalyst through
+//!   the generic interface without Catalyst-specific code.
+
+pub mod cutter;
+pub mod edition;
+pub mod pipeline;
+
+pub use edition::Edition;
+pub use pipeline::{CatalystSliceAnalysis, SliceOutput, SlicePipeline};
+
+/// Catalyst's default output resolution in the paper's miniapp study.
+pub const DEFAULT_IMAGE: (usize, usize) = (1920, 1080);

@@ -1,0 +1,577 @@
+//! Typed, multi-component data arrays with zero-copy buffer sharing and
+//! AoS/SoA layout support — the heart of the paper's "enhanced VTK data
+//! model" (§3.2).
+
+use std::sync::Arc;
+
+use crate::MemoryFootprint;
+
+/// Scalar element types supported by [`DataArray`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum ScalarType {
+    F32,
+    F64,
+    I32,
+    I64,
+    U8,
+}
+
+impl ScalarType {
+    /// Size of one element in bytes.
+    pub fn size_of(self) -> usize {
+        match self {
+            ScalarType::F32 | ScalarType::I32 => 4,
+            ScalarType::F64 | ScalarType::I64 => 8,
+            ScalarType::U8 => 1,
+        }
+    }
+}
+
+/// Element types storable in a [`DataArray`].
+pub trait Scalar: Copy + PartialOrd + Send + Sync + 'static {
+    /// The runtime tag for this type.
+    const TYPE: ScalarType;
+    /// Lossy widening to `f64` for generic analysis code.
+    fn to_f64(self) -> f64;
+    /// Narrowing from `f64`.
+    fn from_f64(v: f64) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty, $tag:expr) => {
+        impl Scalar for $t {
+            const TYPE: ScalarType = $tag;
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+        }
+    };
+}
+impl_scalar!(f32, ScalarType::F32);
+impl_scalar!(f64, ScalarType::F64);
+impl_scalar!(i32, ScalarType::I32);
+impl_scalar!(i64, ScalarType::I64);
+impl_scalar!(u8, ScalarType::U8);
+
+/// Memory layout of a multi-component array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Layout {
+    /// Array-of-structures: components interleaved in one buffer
+    /// (`x0 y0 z0 x1 y1 z1 …`) — VTK's historical default.
+    AoS,
+    /// Structure-of-arrays: one buffer per component — the layout the
+    /// paper added native support for, so Fortran codes map zero-copy.
+    SoA,
+}
+
+/// A buffer that is either owned or shared with the producing simulation.
+///
+/// `Shared` is this crate's expression of the paper's *zero-copy*
+/// property: wrapping a simulation field costs one reference count, not a
+/// memcpy, and the analysis reads the simulation's bytes in place.
+#[derive(Clone, Debug)]
+pub enum Buffer<T> {
+    /// The array owns its storage (a deep copy was made).
+    Owned(Vec<T>),
+    /// Zero-copy view of storage owned elsewhere (e.g. by the simulation).
+    Shared(Arc<Vec<T>>),
+}
+
+impl<T: Copy> Buffer<T> {
+    /// Read access to the elements.
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Buffer::Owned(v) => v,
+            Buffer::Shared(a) => a,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if this is a zero-copy view.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, Buffer::Shared(_))
+    }
+
+    /// Mutable access; copies shared storage on first write
+    /// (copy-on-write, like `Arc::make_mut`).
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if let Buffer::Shared(a) = self {
+            *self = Buffer::Owned(a.as_ref().clone());
+        }
+        match self {
+            Buffer::Owned(v) => v,
+            Buffer::Shared(_) => unreachable!(),
+        }
+    }
+}
+
+impl<T> MemoryFootprint for Buffer<T> {
+    fn heap_bytes(&self, count_shared: bool) -> usize {
+        match self {
+            Buffer::Owned(v) => v.capacity() * std::mem::size_of::<T>(),
+            Buffer::Shared(a) => {
+                if count_shared {
+                    a.capacity() * std::mem::size_of::<T>()
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// Component storage for one scalar type.
+#[derive(Clone, Debug)]
+pub struct Components<T> {
+    layout: Layout,
+    /// AoS: exactly one interleaved buffer. SoA: one buffer per component.
+    buffers: Vec<Buffer<T>>,
+    num_components: usize,
+}
+
+impl<T: Scalar> Components<T> {
+    fn num_tuples(&self) -> usize {
+        match self.layout {
+            Layout::AoS => self.buffers[0].len() / self.num_components,
+            Layout::SoA => self.buffers[0].len(),
+        }
+    }
+
+    fn get(&self, tuple: usize, comp: usize) -> T {
+        debug_assert!(comp < self.num_components);
+        match self.layout {
+            Layout::AoS => self.buffers[0].as_slice()[tuple * self.num_components + comp],
+            Layout::SoA => self.buffers[comp].as_slice()[tuple],
+        }
+    }
+
+    fn set(&mut self, tuple: usize, comp: usize, v: T) {
+        let n = self.num_components;
+        match self.layout {
+            Layout::AoS => self.buffers[0].to_mut()[tuple * n + comp] = v,
+            Layout::SoA => self.buffers[comp].to_mut()[tuple] = v,
+        }
+    }
+}
+
+/// Type-erased storage.
+#[derive(Clone, Debug)]
+pub enum Storage {
+    F32(Components<f32>),
+    F64(Components<f64>),
+    I32(Components<i32>),
+    I64(Components<i64>),
+    U8(Components<u8>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $c:ident => $body:expr) => {
+        match $self {
+            Storage::F32($c) => $body,
+            Storage::F64($c) => $body,
+            Storage::I32($c) => $body,
+            Storage::I64($c) => $body,
+            Storage::U8($c) => $body,
+        }
+    };
+}
+
+/// A named, typed, multi-component array — the analogue of
+/// `vtkDataArray` with the paper's SoA/AoS generality.
+#[derive(Clone, Debug)]
+pub struct DataArray {
+    name: String,
+    storage: Storage,
+}
+
+impl DataArray {
+    /// Build an AoS array that **owns** its (possibly interleaved) data.
+    pub fn owned<T: Scalar>(name: impl Into<String>, num_components: usize, data: Vec<T>) -> Self {
+        assert!(num_components > 0, "need at least one component");
+        assert_eq!(
+            data.len() % num_components,
+            0,
+            "data length {} not a multiple of component count {num_components}",
+            data.len()
+        );
+        Self::from_components(
+            name,
+            Components {
+                layout: Layout::AoS,
+                buffers: vec![Buffer::Owned(data)],
+                num_components,
+            },
+        )
+    }
+
+    /// Build an AoS array that **shares** the simulation's storage
+    /// (zero-copy; O(1) construction).
+    pub fn shared<T: Scalar>(
+        name: impl Into<String>,
+        num_components: usize,
+        data: Arc<Vec<T>>,
+    ) -> Self {
+        assert!(num_components > 0, "need at least one component");
+        assert_eq!(
+            data.len() % num_components,
+            0,
+            "data length {} not a multiple of component count {num_components}",
+            data.len()
+        );
+        Self::from_components(
+            name,
+            Components {
+                layout: Layout::AoS,
+                buffers: vec![Buffer::Shared(data)],
+                num_components,
+            },
+        )
+    }
+
+    /// Build an SoA array from one buffer per component; buffers may mix
+    /// owned and shared storage but must share a length.
+    pub fn soa<T: Scalar>(name: impl Into<String>, components: Vec<Buffer<T>>) -> Self {
+        assert!(!components.is_empty(), "need at least one component");
+        let n = components[0].len();
+        assert!(
+            components.iter().all(|b| b.len() == n),
+            "all SoA component buffers must have equal length"
+        );
+        let num_components = components.len();
+        Self::from_components(
+            name,
+            Components {
+                layout: Layout::SoA,
+                buffers: components,
+                num_components,
+            },
+        )
+    }
+
+    fn from_components<T: Scalar>(name: impl Into<String>, c: Components<T>) -> Self {
+        let storage = match T::TYPE {
+            ScalarType::F32 => Storage::F32(transmute_components(c)),
+            ScalarType::F64 => Storage::F64(transmute_components(c)),
+            ScalarType::I32 => Storage::I32(transmute_components(c)),
+            ScalarType::I64 => Storage::I64(transmute_components(c)),
+            ScalarType::U8 => Storage::U8(transmute_components(c)),
+        };
+        DataArray {
+            name: name.into(),
+            storage,
+        }
+    }
+
+    /// Array name (field name, e.g. `"data"`, `"velocity"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the array.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The runtime scalar type.
+    pub fn scalar_type(&self) -> ScalarType {
+        match &self.storage {
+            Storage::F32(_) => ScalarType::F32,
+            Storage::F64(_) => ScalarType::F64,
+            Storage::I32(_) => ScalarType::I32,
+            Storage::I64(_) => ScalarType::I64,
+            Storage::U8(_) => ScalarType::U8,
+        }
+    }
+
+    /// Memory layout.
+    pub fn layout(&self) -> Layout {
+        dispatch!(&self.storage, c => c.layout)
+    }
+
+    /// Number of components per tuple (1 = scalar field, 3 = vector…).
+    pub fn num_components(&self) -> usize {
+        dispatch!(&self.storage, c => c.num_components)
+    }
+
+    /// Number of tuples (points or cells).
+    pub fn num_tuples(&self) -> usize {
+        dispatch!(&self.storage, c => c.num_tuples())
+    }
+
+    /// True if any backing buffer is a zero-copy view.
+    pub fn is_zero_copy(&self) -> bool {
+        dispatch!(&self.storage, c => c.buffers.iter().any(|b| b.is_shared()))
+    }
+
+    /// Generic element access, widened to `f64`.
+    pub fn get(&self, tuple: usize, comp: usize) -> f64 {
+        dispatch!(&self.storage, c => c.get(tuple, comp).to_f64())
+    }
+
+    /// Generic element store, narrowed from `f64` (copy-on-write for
+    /// shared buffers).
+    pub fn set(&mut self, tuple: usize, comp: usize, v: f64) {
+        match &mut self.storage {
+            Storage::F32(c) => c.set(tuple, comp, v as f32),
+            Storage::F64(c) => c.set(tuple, comp, v),
+            Storage::I32(c) => c.set(tuple, comp, v as i32),
+            Storage::I64(c) => c.set(tuple, comp, v as i64),
+            Storage::U8(c) => c.set(tuple, comp, v as u8),
+        }
+    }
+
+    /// Direct typed view of a single-buffer array (AoS, any component
+    /// count; or single-component SoA). Returns `None` on type mismatch.
+    pub fn typed_slice<T: Scalar>(&self) -> Option<&[T]> {
+        let c = self.components_ref::<T>()?;
+        if c.buffers.len() == 1 {
+            Some(c.buffers[0].as_slice())
+        } else {
+            None
+        }
+    }
+
+    /// Typed view of one SoA component buffer (or the sole AoS buffer of a
+    /// 1-component array).
+    pub fn component_slice<T: Scalar>(&self, comp: usize) -> Option<&[T]> {
+        let c = self.components_ref::<T>()?;
+        match c.layout {
+            Layout::SoA => c.buffers.get(comp).map(|b| b.as_slice()),
+            Layout::AoS if c.num_components == 1 && comp == 0 => {
+                Some(c.buffers[0].as_slice())
+            }
+            Layout::AoS => None,
+        }
+    }
+
+    fn components_ref<T: Scalar>(&self) -> Option<&Components<T>> {
+        // Safety-free downcast via the type tag.
+        macro_rules! try_cast {
+            ($variant:ident, $ty:ty) => {
+                if let Storage::$variant(c) = &self.storage {
+                    if T::TYPE == <$ty as Scalar>::TYPE {
+                        // Same concrete type; reinterpret the reference.
+                        let ptr = c as *const Components<$ty> as *const Components<T>;
+                        return Some(unsafe { &*ptr });
+                    }
+                }
+            };
+        }
+        try_cast!(F32, f32);
+        try_cast!(F64, f64);
+        try_cast!(I32, i32);
+        try_cast!(I64, i64);
+        try_cast!(U8, u8);
+        None
+    }
+
+    /// `(min, max)` of one component, ignoring NaNs. `None` when empty.
+    pub fn range(&self, comp: usize) -> Option<(f64, f64)> {
+        let n = self.num_tuples();
+        if n == 0 {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in 0..n {
+            let v = self.get(t, comp);
+            if v.is_nan() {
+                continue;
+            }
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo > hi {
+            None
+        } else {
+            Some((lo, hi))
+        }
+    }
+
+    /// Euclidean norm of a tuple across all components (e.g. velocity
+    /// magnitude for a 3-vector field).
+    pub fn tuple_magnitude(&self, tuple: usize) -> f64 {
+        let nc = self.num_components();
+        (0..nc)
+            .map(|c| {
+                let v = self.get(tuple, c);
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Iterate one component as `f64`.
+    pub fn iter_component(&self, comp: usize) -> impl Iterator<Item = f64> + '_ {
+        (0..self.num_tuples()).map(move |t| self.get(t, comp))
+    }
+
+    /// Materialize a deep (owned, AoS) copy of this array.
+    pub fn deep_copy(&self) -> DataArray {
+        let n = self.num_tuples();
+        let nc = self.num_components();
+        let mut out = Vec::with_capacity(n * nc);
+        for t in 0..n {
+            for c in 0..nc {
+                out.push(self.get(t, c));
+            }
+        }
+        let mut copy = DataArray::owned(self.name.clone(), nc, out);
+        // Preserve the original element type tag where it matters for size
+        // accounting; analyses operate in f64 regardless.
+        copy.name = self.name.clone();
+        copy
+    }
+}
+
+/// Reinterpret `Components<T>` as `Components<U>` when `T == U` (checked
+/// by the caller via the `ScalarType` tag). Avoids `unsafe` leaking into
+/// every constructor.
+fn transmute_components<T: Scalar, U: Scalar>(c: Components<T>) -> Components<U> {
+    assert_eq!(T::TYPE, U::TYPE);
+    // The representation is identical because T == U at runtime.
+    unsafe { std::mem::transmute::<Components<T>, Components<U>>(c) }
+}
+
+impl MemoryFootprint for DataArray {
+    fn heap_bytes(&self, count_shared: bool) -> usize {
+        let buf_bytes = dispatch!(&self.storage, c => c
+            .buffers
+            .iter()
+            .map(|b| b.heap_bytes(count_shared))
+            .sum::<usize>());
+        buf_bytes + self.name.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_aos_roundtrip() {
+        let a = DataArray::owned("v", 3, vec![1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.num_tuples(), 2);
+        assert_eq!(a.num_components(), 3);
+        assert_eq!(a.get(1, 2), 6.0);
+        assert_eq!(a.layout(), Layout::AoS);
+        assert!(!a.is_zero_copy());
+    }
+
+    #[test]
+    fn shared_is_zero_copy_and_cheap() {
+        let sim_field = Arc::new(vec![0.5f64; 1024]);
+        let a = DataArray::shared("data", 1, Arc::clone(&sim_field));
+        assert!(a.is_zero_copy());
+        // No second allocation of the payload: strong count is 2.
+        assert_eq!(Arc::strong_count(&sim_field), 2);
+        assert_eq!(a.get(1023, 0), 0.5);
+        // Own footprint excludes shared bytes; total includes them.
+        assert_eq!(a.heap_bytes(false), a.name().len());
+        assert!(a.heap_bytes(true) >= 1024 * 8);
+    }
+
+    #[test]
+    fn soa_component_access() {
+        let x = Buffer::Owned(vec![1.0f32, 2.0]);
+        let y = Buffer::Owned(vec![10.0f32, 20.0]);
+        let a = DataArray::soa("xy", vec![x, y]);
+        assert_eq!(a.layout(), Layout::SoA);
+        assert_eq!(a.num_components(), 2);
+        assert_eq!(a.get(1, 0), 2.0);
+        assert_eq!(a.get(0, 1), 10.0);
+        assert_eq!(a.component_slice::<f32>(1), Some(&[10.0f32, 20.0][..]));
+    }
+
+    #[test]
+    fn soa_can_mix_shared_and_owned() {
+        let sim = Arc::new(vec![7.0f64; 4]);
+        let a = DataArray::soa(
+            "mix",
+            vec![Buffer::Shared(Arc::clone(&sim)), Buffer::Owned(vec![0.0; 4])],
+        );
+        assert!(a.is_zero_copy());
+        assert_eq!(a.get(3, 0), 7.0);
+        assert_eq!(a.get(3, 1), 0.0);
+    }
+
+    #[test]
+    fn copy_on_write_preserves_simulation_data() {
+        let sim = Arc::new(vec![1.0f64, 2.0]);
+        let mut a = DataArray::shared("d", 1, Arc::clone(&sim));
+        a.set(0, 0, 99.0);
+        assert_eq!(a.get(0, 0), 99.0);
+        // Simulation's buffer untouched.
+        assert_eq!(sim[0], 1.0);
+        assert!(!a.is_zero_copy());
+    }
+
+    #[test]
+    fn typed_slice_requires_matching_type() {
+        let a = DataArray::owned("i", 1, vec![1i32, 2, 3]);
+        assert!(a.typed_slice::<i32>().is_some());
+        assert!(a.typed_slice::<f64>().is_none());
+    }
+
+    #[test]
+    fn range_ignores_nan() {
+        let a = DataArray::owned("r", 1, vec![3.0f64, f64::NAN, -1.0, 2.0]);
+        assert_eq!(a.range(0), Some((-1.0, 3.0)));
+    }
+
+    #[test]
+    fn range_of_empty_is_none() {
+        let a = DataArray::owned("e", 1, Vec::<f64>::new());
+        assert_eq!(a.range(0), None);
+        assert_eq!(a.num_tuples(), 0);
+    }
+
+    #[test]
+    fn tuple_magnitude_is_euclidean() {
+        let a = DataArray::owned("v", 3, vec![3.0f64, 4.0, 0.0]);
+        assert!((a.tuple_magnitude(0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deep_copy_detaches() {
+        let sim = Arc::new(vec![1.0f64, 2.0]);
+        let a = DataArray::shared("d", 1, sim);
+        let b = a.deep_copy();
+        assert!(!b.is_zero_copy());
+        assert_eq!(b.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn u8_ghost_style_array() {
+        let a = DataArray::owned("vtkGhostType", 1, vec![0u8, 1, 0]);
+        assert_eq!(a.scalar_type(), ScalarType::U8);
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn bad_component_count_panics() {
+        let _ = DataArray::owned("v", 3, vec![1.0f64; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_soa_panics() {
+        let _ = DataArray::soa(
+            "bad",
+            vec![Buffer::Owned(vec![1.0f64]), Buffer::Owned(vec![1.0, 2.0])],
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! The polymorphic dataset wrapper analyses consume.
+
+use crate::attributes::Attributes;
+use crate::grids::{ImageData, RectilinearGrid};
+use crate::multiblock::MultiBlock;
+use crate::unstructured::UnstructuredGrid;
+use crate::MemoryFootprint;
+
+/// Any mesh the data model can describe — what a data adaptor hands to an
+/// analysis adaptor (the analogue of `vtkDataObject`).
+#[derive(Clone, Debug)]
+pub enum DataSet {
+    /// Uniform structured grid.
+    Image(ImageData),
+    /// Rectilinear grid.
+    Rectilinear(RectilinearGrid),
+    /// Unstructured mesh.
+    Unstructured(UnstructuredGrid),
+    /// Collection of blocks (one per rank or per box).
+    Multi(MultiBlock),
+}
+
+impl DataSet {
+    /// Total points in this dataset (summed over blocks).
+    pub fn num_points(&self) -> usize {
+        match self {
+            DataSet::Image(g) => g.num_points(),
+            DataSet::Rectilinear(g) => g.num_points(),
+            DataSet::Unstructured(g) => g.num_points(),
+            DataSet::Multi(m) => m.blocks().map(|b| b.num_points()).sum(),
+        }
+    }
+
+    /// Total cells in this dataset (summed over blocks).
+    pub fn num_cells(&self) -> usize {
+        match self {
+            DataSet::Image(g) => g.num_cells(),
+            DataSet::Rectilinear(g) => g.num_cells(),
+            DataSet::Unstructured(g) => g.num_cells(),
+            DataSet::Multi(m) => m.blocks().map(|b| b.num_cells()).sum(),
+        }
+    }
+
+    /// Point attributes of a leaf dataset (`None` for multiblock).
+    pub fn point_data(&self) -> Option<&Attributes> {
+        match self {
+            DataSet::Image(g) => Some(&g.point_data),
+            DataSet::Rectilinear(g) => Some(&g.point_data),
+            DataSet::Unstructured(g) => Some(&g.point_data),
+            DataSet::Multi(_) => None,
+        }
+    }
+
+    /// Cell attributes of a leaf dataset (`None` for multiblock).
+    pub fn cell_data(&self) -> Option<&Attributes> {
+        match self {
+            DataSet::Image(g) => Some(&g.cell_data),
+            DataSet::Rectilinear(g) => Some(&g.cell_data),
+            DataSet::Unstructured(g) => Some(&g.cell_data),
+            DataSet::Multi(_) => None,
+        }
+    }
+
+    /// Iterate this dataset's leaves (itself, or each multiblock block).
+    pub fn leaves(&self) -> Box<dyn Iterator<Item = &DataSet> + '_> {
+        match self {
+            DataSet::Multi(m) => Box::new(m.blocks()),
+            other => Box::new(std::iter::once(other)),
+        }
+    }
+
+    /// Short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DataSet::Image(_) => "image",
+            DataSet::Rectilinear(_) => "rectilinear",
+            DataSet::Unstructured(_) => "unstructured",
+            DataSet::Multi(_) => "multiblock",
+        }
+    }
+}
+
+impl MemoryFootprint for DataSet {
+    fn heap_bytes(&self, count_shared: bool) -> usize {
+        match self {
+            DataSet::Image(g) => g.heap_bytes(count_shared),
+            DataSet::Rectilinear(g) => g.heap_bytes(count_shared),
+            DataSet::Unstructured(g) => g.heap_bytes(count_shared),
+            DataSet::Multi(m) => m.heap_bytes(count_shared),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent::Extent;
+
+    #[test]
+    fn leaves_of_leaf_is_self() {
+        let g = ImageData::new(Extent::whole([2, 2, 2]), Extent::whole([2, 2, 2]));
+        let ds = DataSet::Image(g);
+        assert_eq!(ds.leaves().count(), 1);
+        assert_eq!(ds.kind(), "image");
+        assert_eq!(ds.num_points(), 8);
+        assert_eq!(ds.num_cells(), 1);
+    }
+
+    #[test]
+    fn multiblock_sums_counts() {
+        let mut m = MultiBlock::new();
+        m.push(DataSet::Image(ImageData::new(
+            Extent::whole([2, 2, 2]),
+            Extent::whole([4, 2, 2]),
+        )));
+        m.push(DataSet::Image(ImageData::new(
+            Extent::new([2, 0, 0], [3, 1, 1]),
+            Extent::whole([4, 2, 2]),
+        )));
+        let ds = DataSet::Multi(m);
+        assert_eq!(ds.num_points(), 16);
+        assert_eq!(ds.leaves().count(), 2);
+        assert!(ds.point_data().is_none());
+    }
+}

@@ -1,0 +1,306 @@
+//! Topology-aware aggregation with an asynchronous drain thread.
+
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use datamodel::DataSet;
+use minimpi::Comm;
+use sensei::{AnalysisAdaptor, Association, DataAdaptor};
+
+use crate::blobs::{append_step, BlockRecord};
+
+const TAG_AGG: u32 = 0x61E4_0001;
+
+/// The machine topology GLEAN exploits: which ranks share a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// MPI ranks per compute node.
+    pub ranks_per_node: usize,
+}
+
+impl Topology {
+    /// Build; `ranks_per_node` must be positive.
+    pub fn new(ranks_per_node: usize) -> Self {
+        assert!(ranks_per_node > 0, "ranks_per_node must be positive");
+        Topology { ranks_per_node }
+    }
+
+    /// The aggregator (first rank of the node) for `rank`.
+    pub fn aggregator_of(&self, rank: usize) -> usize {
+        (rank / self.ranks_per_node) * self.ranks_per_node
+    }
+
+    /// Is `rank` an aggregator?
+    pub fn is_aggregator(&self, rank: usize) -> bool {
+        self.aggregator_of(rank) == rank
+    }
+
+    /// Ranks aggregated by `agg` (including itself) in a `size`-rank job.
+    pub fn node_members(&self, agg: usize, size: usize) -> Vec<usize> {
+        debug_assert!(self.is_aggregator(agg));
+        (agg..(agg + self.ranks_per_node).min(size)).collect()
+    }
+
+    /// Number of aggregators in a `size`-rank job.
+    pub fn num_aggregators(&self, size: usize) -> usize {
+        size.div_ceil(self.ranks_per_node)
+    }
+}
+
+enum DrainMsg {
+    Step(u64, Vec<BlockRecord>),
+    Close,
+}
+
+/// SENSEI analysis adaptor enabling GLEAN-accelerated output: every rank
+/// forwards its block to its node aggregator; aggregators enqueue the
+/// assembled node step to a background drain thread writing one blob
+/// file per aggregator.
+pub struct GleanWriter {
+    topology: Topology,
+    array: String,
+    output_dir: PathBuf,
+    drain: Option<(Sender<DrainMsg>, JoinHandle<std::io::Result<u64>>)>,
+    /// Steps accepted so far.
+    steps: u64,
+    /// Bytes forwarded or aggregated by this rank so far.
+    pub bytes_handled: u64,
+}
+
+impl GleanWriter {
+    /// Create the writer. The drain thread is started lazily on the
+    /// aggregator's first step (so non-aggregators never spawn one).
+    pub fn new(topology: Topology, array: impl Into<String>, output_dir: PathBuf) -> Self {
+        GleanWriter {
+            topology,
+            array: array.into(),
+            output_dir,
+            drain: None,
+            steps: 0,
+            bytes_handled: 0,
+        }
+    }
+
+    /// Blob file path for aggregator `agg`.
+    pub fn blob_path(dir: &std::path::Path, agg: usize) -> PathBuf {
+        dir.join(format!("glean_{agg:06}.bin"))
+    }
+
+    /// Steps processed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn local_block(&self, data: &dyn DataAdaptor, rank: usize) -> Option<BlockRecord> {
+        let mut mesh = data.mesh();
+        if !data.add_array(&mut mesh, Association::Point, &self.array) {
+            return None;
+        }
+        for leaf in mesh.leaves() {
+            let (extent, attrs) = match leaf {
+                DataSet::Image(g) => (g.extent, &g.point_data),
+                DataSet::Rectilinear(g) => (g.extent, &g.point_data),
+                _ => continue,
+            };
+            let arr = attrs.get(&self.array)?;
+            let data: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+            return Some(BlockRecord {
+                rank,
+                name: self.array.clone(),
+                extent: [
+                    extent.lo[0], extent.lo[1], extent.lo[2],
+                    extent.hi[0], extent.hi[1], extent.hi[2],
+                ],
+                data,
+            });
+        }
+        None
+    }
+
+    fn ensure_drain(&mut self, agg: usize) -> &Sender<DrainMsg> {
+        if self.drain.is_none() {
+            let path = Self::blob_path(&self.output_dir, agg);
+            let _ = std::fs::remove_file(&path);
+            // Bounded queue: two steps of slack before back-pressure.
+            let (tx, rx) = bounded::<DrainMsg>(2);
+            let handle = std::thread::spawn(move || -> std::io::Result<u64> {
+                let mut written = 0u64;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        DrainMsg::Close => break,
+                        DrainMsg::Step(step, blocks) => {
+                            append_step(&path, step, &blocks)?;
+                            written += blocks.iter().map(|b| b.data.len() as u64 * 8).sum::<u64>();
+                        }
+                    }
+                }
+                Ok(written)
+            });
+            self.drain = Some((tx, handle));
+        }
+        &self.drain.as_ref().expect("drain just created").0
+    }
+}
+
+impl AnalysisAdaptor for GleanWriter {
+    fn name(&self) -> &str {
+        "glean-write"
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+        self.steps += 1;
+        let me = comm.rank();
+        let agg = self.topology.aggregator_of(me);
+        let block = self.local_block(data, me);
+        if let Some(b) = &block {
+            self.bytes_handled += b.data.len() as u64 * 8;
+        }
+        if me != agg {
+            // Ownership of the buffer moves to the aggregator: no copy.
+            comm.send(agg, TAG_AGG, block);
+            return true;
+        }
+        let members = self.topology.node_members(agg, comm.size());
+        let mut blocks: Vec<BlockRecord> = Vec::with_capacity(members.len());
+        if let Some(b) = block {
+            blocks.push(b);
+        }
+        for &peer in &members {
+            if peer == me {
+                continue;
+            }
+            let b: Option<BlockRecord> = comm.recv(peer, TAG_AGG);
+            if let Some(b) = b {
+                blocks.push(b);
+            }
+        }
+        blocks.sort_by_key(|b| b.rank);
+        let step = data.step();
+        let tx = self.ensure_drain(agg);
+        tx.send(DrainMsg::Step(step, blocks))
+            .expect("glean drain thread died");
+        true
+    }
+
+    fn finalize(&mut self, _comm: &Comm) {
+        if let Some((tx, handle)) = self.drain.take() {
+            let _ = tx.send(DrainMsg::Close);
+            match handle.join() {
+                Ok(Ok(_written)) => {}
+                Ok(Err(e)) => eprintln!("glean: drain thread I/O error: {e}"),
+                Err(_) => eprintln!("glean: drain thread panicked"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blobs::read_blob_file;
+    use datamodel::{partition_extent, DataArray, Extent, ImageData};
+    use minimpi::World;
+    use sensei::{Bridge, InMemoryAdaptor};
+
+    fn adaptor(comm: &Comm, step: u64) -> InMemoryAdaptor {
+        let global = Extent::whole([9, 3, 3]);
+        let local = partition_extent(&global, [comm.size(), 1, 1], comm.rank());
+        let mut g = ImageData::new(local, global);
+        let vals: Vec<f64> = local.iter_points().map(|p| p[0] as f64).collect();
+        g.add_point_array(DataArray::owned("data", 1, vals));
+        InMemoryAdaptor::new(DataSet::Image(g), step as f64, step)
+    }
+
+    #[test]
+    fn topology_math() {
+        let t = Topology::new(4);
+        assert_eq!(t.aggregator_of(0), 0);
+        assert_eq!(t.aggregator_of(3), 0);
+        assert_eq!(t.aggregator_of(4), 4);
+        assert!(t.is_aggregator(4));
+        assert!(!t.is_aggregator(5));
+        assert_eq!(t.node_members(4, 6), vec![4, 5]);
+        assert_eq!(t.num_aggregators(6), 2);
+        assert_eq!(t.num_aggregators(8), 2);
+    }
+
+    #[test]
+    fn aggregates_all_ranks_into_few_files() {
+        let dir = std::env::temp_dir().join(format!("glean_agg_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d2 = dir.clone();
+        World::run(4, move |comm| {
+            let mut bridge = Bridge::new();
+            bridge.add_analysis(Box::new(GleanWriter::new(
+                Topology::new(2),
+                "data",
+                d2.clone(),
+            )));
+            for s in 0..3u64 {
+                bridge.execute(&adaptor(comm, s), comm);
+            }
+            bridge.finalize(comm);
+        });
+        // 4 ranks, 2 per node → 2 blob files.
+        let f0 = read_blob_file(&GleanWriter::blob_path(&dir, 0)).unwrap();
+        let f2 = read_blob_file(&GleanWriter::blob_path(&dir, 2)).unwrap();
+        assert!(!GleanWriter::blob_path(&dir, 1).exists());
+        assert_eq!(f0.len(), 3, "three steps");
+        assert_eq!(f2.len(), 3);
+        // Each frame holds both node members' blocks, rank-sorted.
+        for (step, blocks) in &f0 {
+            assert!(*step < 3);
+            assert_eq!(blocks.iter().map(|b| b.rank).collect::<Vec<_>>(), vec![0, 1]);
+        }
+        for (_, blocks) in &f2 {
+            assert_eq!(blocks.iter().map(|b| b.rank).collect::<Vec<_>>(), vec![2, 3]);
+        }
+        // Every cell of the global grid is present exactly once per step
+        // across the two files (shared planes belong to both blocks, so
+        // compare against the sum of local point counts).
+        let total: usize = f0[0].1.iter().chain(f2[0].1.iter()).map(|b| b.data.len()).sum();
+        let expect: usize = (0..4)
+            .map(|r| {
+                partition_extent(&Extent::whole([9, 3, 3]), [4, 1, 1], r).num_points()
+            })
+            .sum();
+        assert_eq!(total, expect);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn single_node_topology_single_file() {
+        let dir = std::env::temp_dir().join(format!("glean_one_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d2 = dir.clone();
+        World::run(3, move |comm| {
+            let mut w = GleanWriter::new(Topology::new(8), "data", d2.clone());
+            w.execute(&adaptor(comm, 0), comm);
+            w.finalize(comm);
+            if comm.rank() == 0 {
+                assert!(w.bytes_handled > 0);
+            }
+        });
+        let frames = read_blob_file(&GleanWriter::blob_path(&dir, 0)).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].1.len(), 3, "all three ranks aggregated");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_array_forwards_nothing_but_completes() {
+        let dir = std::env::temp_dir().join(format!("glean_missing_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d2 = dir.clone();
+        World::run(2, move |comm| {
+            let mut w = GleanWriter::new(Topology::new(2), "absent", d2.clone());
+            w.execute(&adaptor(comm, 0), comm);
+            w.finalize(comm);
+        });
+        let frames = read_blob_file(&GleanWriter::blob_path(&dir, 0)).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].1.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

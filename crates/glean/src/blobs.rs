@@ -1,0 +1,136 @@
+//! The aggregator's on-disk blob format: framed, append-only records.
+//!
+//! Layout per step frame:
+//!
+//! ```text
+//! [step u64][n_blocks u32]
+//!   n_blocks × [rank u64][name_len u32][name][extent 6×i64][count u64][f64…]
+//! ```
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// One rank's block inside an aggregated step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockRecord {
+    /// Producing rank.
+    pub rank: usize,
+    /// Array name.
+    pub name: String,
+    /// Local extent `[lo0, lo1, lo2, hi0, hi1, hi2]`.
+    pub extent: [i64; 6],
+    /// Field values.
+    pub data: Vec<f64>,
+}
+
+/// Append one aggregated step to `path`.
+pub fn append_step(path: &Path, step: u64, blocks: &[BlockRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut buf = Vec::with_capacity(16 + blocks.iter().map(|b| b.data.len() * 8 + 80).sum::<usize>());
+    buf.extend_from_slice(&step.to_le_bytes());
+    buf.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for b in blocks {
+        buf.extend_from_slice(&(b.rank as u64).to_le_bytes());
+        buf.extend_from_slice(&(b.name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(b.name.as_bytes());
+        for e in b.extent {
+            buf.extend_from_slice(&e.to_le_bytes());
+        }
+        buf.extend_from_slice(&(b.data.len() as u64).to_le_bytes());
+        for v in &b.data {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    f.write_all(&buf)
+}
+
+/// Read every `(step, blocks)` frame back from an aggregator file.
+pub fn read_blob_file(path: &Path) -> std::io::Result<Vec<(u64, Vec<BlockRecord>)>> {
+    let mut raw = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut raw)?;
+    let corrupt = || std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt glean blob");
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> std::io::Result<std::ops::Range<usize>> {
+        if *pos + n > raw.len() {
+            return Err(corrupt());
+        }
+        let r = *pos..*pos + n;
+        *pos += n;
+        Ok(r)
+    };
+    while pos < raw.len() {
+        let step = u64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap());
+        let n = u32::from_le_bytes(raw[take(&mut pos, 4)?].try_into().unwrap()) as usize;
+        let mut blocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let rank = u64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()) as usize;
+            let name_len = u32::from_le_bytes(raw[take(&mut pos, 4)?].try_into().unwrap()) as usize;
+            let name = String::from_utf8(raw[take(&mut pos, name_len)?].to_vec())
+                .map_err(|_| corrupt())?;
+            let mut extent = [0i64; 6];
+            for e in extent.iter_mut() {
+                *e = i64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap());
+            }
+            let count = u64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()) as usize;
+            let mut data = Vec::with_capacity(count);
+            for _ in 0..count {
+                data.push(f64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()));
+            }
+            blocks.push(BlockRecord { rank, name, extent, data });
+        }
+        out.push((step, blocks));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("glean_{}_{}", std::process::id(), name))
+    }
+
+    fn rec(rank: usize) -> BlockRecord {
+        BlockRecord {
+            rank,
+            name: "data".to_string(),
+            extent: [0, 0, 0, 3, 3, 3],
+            data: (0..8).map(|i| (rank * 10 + i) as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_multiple_steps() {
+        let p = tmp("roundtrip.bin");
+        let _ = std::fs::remove_file(&p);
+        append_step(&p, 0, &[rec(0), rec(1)]).unwrap();
+        append_step(&p, 1, &[rec(0)]).unwrap();
+        let frames = read_blob_file(&p).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].0, 0);
+        assert_eq!(frames[0].1, vec![rec(0), rec(1)]);
+        assert_eq!(frames[1].1.len(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let p = tmp("trunc.bin");
+        let _ = std::fs::remove_file(&p);
+        append_step(&p, 0, &[rec(0)]).unwrap();
+        let raw = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &raw[..raw.len() - 3]).unwrap();
+        assert!(read_blob_file(&p).is_err());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_file_has_no_frames() {
+        let p = tmp("empty.bin");
+        std::fs::write(&p, b"").unwrap();
+        assert!(read_blob_file(&p).unwrap().is_empty());
+        std::fs::remove_file(&p).unwrap();
+    }
+}

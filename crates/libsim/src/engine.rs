@@ -1,0 +1,318 @@
+//! The Libsim render engine and its SENSEI analysis adaptor.
+
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use datamodel::{DataSet, Extent};
+use minimpi::Comm;
+use render::camera::Camera;
+use render::color::{Color, Colormap};
+use render::composite::Compositor;
+use render::deflate::Mode;
+use render::framebuffer::Framebuffer;
+use render::pipeline::{
+    pseudocolor_slice, shaded_isosurface, IsosurfaceRender, SliceRender,
+};
+use render::png::encode_framebuffer;
+use sensei::{AnalysisAdaptor, Association, DataAdaptor};
+
+use crate::session::{Plot, Session};
+
+/// Libsim's compositing family: a direct-send fan-in tree.
+pub const COMPOSITOR: Compositor = Compositor::DirectSendTree(8);
+
+/// Shared handle to the most recent PNG (rank 0 only).
+pub type PngHandle = Arc<Mutex<Option<Vec<u8>>>>;
+
+/// SENSEI analysis adaptor running a Libsim session.
+pub struct LibsimAnalysis {
+    session: Session,
+    output_dir: Option<PathBuf>,
+    last_png: PngHandle,
+    renders: u64,
+    /// Measured one-time startup cost (the per-rank config check).
+    startup_seconds: f64,
+}
+
+impl LibsimAnalysis {
+    /// Start Libsim with a session. Performs the per-rank runtime
+    /// configuration check — a real filesystem metadata operation, the
+    /// behavior whose aggregate cost Fig. 5 reports at 45K ranks.
+    pub fn new(session: Session, config_path: &Path) -> Self {
+        let t0 = std::time::Instant::now();
+        // VisIt checks for a .visitrc / runtime config per rank.
+        let _ = std::fs::metadata(config_path);
+        let startup_seconds = t0.elapsed().as_secs_f64();
+        LibsimAnalysis {
+            session,
+            output_dir: None,
+            last_png: Arc::new(Mutex::new(None)),
+            renders: 0,
+            startup_seconds,
+        }
+    }
+
+    /// Write `libsim_<step>.png` files into `dir` (rank 0).
+    pub fn with_output_dir(mut self, dir: PathBuf) -> Self {
+        self.output_dir = Some(dir);
+        self
+    }
+
+    /// Handle to the latest PNG bytes (rank 0).
+    pub fn png_handle(&self) -> PngHandle {
+        Arc::clone(&self.last_png)
+    }
+
+    /// Number of render invocations so far.
+    pub fn renders(&self) -> u64 {
+        self.renders
+    }
+
+    /// Measured startup (config check) seconds on this rank.
+    pub fn startup_seconds(&self) -> f64 {
+        self.startup_seconds
+    }
+
+    /// Gather `(local, global, values, spacing, origin)` of the named
+    /// point array on a structured leaf.
+    fn structured_field(
+        &self,
+        data: &dyn DataAdaptor,
+        array: &str,
+    ) -> Option<(Extent, Extent, Vec<f64>, [f64; 3], [f64; 3])> {
+        let mut mesh = data.mesh();
+        if !data.add_array(&mut mesh, Association::Point, array) {
+            return None;
+        }
+        for leaf in mesh.leaves() {
+            match leaf {
+                DataSet::Image(g) => {
+                    let arr = g.point_data.get(array)?;
+                    let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+                    return Some((g.extent, g.global_extent, values, g.spacing, g.origin));
+                }
+                DataSet::Rectilinear(g) => {
+                    let arr = g.point_data.get(array)?;
+                    let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+                    let spacing = [
+                        if g.x.len() > 1 { g.x[1] - g.x[0] } else { 1.0 },
+                        if g.y.len() > 1 { g.y[1] - g.y[0] } else { 1.0 },
+                        if g.z.len() > 1 { g.z[1] - g.z[0] } else { 1.0 },
+                    ];
+                    let origin = [
+                        g.x[0] - g.extent.lo[0] as f64 * spacing[0],
+                        g.y[0] - g.extent.lo[1] as f64 * spacing[1],
+                        g.z[0] - g.extent.lo[2] as f64 * spacing[2],
+                    ];
+                    return Some((g.extent, g.global_extent, values, spacing, origin));
+                }
+                _ => continue,
+            }
+        }
+        None
+    }
+
+    fn render_plot(
+        &self,
+        plot: &Plot,
+        data: &dyn DataAdaptor,
+        comm: &Comm,
+    ) -> Option<Framebuffer> {
+        let (w, h) = self.session.image;
+        match plot {
+            Plot::Pseudocolor { array, axis, index } => {
+                let (local, global, values, _, _) = self.structured_field(data, array)?;
+                // Clamp the requested plane into the domain.
+                let idx = (*index).clamp(global.lo[*axis], global.hi[*axis]);
+                let cfg = SliceRender {
+                    axis: *axis,
+                    global_index: idx,
+                    width: w,
+                    height: h,
+                    compositor: COMPOSITOR,
+                    cmap: Colormap::viridis(),
+                };
+                pseudocolor_slice(comm, &local, &global, &values, &cfg)
+            }
+            Plot::Isosurface { array, levels } => {
+                let (local, global, values, spacing, origin) =
+                    self.structured_field(data, array)?;
+                // Levels are fractions of the global range.
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &v in &values {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                let glo = comm.allreduce_scalar(lo, f64::min);
+                let ghi = comm.allreduce_scalar(hi, f64::max);
+                let isovalues: Vec<f64> =
+                    levels.iter().map(|f| glo + f * (ghi - glo)).collect();
+                // Camera looks at the domain center from outside.
+                let gd = global.point_dims();
+                let center = [
+                    origin[0] + (gd[0] - 1) as f64 * spacing[0] / 2.0,
+                    origin[1] + (gd[1] - 1) as f64 * spacing[1] / 2.0,
+                    origin[2] + (gd[2] - 1) as f64 * spacing[2] / 2.0,
+                ];
+                let size = (gd[0] as f64 * spacing[0])
+                    .max(gd[1] as f64 * spacing[1])
+                    .max(gd[2] as f64 * spacing[2]);
+                let eye = [
+                    center[0] + 1.2 * size,
+                    center[1] + 0.9 * size,
+                    center[2] - 2.0 * size,
+                ];
+                let cfg = IsosurfaceRender {
+                    isovalues,
+                    camera: Camera::look_at(eye, center, [0.0, 1.0, 0.0], 0.8),
+                    width: w,
+                    height: h,
+                    compositor: COMPOSITOR,
+                    cmap: Colormap::cool_warm(),
+                    origin,
+                    spacing,
+                };
+                shaded_isosurface(comm, &local, &values, &cfg)
+            }
+        }
+    }
+}
+
+impl AnalysisAdaptor for LibsimAnalysis {
+    fn name(&self) -> &str {
+        "libsim"
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+        if data.step() % self.session.frequency != 0 {
+            return true;
+        }
+        self.renders += 1;
+        // Composite all plots of the session into one image (plots render
+        // back-to-front into the same framebuffer via depth compositing).
+        let (w, h) = self.session.image;
+        let mut final_fb: Option<Framebuffer> = None;
+        let plots = self.session.plots.clone();
+        for plot in &plots {
+            if let Some(fb) = self.render_plot(plot, data, comm) {
+                match &mut final_fb {
+                    None => final_fb = Some(fb),
+                    Some(acc) => acc.composite_from(&fb),
+                }
+            }
+        }
+        if comm.rank() == 0 {
+            let fb = final_fb.unwrap_or_else(|| Framebuffer::new(w, h));
+            let png = encode_framebuffer(&fb, Color::BLACK, Mode::Fixed);
+            if let Some(dir) = &self.output_dir {
+                let path = dir.join(format!("libsim_{:05}.png", data.step()));
+                if let Err(e) = std::fs::write(&path, &png) {
+                    eprintln!("libsim: failed to write {}: {e}", path.display());
+                }
+            }
+            *self.last_png.lock() = Some(png);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{partition_extent, DataArray, ImageData};
+    use minimpi::World;
+    use render::png::decode_rgb;
+
+    fn adaptor(comm: &Comm, step: u64) -> sensei::InMemoryAdaptor {
+        let global = Extent::whole([9, 9, 9]);
+        let dims = datamodel::dims_create(comm.size());
+        let local = partition_extent(&global, dims, comm.rank());
+        let mut g = ImageData::new(local, global);
+        let c = 4.0;
+        let vals: Vec<f64> = local
+            .iter_points()
+            .map(|p| {
+                let dx = p[0] as f64 - c;
+                let dy = p[1] as f64 - c;
+                let dz = p[2] as f64 - c;
+                (dx * dx + dy * dy + dz * dz).sqrt()
+            })
+            .collect();
+        g.add_point_array(DataArray::owned("data", 1, vals));
+        sensei::InMemoryAdaptor::new(DataSet::Image(g), step as f64, step)
+    }
+
+    fn small_session(freq: u64) -> Session {
+        Session::parse(&format!(
+            "image 48 48\nfrequency {freq}\nplot pseudocolor data axis=z index=4\nplot isosurface data levels=0.5\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn session_renders_combined_png() {
+        World::run(4, |comm| {
+            let mut a = LibsimAnalysis::new(small_session(1), Path::new("/nonexistent/.visitrc"));
+            let png = a.png_handle();
+            a.execute(&adaptor(comm, 0), comm);
+            if comm.rank() == 0 {
+                let bytes = png.lock().clone().expect("png");
+                let (w, h, rgb) = decode_rgb(&bytes).unwrap();
+                assert_eq!((w, h), (48, 48));
+                // Slice paints the full frame; no pure-background-only image.
+                assert!(rgb.chunks(3).any(|p| p != [0, 0, 0]));
+            }
+        });
+    }
+
+    #[test]
+    fn frequency_five_renders_one_in_five() {
+        World::run(2, |comm| {
+            let mut a = LibsimAnalysis::new(small_session(5), Path::new("/nonexistent/.visitrc"));
+            for s in 0..10 {
+                a.execute(&adaptor(comm, s), comm);
+            }
+            assert_eq!(a.renders(), 2);
+        });
+    }
+
+    #[test]
+    fn startup_performs_config_check() {
+        World::run(1, |_comm| {
+            let a = LibsimAnalysis::new(small_session(1), Path::new("/nonexistent/.visitrc"));
+            assert!(a.startup_seconds() >= 0.0);
+            assert!(a.startup_seconds() < 0.5, "a single stat is fast");
+        });
+    }
+
+    #[test]
+    fn isosurface_only_session_covers_fewer_pixels_than_slice() {
+        World::run(2, |comm| {
+            let slice_png = {
+                let s = Session::parse("image 40 40\nplot pseudocolor data axis=z index=4\n").unwrap();
+                let mut a = LibsimAnalysis::new(s, Path::new("/nonexistent"));
+                let h = a.png_handle();
+                a.execute(&adaptor(comm, 0), comm);
+                if comm.rank() == 0 { h.lock().clone() } else { None }
+            };
+            let iso_png = {
+                let s = Session::parse("image 40 40\nplot isosurface data levels=0.4\n").unwrap();
+                let mut a = LibsimAnalysis::new(s, Path::new("/nonexistent"));
+                let h = a.png_handle();
+                a.execute(&adaptor(comm, 0), comm);
+                if comm.rank() == 0 { h.lock().clone() } else { None }
+            };
+            if comm.rank() == 0 {
+                let count_nonblack = |png: &[u8]| {
+                    let (_, _, rgb) = decode_rgb(png).unwrap();
+                    rgb.chunks(3).filter(|p| *p != [0, 0, 0]).count()
+                };
+                let s = count_nonblack(&slice_png.unwrap());
+                let i = count_nonblack(&iso_png.unwrap());
+                assert!(s > i, "slice covers frame ({s}) > isosurface ({i})");
+                assert!(i > 0, "isosurface rendered something");
+            }
+        });
+    }
+}

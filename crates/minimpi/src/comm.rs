@@ -1,0 +1,371 @@
+//! The communicator: typed, tagged point-to-point messaging.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::envelope::{CollectiveKind, Envelope, Tag, ANY_SOURCE};
+
+/// An MPI-style communicator handle owned by one rank (one thread).
+///
+/// A `Comm` is *not* `Sync`: exactly one thread drives each rank, matching
+/// the single-threaded-per-rank MPI funneled model the paper's codes use.
+/// Intra-rank threading (rayon loops inside a rank) must not touch the
+/// communicator, just as `MPI_THREAD_FUNNELED` requires.
+pub struct Comm {
+    rank: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    receiver: Receiver<Envelope>,
+    /// Messages received but not yet matched by a `recv` call.
+    pending: RefCell<VecDeque<Envelope>>,
+    /// Count of collective operations issued, used to build collective tags.
+    epoch: Cell<u64>,
+    /// Wall-clock origin for [`Comm::wtime`].
+    t0: Instant,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Arc<Vec<Sender<Envelope>>>,
+        receiver: Receiver<Envelope>,
+    ) -> Self {
+        Comm {
+            rank,
+            senders,
+            receiver,
+            pending: RefCell::new(VecDeque::new()),
+            epoch: Cell::new(0),
+            t0: Instant::now(),
+        }
+    }
+
+    /// This rank's index in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Seconds since this communicator was created (cf. `MPI_Wtime`).
+    pub fn wtime(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+
+    /// Advance and return the collective epoch for this communicator.
+    pub(crate) fn next_epoch(&self) -> u64 {
+        let e = self.epoch.get();
+        self.epoch.set(e.wrapping_add(1));
+        e
+    }
+
+    /// Send `value` to `dest` with a user `tag`. Sends are buffered and
+    /// never block (eager protocol); ownership of the payload moves.
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range or the destination rank has exited.
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u32, value: T) {
+        self.send_tagged(dest, Tag::user(tag), value)
+    }
+
+    pub(crate) fn send_tagged<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) {
+        let sender = self
+            .senders
+            .get(dest)
+            .unwrap_or_else(|| panic!("send: rank {dest} out of range (size {})", self.size()));
+        sender
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("send: destination rank disconnected");
+    }
+
+    /// Blocking receive of a `T` from `src` with user `tag`.
+    ///
+    /// Matching is FIFO per `(src, tag)` pair, mirroring MPI's
+    /// non-overtaking guarantee. Pass [`ANY_SOURCE`] as `src` to match any
+    /// sender.
+    ///
+    /// # Panics
+    /// Panics if the matched payload is not a `T`, or all senders hang up.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u32) -> T {
+        self.recv_tagged(src, Tag::user(tag)).1
+    }
+
+    /// Blocking receive matching any source; returns `(src, value)`.
+    pub fn recv_any<T: Send + 'static>(&self, tag: u32) -> (usize, T) {
+        self.recv_tagged(ANY_SOURCE, Tag::user(tag))
+    }
+
+    pub(crate) fn recv_tagged<T: Send + 'static>(&self, src: usize, tag: Tag) -> (usize, T) {
+        let env = self.match_envelope(src, tag);
+        let from = env.src;
+        (from, downcast_payload(env.payload, from, tag))
+    }
+
+    /// Non-blocking probe: is a message matching `(src, tag)` available?
+    pub fn iprobe(&self, src: usize, tag: u32) -> bool {
+        self.drain_channel();
+        let tag = Tag::user(tag);
+        self.pending
+            .borrow()
+            .iter()
+            .any(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))
+    }
+
+    /// Combined send + receive with the same tag (pairwise exchange).
+    /// Never deadlocks because sends are eager.
+    pub fn sendrecv<T: Send + 'static, U: Send + 'static>(
+        &self,
+        dest: usize,
+        src: usize,
+        tag: u32,
+        value: T,
+    ) -> U {
+        self.send(dest, tag, value);
+        self.recv(src, tag)
+    }
+
+    /// Pull everything currently queued in the channel into `pending`.
+    fn drain_channel(&self) {
+        let mut pending = self.pending.borrow_mut();
+        while let Ok(env) = self.receiver.try_recv() {
+            pending.push_back(env);
+        }
+    }
+
+    /// Block until an envelope matching `(src, tag)` is available and
+    /// remove it from the pending queue.
+    fn match_envelope(&self, src: usize, tag: Tag) -> Envelope {
+        // Fast path: already pending.
+        if let Some(env) = self.take_pending(src, tag) {
+            return env;
+        }
+        loop {
+            let env = self
+                .receiver
+                .recv()
+                .expect("recv: all peer ranks disconnected while waiting for a message");
+            if env.tag == tag && (src == ANY_SOURCE || env.src == src) {
+                return env;
+            }
+            self.pending.borrow_mut().push_back(env);
+        }
+    }
+
+    fn take_pending(&self, src: usize, tag: Tag) -> Option<Envelope> {
+        let mut pending = self.pending.borrow_mut();
+        let idx = pending
+            .iter()
+            .position(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))?;
+        pending.remove(idx)
+    }
+
+    /// Collectively split this communicator into disjoint subgroups.
+    ///
+    /// Ranks passing the same `color` end up in the same new communicator;
+    /// within a group, new ranks are ordered by `(key, old rank)`. Every
+    /// rank of `self` must call `split`. Analogous to `MPI_Comm_split`.
+    pub fn split(&self, color: u32, key: u32) -> Comm {
+        let (tx, rx) = unbounded::<Envelope>();
+        let epoch = self.next_epoch();
+        let tag = Tag::collective(CollectiveKind::Split, epoch);
+        let mine = SplitInfo {
+            color,
+            key,
+            old_rank: self.rank,
+            sender: tx,
+        };
+        let infos: Vec<SplitInfo> = crate::collectives::allgather_tagged(self, tag, mine);
+        let mut members: Vec<&SplitInfo> = infos.iter().filter(|i| i.color == color).collect();
+        members.sort_by_key(|i| (i.key, i.old_rank));
+        let new_rank = members
+            .iter()
+            .position(|i| i.old_rank == self.rank)
+            .expect("split: own rank missing from its color group");
+        let senders: Vec<Sender<Envelope>> = members.iter().map(|i| i.sender.clone()).collect();
+        Comm::new(new_rank, Arc::new(senders), rx)
+    }
+
+    /// Collectively duplicate this communicator (cf. `MPI_Comm_dup`).
+    ///
+    /// The duplicate has an independent tag/epoch space, so libraries can
+    /// communicate on it without colliding with application messages.
+    pub fn dup(&self) -> Comm {
+        self.split(0, self.rank as u32)
+    }
+}
+
+#[derive(Clone)]
+struct SplitInfo {
+    color: u32,
+    key: u32,
+    old_rank: usize,
+    sender: Sender<Envelope>,
+}
+
+fn downcast_payload<T: 'static>(payload: Box<dyn Any + Send>, src: usize, tag: Tag) -> T {
+    match payload.downcast::<T>() {
+        Ok(v) => *v,
+        Err(_) => panic!(
+            "recv: message from rank {src} with tag {tag:?} is not a {}",
+            std::any::type_name::<T>()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::World;
+
+    #[test]
+    fn ping_pong() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                let back: Vec<f64> = comm.recv(1, 8);
+                assert_eq!(back, vec![2.0, 4.0, 6.0]);
+            } else {
+                let v: Vec<f64> = comm.recv(0, 7);
+                comm.send(0, 8, v.into_iter().map(|x| x * 2.0).collect::<Vec<_>>());
+            }
+        });
+    }
+
+    #[test]
+    fn tag_matching_is_selective() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Send tag 2 first, then tag 1; receiver asks for 1 first.
+                comm.send(1, 2, 222u32);
+                comm.send(1, 1, 111u32);
+            } else {
+                let one: u32 = comm.recv(0, 1);
+                let two: u32 = comm.recv(0, 2);
+                assert_eq!((one, two), (111, 222));
+            }
+        });
+    }
+
+    #[test]
+    fn per_source_fifo_order() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u32 {
+                    comm.send(1, 5, i);
+                }
+            } else {
+                for i in 0..100u32 {
+                    let got: u32 = comm.recv(0, 5);
+                    assert_eq!(got, i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_source() {
+        World::run(4, |comm| {
+            if comm.rank() == 0 {
+                let mut seen = vec![false; 4];
+                for _ in 0..3 {
+                    let (src, v): (usize, usize) = comm.recv_any(9);
+                    assert_eq!(v, src * 10);
+                    seen[src] = true;
+                }
+                assert_eq!(seen, vec![false, true, true, true]);
+            } else {
+                comm.send(0, 9, comm.rank() * 10);
+            }
+        });
+    }
+
+    #[test]
+    fn sendrecv_ring_shift() {
+        World::run(5, |comm| {
+            let right = (comm.rank() + 1) % comm.size();
+            let left = (comm.rank() + comm.size() - 1) % comm.size();
+            let got: usize = comm.sendrecv(right, left, 3, comm.rank());
+            assert_eq!(got, left);
+        });
+    }
+
+    #[test]
+    fn split_into_even_odd_groups() {
+        World::run(6, |comm| {
+            let color = (comm.rank() % 2) as u32;
+            let sub = comm.split(color, comm.rank() as u32);
+            assert_eq!(sub.size(), 3);
+            assert_eq!(sub.rank(), comm.rank() / 2);
+            // The subgroup communicates independently of the parent.
+            let total = sub.allreduce_scalar(comm.rank(), |a, b| a + b);
+            let expect = if color == 0 { 0 + 2 + 4 } else { 1 + 3 + 5 };
+            assert_eq!(total, expect);
+        });
+    }
+
+    #[test]
+    fn split_with_key_reorders() {
+        World::run(4, |comm| {
+            // Reverse order via key.
+            let key = (comm.size() - comm.rank()) as u32;
+            let sub = comm.split(0, key);
+            assert_eq!(sub.rank(), comm.size() - 1 - comm.rank());
+        });
+    }
+
+    #[test]
+    fn dup_is_independent() {
+        World::run(3, |comm| {
+            let dup = comm.dup();
+            assert_eq!(dup.rank(), comm.rank());
+            assert_eq!(dup.size(), comm.size());
+            // Same tag on both communicators does not cross over.
+            if comm.rank() == 0 {
+                comm.send(1, 4, 1u8);
+                dup.send(1, 4, 2u8);
+            } else if comm.rank() == 1 {
+                let b: u8 = dup.recv(0, 4);
+                let a: u8 = comm.recv(0, 4);
+                assert_eq!((a, b), (1, 2));
+            }
+        });
+    }
+
+    #[test]
+    fn iprobe_sees_pending_message() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 11, 42u64);
+                comm.barrier();
+            } else {
+                comm.barrier();
+                assert!(comm.iprobe(0, 11));
+                assert!(!comm.iprobe(0, 12));
+                let v: u64 = comm.recv(0, 11);
+                assert_eq!(v, 42);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a")]
+    fn type_mismatch_panics() {
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 1.5f64);
+            } else {
+                let _: u32 = comm.recv(0, 1);
+            }
+        });
+    }
+}

@@ -1,0 +1,109 @@
+//! Message envelopes and tag space.
+//!
+//! Every message carries `(src, tag, payload)`. Payloads are type-erased
+//! (`Box<dyn Any + Send>`) so a message transfers ownership of its buffer —
+//! a `Vec<f64>` moves across ranks without copying the heap allocation.
+
+use std::any::Any;
+
+/// Message tag. User tags occupy the low 32-bit space; collective
+/// implementations use a reserved high space (see [`Tag::collective`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+/// Wildcard source for [`crate::Comm::recv_any`]-style matching.
+pub const ANY_SOURCE: usize = usize::MAX;
+
+const COLLECTIVE_BIT: u64 = 1 << 63;
+
+impl Tag {
+    /// A user-level tag. Values are taken as-is from the low 32 bits.
+    pub fn user(tag: u32) -> Self {
+        Tag(tag as u64)
+    }
+
+    /// An internal tag for collective `kind` at collective-call `epoch`.
+    ///
+    /// Each rank counts collective calls on a communicator; because MPI
+    /// semantics require every rank to issue collectives in the same order,
+    /// the per-rank counters agree and the epoch disambiguates successive
+    /// collectives of the same kind.
+    pub fn collective(kind: CollectiveKind, epoch: u64) -> Self {
+        Tag(COLLECTIVE_BIT | ((kind as u64) << 48) | (epoch & 0xFFFF_FFFF_FFFF))
+    }
+
+    /// True if this tag belongs to the reserved collective space.
+    pub fn is_collective(self) -> bool {
+        self.0 & COLLECTIVE_BIT != 0
+    }
+}
+
+/// Which collective algorithm a reserved tag belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum CollectiveKind {
+    Barrier = 1,
+    Bcast = 2,
+    Reduce = 3,
+    Allreduce = 4,
+    Gather = 5,
+    Allgather = 6,
+    Scatter = 7,
+    Alltoall = 8,
+    Scan = 9,
+    Split = 10,
+}
+
+/// A message in flight: source rank, tag, and type-erased payload.
+pub struct Envelope {
+    /// Rank of the sender within the communicator the message was sent on.
+    pub src: usize,
+    /// Matching tag.
+    pub tag: Tag,
+    /// Owned, type-erased payload. Downcast by the typed `recv`.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Envelope")
+            .field("src", &self.src)
+            .field("tag", &self.tag)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_tags_are_not_collective() {
+        assert!(!Tag::user(0).is_collective());
+        assert!(!Tag::user(u32::MAX).is_collective());
+    }
+
+    #[test]
+    fn collective_tags_are_collective_and_distinct_by_kind() {
+        let a = Tag::collective(CollectiveKind::Bcast, 7);
+        let b = Tag::collective(CollectiveKind::Reduce, 7);
+        assert!(a.is_collective());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn collective_tags_distinct_by_epoch() {
+        let a = Tag::collective(CollectiveKind::Bcast, 1);
+        let b = Tag::collective(CollectiveKind::Bcast, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn collective_epoch_wraps_without_touching_kind_bits() {
+        let a = Tag::collective(CollectiveKind::Scan, u64::MAX);
+        assert!(a.is_collective());
+        // Kind bits survive epoch saturation.
+        let kind_bits = (a.0 >> 48) & 0x7FFF;
+        assert_eq!(kind_bits, CollectiveKind::Scan as u64);
+    }
+}

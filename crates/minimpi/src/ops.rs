@@ -1,0 +1,80 @@
+//! Reduction helpers mirroring MPI's `MINLOC`/`MAXLOC` built-ins, used by
+//! analyses that must locate extrema (e.g. the autocorrelation top-k
+//! reduction identifies the grid cells holding the strongest signal).
+
+/// A value paired with the rank (or index) that produced it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinLoc<T> {
+    /// The candidate value.
+    pub value: T,
+    /// Owning rank or global index.
+    pub loc: usize,
+}
+
+/// See [`MinLoc`]; keeps the maximum instead.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MaxLoc<T> {
+    /// The candidate value.
+    pub value: T,
+    /// Owning rank or global index.
+    pub loc: usize,
+}
+
+/// Combine two [`MinLoc`]s, keeping the smaller value (ties favor the
+/// lower location, MPI's documented tie-break).
+pub fn minloc<T: PartialOrd>(a: MinLoc<T>, b: MinLoc<T>) -> MinLoc<T> {
+    if b.value < a.value || (b.value == a.value && b.loc < a.loc) {
+        b
+    } else {
+        a
+    }
+}
+
+/// Combine two [`MaxLoc`]s, keeping the larger value (ties favor the lower
+/// location).
+pub fn maxloc<T: PartialOrd>(a: MaxLoc<T>, b: MaxLoc<T>) -> MaxLoc<T> {
+    if b.value > a.value || (b.value == a.value && b.loc < a.loc) {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::World;
+
+    #[test]
+    fn minloc_prefers_smaller_value_then_lower_loc() {
+        let a = MinLoc { value: 3.0, loc: 1 };
+        let b = MinLoc { value: 2.0, loc: 5 };
+        assert_eq!(minloc(a, b), b);
+        let c = MinLoc { value: 2.0, loc: 2 };
+        assert_eq!(minloc(b, c), c);
+    }
+
+    #[test]
+    fn maxloc_prefers_larger_value_then_lower_loc() {
+        let a = MaxLoc { value: 3.0, loc: 9 };
+        let b = MaxLoc { value: 3.0, loc: 4 };
+        assert_eq!(maxloc(a, b), b);
+    }
+
+    #[test]
+    fn allreduce_maxloc_finds_owner() {
+        World::run(6, |comm| {
+            // Rank 4 holds the peak.
+            let v = if comm.rank() == 4 { 100.0 } else { comm.rank() as f64 };
+            let got = comm.allreduce(
+                MaxLoc {
+                    value: v,
+                    loc: comm.rank(),
+                },
+                maxloc,
+            );
+            assert_eq!(got.loc, 4);
+            assert_eq!(got.value, 100.0);
+        });
+    }
+}

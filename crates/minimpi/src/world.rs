@@ -1,0 +1,150 @@
+//! Launching SPMD worlds: one thread per rank.
+
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::Comm;
+use crate::envelope::Envelope;
+
+/// Entry point for running an SPMD program across `P` thread-backed ranks.
+///
+/// `World::run(p, f)` is the analogue of `mpiexec -n p`: it spawns `p`
+/// threads, hands each a [`Comm`] of size `p`, runs `f` on every rank, and
+/// returns the per-rank results indexed by rank.
+pub struct World;
+
+impl World {
+    /// Run `f` on `size` ranks and collect each rank's return value.
+    ///
+    /// # Panics
+    /// Propagates the first rank panic after all ranks have been joined
+    /// (ranks that did not panic run to completion).
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(&Comm) -> T + Send + Sync + 'static,
+    {
+        WorldBuilder::new(size).run(f)
+    }
+}
+
+/// Configurable world launcher.
+///
+/// The default stack size is raised above the OS default because science
+/// proxies place sizable scratch buffers on the stack in debug builds.
+pub struct WorldBuilder {
+    size: usize,
+    stack_size: usize,
+    name_prefix: String,
+}
+
+impl WorldBuilder {
+    /// A builder for a world of `size` ranks.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world size must be at least 1");
+        WorldBuilder {
+            size,
+            stack_size: 8 << 20,
+            name_prefix: "rank".to_string(),
+        }
+    }
+
+    /// Set the per-rank thread stack size in bytes.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Set the thread-name prefix (threads are named `{prefix}-{rank}`).
+    pub fn name_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.name_prefix = prefix.into();
+        self
+    }
+
+    /// Launch the world; see [`World::run`].
+    pub fn run<T, F>(self, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(&Comm) -> T + Send + Sync + 'static,
+    {
+        let (senders, receivers): (Vec<_>, Vec<_>) =
+            (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
+        let senders = Arc::new(senders);
+        let f = Arc::new(f);
+
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                let senders = Arc::clone(&senders);
+                let f = Arc::clone(&f);
+                let name = format!("{}-{rank}", self.name_prefix);
+                thread::Builder::new()
+                    .name(name)
+                    .stack_size(self.stack_size)
+                    .spawn(move || {
+                        let comm = Comm::new(rank, senders, rx);
+                        f(&comm)
+                    })
+                    .expect("failed to spawn rank thread")
+            })
+            .collect();
+
+        let mut results = Vec::with_capacity(self.size);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(v) => results.push(v),
+                Err(e) => {
+                    if panic.is_none() {
+                        panic = Some(e);
+                    }
+                }
+            }
+        }
+        if let Some(e) = panic {
+            std::panic::resume_unwind(e);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_indexed_by_rank() {
+        let out = World::run(8, |comm| comm.rank() * comm.rank());
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::run(1, |comm| {
+            assert_eq!(comm.size(), 1);
+            comm.barrier();
+            comm.allreduce_scalar(5u32, |a, b| a + b)
+        });
+        assert_eq!(out, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "world size must be at least 1")]
+    fn zero_size_rejected() {
+        let _ = World::run(0, |_| ());
+    }
+
+    #[test]
+    fn builder_names_threads() {
+        let names = WorldBuilder::new(2)
+            .name_prefix("osc")
+            .run(|_| thread::current().name().map(str::to_string));
+        assert_eq!(
+            names,
+            vec![Some("osc-0".to_string()), Some("osc-1".to_string())]
+        );
+    }
+}

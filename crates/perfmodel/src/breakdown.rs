@@ -1,0 +1,138 @@
+//! Labeled time breakdowns — the stacked-bar decomposition every figure
+//! in the paper reports (simulation / analysis / read / write / …).
+
+/// An ordered list of `(label, seconds)` parts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    parts: Vec<(String, f64)>,
+}
+
+impl Breakdown {
+    /// Empty breakdown.
+    pub fn new() -> Self {
+        Breakdown { parts: Vec::new() }
+    }
+
+    /// Add `seconds` under `label`, merging with an existing label.
+    pub fn add(&mut self, label: impl Into<String>, seconds: f64) {
+        let label = label.into();
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "breakdown part '{label}' must be a finite non-negative time, got {seconds}"
+        );
+        if let Some(p) = self.parts.iter_mut().find(|(l, _)| *l == label) {
+            p.1 += seconds;
+        } else {
+            self.parts.push((label, seconds));
+        }
+    }
+
+    /// Builder-style [`Breakdown::add`].
+    pub fn with(mut self, label: impl Into<String>, seconds: f64) -> Self {
+        self.add(label, seconds);
+        self
+    }
+
+    /// Seconds recorded under `label` (0 when absent).
+    pub fn get(&self, label: &str) -> f64 {
+        self.parts
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+            .unwrap_or(0.0)
+    }
+
+    /// Sum of all parts.
+    pub fn total(&self) -> f64 {
+        self.parts.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Iterate parts in insertion order.
+    pub fn parts(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.parts.iter().map(|(l, s)| (l.as_str(), *s))
+    }
+
+    /// Scale every part by `factor` (e.g. per-step → per-run).
+    pub fn scaled(&self, factor: f64) -> Breakdown {
+        Breakdown {
+            parts: self
+                .parts
+                .iter()
+                .map(|(l, s)| (l.clone(), s * factor))
+                .collect(),
+        }
+    }
+
+    /// Merge another breakdown into this one, label-wise.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for (l, s) in other.parts() {
+            self.add(l, s);
+        }
+    }
+}
+
+impl std::fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (l, s) in self.parts() {
+            if !first {
+                write!(f, "  ")?;
+            }
+            write!(f, "{l}={s:.4}s")?;
+            first = false;
+        }
+        write!(f, "  total={:.4}s", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_merges_labels() {
+        let mut b = Breakdown::new();
+        b.add("sim", 1.0);
+        b.add("analysis", 0.5);
+        b.add("sim", 0.25);
+        assert_eq!(b.get("sim"), 1.25);
+        assert_eq!(b.total(), 1.75);
+        assert_eq!(b.parts().count(), 2);
+    }
+
+    #[test]
+    fn missing_label_is_zero() {
+        assert_eq!(Breakdown::new().get("nope"), 0.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let b = Breakdown::new().with("a", 2.0).with("b", 3.0);
+        let s = b.scaled(10.0);
+        assert_eq!(s.get("a"), 20.0);
+        assert_eq!(s.total(), 50.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Breakdown::new().with("x", 1.0);
+        let b = Breakdown::new().with("x", 2.0).with("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3.0);
+        assert_eq!(a.get("y"), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_time_rejected() {
+        Breakdown::new().add("bad", -1.0);
+    }
+
+    #[test]
+    fn display_lists_parts() {
+        let b = Breakdown::new().with("sim", 1.5);
+        let s = format!("{b}");
+        assert!(s.contains("sim=1.5000s"));
+        assert!(s.contains("total=1.5000s"));
+    }
+}

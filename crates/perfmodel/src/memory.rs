@@ -1,0 +1,162 @@
+//! Memory-footprint models for the paper's memory studies.
+//!
+//! Fig. 4 compares total (summed over ranks) high-water marks of the
+//! Original vs. SENSEI-instrumented autocorrelation runs; Fig. 7 breaks
+//! startup executable footprint out from the run high-water mark per
+//! configuration. §4.2 adds executable-size observations (Catalyst
+//! Editions: 153 MB static / 87 MB dynamic with PHASTA; Nyx 68 → 109 MB).
+
+use crate::workloads::slice_participants;
+use crate::MB;
+
+/// Executable / resident-image sizes in bytes for each configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Executable {
+    /// Miniapp without SENSEI.
+    Original,
+    /// Miniapp with the SENSEI interface linked (no analysis libraries).
+    Baseline,
+    /// Baseline + the direct histogram/autocorrelation analyses.
+    DirectAnalysis,
+    /// Baseline + Catalyst Edition (statically linked, incl. OSMesa).
+    CatalystStatic,
+    /// Baseline + Catalyst Edition, dynamically linked.
+    CatalystDynamic,
+    /// Baseline + Libsim runtime.
+    Libsim,
+    /// Baseline + ADIOS/FlexPath transport.
+    Adios,
+}
+
+impl Executable {
+    /// Per-rank resident image size in bytes.
+    pub fn bytes(self) -> f64 {
+        match self {
+            // The Original configuration links the same analysis code via
+            // direct subroutine calls (§4.1.1), so its image differs from
+            // DirectAnalysis only by the thin SENSEI layer.
+            Executable::Original => 6.5 * MB,
+            Executable::Baseline => 6.0 * MB,
+            Executable::DirectAnalysis => 7.0 * MB,
+            // §4.2.1: 153 MB static, 87 MB dynamic (Catalyst Edition).
+            Executable::CatalystStatic => 153.0 * MB,
+            Executable::CatalystDynamic => 87.0 * MB,
+            Executable::Libsim => 120.0 * MB,
+            Executable::Adios => 14.0 * MB,
+        }
+    }
+}
+
+/// Per-rank heap bytes of the miniapp's own state (subgrid + oscillator
+/// table).
+pub fn miniapp_heap(cells_per_rank: usize, num_oscillators: usize) -> f64 {
+    (cells_per_rank * 8 + num_oscillators * 64) as f64
+}
+
+/// Per-rank heap of the autocorrelation analysis: two circular buffers of
+/// `window` timesteps each (§3.3: "two circular buffers, each of size
+/// O(tN³)").
+pub fn autocorrelation_heap(cells_per_rank: usize, window: usize) -> f64 {
+    2.0 * (cells_per_rank * window * 8) as f64
+}
+
+/// Per-rank heap of the histogram analysis (just the bins).
+pub fn histogram_heap(bins: usize) -> f64 {
+    (bins * 8 + 64) as f64
+}
+
+/// Heap of a slice-render pipeline, averaged across ranks: participating
+/// ranks hold framebuffer + depth + extracted geometry; others nothing.
+pub fn slice_render_heap_avg(p: usize, width: usize, height: usize) -> f64 {
+    let per_participant = (width * height * (4 + 4)) as f64 * 2.0; // color+depth, double-buffered
+    let participants = slice_participants(p) as f64;
+    per_participant * participants / p as f64
+}
+
+/// Per-rank staging buffer of the (non-zero-copy) FlexPath transport.
+pub fn flexpath_heap(bytes_per_rank: f64) -> f64 {
+    2.0 * bytes_per_rank // pinned send buffer + marshaling copy
+}
+
+/// Total memory high-water mark summed over `p` ranks, the quantity the
+/// miniapp study charts.
+pub fn total_high_water(p: usize, exe: Executable, per_rank_heap: f64) -> f64 {
+    p as f64 * (exe.bytes() + per_rank_heap)
+}
+
+/// Nyx executable sizes (§4.2.3): baseline 68 MB, with SENSEI 109 MB.
+pub fn nyx_executable(with_sensei: bool) -> f64 {
+    if with_sensei {
+        109.0 * MB
+    } else {
+        68.0 * MB
+    }
+}
+
+/// Nyx per-rank analysis memory overhead: the ghost-flag byte array
+/// (~2 MB/rank, §4.2.3) plus, for the slice, 200–300 MB of pipeline
+/// buffers spread over participating ranks.
+pub fn nyx_analysis_heap(slice: bool) -> f64 {
+    let ghosts = 2.0 * MB;
+    if slice {
+        ghosts + 250.0 * MB
+    } else {
+        ghosts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::miniapp_scales;
+
+    #[test]
+    fn executable_sizes_match_paper_notes() {
+        assert_eq!(Executable::CatalystStatic.bytes(), 153.0 * MB);
+        assert_eq!(Executable::CatalystDynamic.bytes(), 87.0 * MB);
+        assert!((nyx_executable(true) - 109.0 * MB).abs() < 1.0);
+        assert!((nyx_executable(false) - 68.0 * MB).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig4_original_vs_sensei_autocorrelation_equal() {
+        // Zero-copy interface ⇒ the two configurations' footprints are
+        // the same analysis buffers + grid; only the executable differs
+        // by the thin SENSEI layer.
+        for (p, cells) in miniapp_scales() {
+            let heap = miniapp_heap(cells, 3) + autocorrelation_heap(cells, 10);
+            let original = total_high_water(p, Executable::Original, heap);
+            let sensei = total_high_water(p, Executable::DirectAnalysis, heap);
+            let rel = (sensei - original) / original;
+            assert!(rel > 0.0 && rel < 0.02, "relative overhead {rel}");
+        }
+    }
+
+    #[test]
+    fn autocorrelation_dominates_miniapp_heap() {
+        // Window-10 history is 20× the field itself.
+        let cells = 64 * 64 * 64;
+        assert!(autocorrelation_heap(cells, 10) > 10.0 * miniapp_heap(cells, 3));
+    }
+
+    #[test]
+    fn histogram_heap_is_tiny() {
+        assert!(histogram_heap(256) < 1e4);
+    }
+
+    #[test]
+    fn memory_grows_linearly_with_ranks() {
+        let heap = miniapp_heap(64 * 64 * 64, 3);
+        let a = total_high_water(812, Executable::Baseline, heap);
+        let b = total_high_water(6496, Executable::Baseline, heap);
+        assert!((b / a - 8.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn slice_render_heap_concentrated_on_participants() {
+        let avg = slice_render_heap_avg(45440, 1920, 1080);
+        // Much smaller than a full per-rank framebuffer.
+        assert!(avg < (1920 * 1080 * 8) as f64);
+        assert!(avg > 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Z-buffered triangle rasterization with per-vertex color
+//! interpolation (Gouraud) — the software renderer under the slice and
+//! isosurface pipelines.
+
+use crate::color::Color;
+use crate::framebuffer::Framebuffer;
+
+/// A screen-space vertex: continuous pixel coordinates, depth, color.
+#[derive(Clone, Copy, Debug)]
+pub struct Vertex {
+    /// Pixel x.
+    pub x: f64,
+    /// Pixel y.
+    pub y: f64,
+    /// Depth (smaller = closer).
+    pub z: f32,
+    /// Vertex color.
+    pub color: Color,
+}
+
+/// Rasterize a filled triangle with barycentric interpolation of depth
+/// and color.
+pub fn fill_triangle(fb: &mut Framebuffer, v0: Vertex, v1: Vertex, v2: Vertex) {
+    let min_x = v0.x.min(v1.x).min(v2.x).floor().max(0.0) as i64;
+    let max_x = v0.x.max(v1.x).max(v2.x).ceil().min(fb.width() as f64) as i64;
+    let min_y = v0.y.min(v1.y).min(v2.y).floor().max(0.0) as i64;
+    let max_y = v0.y.max(v1.y).max(v2.y).ceil().min(fb.height() as f64) as i64;
+    if min_x >= max_x || min_y >= max_y {
+        return;
+    }
+
+    let area = edge(v0, v1, v2.x, v2.y);
+    if area.abs() < 1e-12 {
+        return; // degenerate
+    }
+    let inv_area = 1.0 / area;
+
+    for py in min_y..max_y {
+        for px in min_x..max_x {
+            // Sample at the pixel center.
+            let sx = px as f64 + 0.5;
+            let sy = py as f64 + 0.5;
+            let w0 = edge(v1, v2, sx, sy) * inv_area;
+            let w1 = edge(v2, v0, sx, sy) * inv_area;
+            let w2 = edge(v0, v1, sx, sy) * inv_area;
+            if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                continue;
+            }
+            let z = (w0 * v0.z as f64 + w1 * v1.z as f64 + w2 * v2.z as f64) as f32;
+            let blend = |a: u8, b: u8, c: u8| {
+                (w0 * a as f64 + w1 * b as f64 + w2 * c as f64).round() as u8
+            };
+            let color = Color {
+                r: blend(v0.color.r, v1.color.r, v2.color.r),
+                g: blend(v0.color.g, v1.color.g, v2.color.g),
+                b: blend(v0.color.b, v1.color.b, v2.color.b),
+                a: blend(v0.color.a, v1.color.a, v2.color.a),
+            };
+            fb.set_pixel(px as usize, py as usize, z, color);
+        }
+    }
+}
+
+/// Signed edge function (positive when `(x, y)` is left of `a→b`).
+fn edge(a: Vertex, b: Vertex, x: f64, y: f64) -> f64 {
+    (b.x - a.x) * (y - a.y) - (b.y - a.y) * (x - a.x)
+}
+
+/// Rasterize a filled axis-aligned rectangle of constant depth/color
+/// (fast path for structured slice cells).
+pub fn fill_rect(fb: &mut Framebuffer, x0: f64, y0: f64, x1: f64, y1: f64, z: f32, color: Color) {
+    let (x0, x1) = (x0.min(x1), x0.max(x1));
+    let (y0, y1) = (y0.min(y1), y0.max(y1));
+    let px0 = x0.floor().max(0.0) as usize;
+    let px1 = (x1.ceil().min(fb.width() as f64) as usize).max(px0);
+    let py0 = y0.floor().max(0.0) as usize;
+    let py1 = (y1.ceil().min(fb.height() as f64) as usize).max(py0);
+    for py in py0..py1 {
+        for px in px0..px1 {
+            // Inclusion test at pixel center keeps adjacent rects seamless.
+            let cx = px as f64 + 0.5;
+            let cy = py as f64 + 0.5;
+            if cx >= x0 && cx < x1 && cy >= y0 && cy < y1 {
+                fb.set_pixel(px, py, z, color);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f64, y: f64, z: f32, c: Color) -> Vertex {
+        Vertex { x, y, z, color: c }
+    }
+
+    #[test]
+    fn triangle_covers_interior() {
+        let mut fb = Framebuffer::new(16, 16);
+        fill_triangle(
+            &mut fb,
+            v(0.0, 0.0, 0.5, Color::WHITE),
+            v(15.0, 0.0, 0.5, Color::WHITE),
+            v(0.0, 15.0, 0.5, Color::WHITE),
+        );
+        // Roughly half the square, definitely the inner corner.
+        assert!(fb.covered_pixels() > 60, "covered {}", fb.covered_pixels());
+        assert_eq!(fb.pixel(2, 2), Color::WHITE);
+        assert_eq!(fb.pixel(15, 15), Color::TRANSPARENT);
+    }
+
+    #[test]
+    fn winding_order_does_not_matter() {
+        let a = v(1.0, 1.0, 0.1, Color::WHITE);
+        let b = v(12.0, 2.0, 0.1, Color::WHITE);
+        let c = v(4.0, 13.0, 0.1, Color::WHITE);
+        let mut f1 = Framebuffer::new(16, 16);
+        fill_triangle(&mut f1, a, b, c);
+        let mut f2 = Framebuffer::new(16, 16);
+        fill_triangle(&mut f2, c, b, a);
+        assert_eq!(f1.covered_pixels(), f2.covered_pixels());
+    }
+
+    #[test]
+    fn depth_interpolates_between_vertices() {
+        let mut fb = Framebuffer::new(10, 3);
+        fill_triangle(
+            &mut fb,
+            v(0.0, 0.0, 0.0, Color::WHITE),
+            v(10.0, 0.0, 1.0, Color::WHITE),
+            v(0.0, 3.0, 0.0, Color::WHITE),
+        );
+        let d_left = fb.depth[0];
+        let d_right = fb.depth[8];
+        assert!(d_left < d_right, "{d_left} < {d_right}");
+    }
+
+    #[test]
+    fn gouraud_color_gradient() {
+        let mut fb = Framebuffer::new(11, 4);
+        fill_triangle(
+            &mut fb,
+            v(0.0, 0.0, 0.5, Color::rgb(0, 0, 0)),
+            v(11.0, 0.0, 0.5, Color::rgb(250, 0, 0)),
+            v(0.0, 4.0, 0.5, Color::rgb(0, 0, 0)),
+        );
+        assert!(fb.pixel(1, 0).r < fb.pixel(9, 0).r);
+    }
+
+    #[test]
+    fn degenerate_triangle_is_noop() {
+        let mut fb = Framebuffer::new(8, 8);
+        let p = v(3.0, 3.0, 0.5, Color::WHITE);
+        fill_triangle(&mut fb, p, p, p);
+        assert_eq!(fb.covered_pixels(), 0);
+    }
+
+    #[test]
+    fn rect_fills_exact_cells_without_seams() {
+        let mut fb = Framebuffer::new(8, 8);
+        fill_rect(&mut fb, 0.0, 0.0, 4.0, 8.0, 0.5, Color::rgb(1, 1, 1));
+        fill_rect(&mut fb, 4.0, 0.0, 8.0, 8.0, 0.5, Color::rgb(2, 2, 2));
+        assert_eq!(fb.covered_pixels(), 64, "no gaps, no overdraw misses");
+        assert_eq!(fb.pixel(3, 0), Color::rgb(1, 1, 1));
+        assert_eq!(fb.pixel(4, 0), Color::rgb(2, 2, 2));
+    }
+
+    #[test]
+    fn rect_clips_to_framebuffer() {
+        let mut fb = Framebuffer::new(4, 4);
+        fill_rect(&mut fb, -5.0, -5.0, 100.0, 100.0, 0.5, Color::WHITE);
+        assert_eq!(fb.covered_pixels(), 16);
+    }
+}

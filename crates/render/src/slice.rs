@@ -1,0 +1,250 @@
+//! Axis-aligned slice extraction from block-decomposed structured grids.
+//!
+//! Mirrors the paper's slice workloads: "only those ranks whose domains
+//! intersect the slice plane will extract and render the slice geometry"
+//! (§4.1.3) — extraction returns `None` on non-intersecting ranks, and
+//! rendering pseudocolors the local piece into a full-size framebuffer
+//! that the parallel compositor then merges.
+
+use datamodel::Extent;
+
+use crate::color::Colormap;
+use crate::framebuffer::Framebuffer;
+use crate::raster::fill_rect;
+
+/// One rank's piece of a global slice plane, in index space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocalSlice {
+    /// The sliced axis (0 = x, 1 = y, 2 = z).
+    pub axis: usize,
+    /// Global point index along the sliced axis.
+    pub global_index: i64,
+    /// Local inclusive index range along the plane's u axis.
+    pub u_range: [i64; 2],
+    /// Local inclusive index range along the plane's v axis.
+    pub v_range: [i64; 2],
+    /// Global inclusive u range of the whole plane.
+    pub global_u: [i64; 2],
+    /// Global inclusive v range of the whole plane.
+    pub global_v: [i64; 2],
+    /// Point values, u fastest, row-major in (v, u).
+    pub values: Vec<f64>,
+}
+
+/// The two in-plane axes for a slice along `axis`.
+pub fn plane_axes(axis: usize) -> (usize, usize) {
+    match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        2 => (0, 1),
+        _ => panic!("axis must be 0, 1, or 2"),
+    }
+}
+
+/// Extract this rank's piece of the plane `axis = global_index` from
+/// point data stored over `local` (row-major, k slowest). Returns `None`
+/// when the rank's block does not intersect the plane.
+pub fn extract_plane(
+    local: &Extent,
+    global: &Extent,
+    values: &[f64],
+    axis: usize,
+    global_index: i64,
+) -> Option<LocalSlice> {
+    assert_eq!(
+        values.len(),
+        local.num_points(),
+        "point data sized to the local extent"
+    );
+    assert!(
+        global_index >= global.lo[axis] && global_index <= global.hi[axis],
+        "slice index {global_index} outside the global extent on axis {axis}"
+    );
+    if global_index < local.lo[axis] || global_index > local.hi[axis] {
+        return None;
+    }
+    let (ua, va) = plane_axes(axis);
+    let mut out = Vec::with_capacity(
+        ((local.hi[ua] - local.lo[ua] + 1) * (local.hi[va] - local.lo[va] + 1)) as usize,
+    );
+    for v in local.lo[va]..=local.hi[va] {
+        for u in local.lo[ua]..=local.hi[ua] {
+            let mut p = [0i64; 3];
+            p[axis] = global_index;
+            p[ua] = u;
+            p[va] = v;
+            out.push(values[local.linear_index(p)]);
+        }
+    }
+    Some(LocalSlice {
+        axis,
+        global_index,
+        u_range: [local.lo[ua], local.hi[ua]],
+        v_range: [local.lo[va], local.hi[va]],
+        global_u: [global.lo[ua], global.hi[ua]],
+        global_v: [global.lo[va], global.hi[va]],
+        values: out,
+    })
+}
+
+impl LocalSlice {
+    /// Local points along u.
+    pub fn nu(&self) -> usize {
+        (self.u_range[1] - self.u_range[0] + 1) as usize
+    }
+
+    /// Local points along v.
+    pub fn nv(&self) -> usize {
+        (self.v_range[1] - self.v_range[0] + 1) as usize
+    }
+
+    /// Value at local plane coordinates.
+    pub fn value(&self, u: usize, v: usize) -> f64 {
+        self.values[v * self.nu() + u]
+    }
+
+    /// Local min/max (NaN-free slices assumed).
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+}
+
+/// Pseudocolor this rank's slice piece into `fb`, mapping the **global**
+/// plane onto the full image so pieces from different ranks tile
+/// seamlessly before compositing. `range` is the global data range.
+pub fn render_plane(
+    fb: &mut Framebuffer,
+    slice: &LocalSlice,
+    cmap: &Colormap,
+    range: (f64, f64),
+) {
+    let gu0 = slice.global_u[0] as f64;
+    let gv0 = slice.global_v[0] as f64;
+    // The plane spans one fewer cell than points per axis.
+    let gu_cells = (slice.global_u[1] - slice.global_u[0]) as f64;
+    let gv_cells = (slice.global_v[1] - slice.global_v[0]) as f64;
+    if gu_cells <= 0.0 || gv_cells <= 0.0 {
+        return;
+    }
+    let sx = fb.width() as f64 / gu_cells;
+    let sy = fb.height() as f64 / gv_cells;
+
+    // Paint one rect per local cell, colored by the cell's mean value.
+    for v in 0..slice.nv().saturating_sub(1) {
+        for u in 0..slice.nu().saturating_sub(1) {
+            let mean = 0.25
+                * (slice.value(u, v)
+                    + slice.value(u + 1, v)
+                    + slice.value(u, v + 1)
+                    + slice.value(u + 1, v + 1));
+            let color = cmap.map_range(mean, range.0, range.1);
+            let x0 = (slice.u_range[0] as f64 + u as f64 - gu0) * sx;
+            let x1 = (slice.u_range[0] as f64 + u as f64 + 1.0 - gu0) * sx;
+            // Flip v so increasing v is up in the image.
+            let y1 = fb.height() as f64 - (slice.v_range[0] as f64 + v as f64 - gv0) * sy;
+            let y0 = fb.height() as f64 - (slice.v_range[0] as f64 + v as f64 + 1.0 - gv0) * sy;
+            fill_rect(fb, x0, y0, x1, y1, 0.5, color);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::partition_extent;
+
+    /// Point data where value = global x index (easy to verify).
+    fn ramp(local: &Extent) -> Vec<f64> {
+        local.iter_points().map(|p| p[0] as f64).collect()
+    }
+
+    #[test]
+    fn extraction_only_on_intersecting_ranks() {
+        let global = Extent::whole([9, 9, 9]);
+        let left = partition_extent(&global, [2, 1, 1], 0); // x in 0..=4
+        let right = partition_extent(&global, [2, 1, 1], 1); // x in 4..=8
+        let vals_l = ramp(&left);
+        let vals_r = ramp(&right);
+        // Slice at x=2: only the left block intersects.
+        assert!(extract_plane(&left, &global, &vals_l, 0, 2).is_some());
+        assert!(extract_plane(&right, &global, &vals_r, 0, 2).is_none());
+        // x=4 is the shared plane: both intersect.
+        assert!(extract_plane(&left, &global, &vals_l, 0, 4).is_some());
+        assert!(extract_plane(&right, &global, &vals_r, 0, 4).is_some());
+    }
+
+    #[test]
+    fn extracted_values_match_field() {
+        let global = Extent::whole([5, 4, 3]);
+        let vals: Vec<f64> = global.iter_points().map(|p| (p[0] + 10 * p[1] + 100 * p[2]) as f64).collect();
+        let s = extract_plane(&global, &global, &vals, 2, 1).unwrap();
+        assert_eq!(s.nu(), 5);
+        assert_eq!(s.nv(), 4);
+        // value(u, v) should be u + 10 v + 100·1.
+        for v in 0..4 {
+            for u in 0..5 {
+                assert_eq!(s.value(u, v), (u + 10 * v + 100) as f64);
+            }
+        }
+        let (lo, hi) = s.range();
+        assert_eq!(lo, 100.0);
+        assert_eq!(hi, 134.0);
+    }
+
+    #[test]
+    fn two_blocks_tile_the_image_seamlessly() {
+        let global = Extent::whole([9, 9, 2]);
+        let cmap = Colormap::grayscale();
+        let mut fb = Framebuffer::new(32, 32);
+        for rank in 0..2 {
+            let local = partition_extent(&global, [2, 1, 1], rank);
+            let vals = ramp(&local);
+            let s = extract_plane(&local, &global, &vals, 2, 0).unwrap();
+            render_plane(&mut fb, &s, &cmap, (0.0, 8.0));
+        }
+        // Every pixel painted exactly once by the union of the blocks.
+        assert_eq!(fb.covered_pixels(), 32 * 32);
+        // Grayscale ramp increases along x.
+        assert!(fb.pixel(2, 16).r < fb.pixel(29, 16).r);
+    }
+
+    #[test]
+    fn separate_rank_images_composite_to_full_cover() {
+        let global = Extent::whole([9, 9, 2]);
+        let cmap = Colormap::grayscale();
+        let mut images: Vec<Framebuffer> = Vec::new();
+        for rank in 0..2 {
+            let local = partition_extent(&global, [2, 1, 1], rank);
+            let vals = ramp(&local);
+            let s = extract_plane(&local, &global, &vals, 2, 0).unwrap();
+            let mut fb = Framebuffer::new(16, 16);
+            render_plane(&mut fb, &s, &cmap, (0.0, 8.0));
+            assert!(fb.covered_pixels() < 16 * 16, "each rank covers a part");
+            images.push(fb);
+        }
+        let mut merged = images[0].clone();
+        merged.composite_from(&images[1]);
+        assert_eq!(merged.covered_pixels(), 16 * 16);
+    }
+
+    #[test]
+    fn plane_axes_are_the_complement() {
+        assert_eq!(plane_axes(0), (1, 2));
+        assert_eq!(plane_axes(1), (0, 2));
+        assert_eq!(plane_axes(2), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the global extent")]
+    fn out_of_domain_slice_panics() {
+        let g = Extent::whole([4, 4, 4]);
+        let vals = ramp(&g);
+        let _ = extract_plane(&g, &g, &vals, 0, 99);
+    }
+}

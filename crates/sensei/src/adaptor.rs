@@ -1,0 +1,218 @@
+//! The data adaptor: the simulation-side half of the SENSEI interface.
+
+use datamodel::DataSet;
+
+/// Whether an array lives on points or cells.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Association {
+    /// Node-centered data.
+    Point,
+    /// Cell-centered data.
+    Cell,
+}
+
+/// Simulation-side adaptor: maps the simulation's native structures into
+/// the shared data model **on demand**.
+///
+/// Implementations should be lazy and zero-copy: [`DataAdaptor::mesh`]
+/// returns structure only; arrays are attached when an analysis asks for
+/// them via [`DataAdaptor::add_array`]. When no analysis is enabled the
+/// bridge never calls either, so instrumentation overhead is near zero
+/// (the paper's §3.2 design point).
+pub trait DataAdaptor {
+    /// Simulated physical time of the current step.
+    fn time(&self) -> f64;
+
+    /// Current timestep index.
+    fn step(&self) -> u64;
+
+    /// The mesh **structure** (no attribute arrays).
+    fn mesh(&self) -> DataSet;
+
+    /// Names of arrays the simulation can provide for `assoc`.
+    fn array_names(&self, assoc: Association) -> Vec<String>;
+
+    /// Attach the named array to `mesh` (zero-copy when layouts allow).
+    /// Returns `false` when the array is unknown.
+    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool;
+
+    /// Convenience: mesh with every available point and cell array
+    /// attached. Infrastructures that snapshot everything (ADIOS, I/O)
+    /// use this; targeted analyses should pull only what they need.
+    fn full_mesh(&self) -> DataSet {
+        let mut mesh = self.mesh();
+        for assoc in [Association::Point, Association::Cell] {
+            for name in self.array_names(assoc) {
+                let ok = self.add_array(&mut mesh, assoc, &name);
+                debug_assert!(ok, "advertised array '{name}' was not provided");
+            }
+        }
+        mesh
+    }
+
+    /// Release references to simulation data after the bridge finishes a
+    /// step. Default: nothing (adaptors built per step need no release).
+    fn release_data(&self) {}
+}
+
+/// A ready-made adaptor wrapping an already-constructed [`DataSet`]:
+/// used by tests, examples, and the endpoint side of staging transports
+/// (which receive materialized data rather than live simulation state).
+pub struct InMemoryAdaptor {
+    data: DataSet,
+    time: f64,
+    step: u64,
+}
+
+impl InMemoryAdaptor {
+    /// Wrap `data` at the given time/step.
+    pub fn new(data: DataSet, time: f64, step: u64) -> Self {
+        InMemoryAdaptor { data, time, step }
+    }
+
+    /// Access the wrapped dataset.
+    pub fn data(&self) -> &DataSet {
+        &self.data
+    }
+}
+
+impl DataAdaptor for InMemoryAdaptor {
+    fn time(&self) -> f64 {
+        self.time
+    }
+
+    fn step(&self) -> u64 {
+        self.step
+    }
+
+    fn mesh(&self) -> DataSet {
+        // Structure only: strip attributes.
+        fn strip(ds: &DataSet) -> DataSet {
+            match ds {
+                DataSet::Image(g) => {
+                    let mut g = g.clone();
+                    g.point_data = datamodel::Attributes::new();
+                    g.cell_data = datamodel::Attributes::new();
+                    DataSet::Image(g)
+                }
+                DataSet::Rectilinear(g) => {
+                    let mut g = g.clone();
+                    g.point_data = datamodel::Attributes::new();
+                    g.cell_data = datamodel::Attributes::new();
+                    DataSet::Rectilinear(g)
+                }
+                DataSet::Unstructured(g) => {
+                    let mut g = g.clone();
+                    g.point_data = datamodel::Attributes::new();
+                    g.cell_data = datamodel::Attributes::new();
+                    DataSet::Unstructured(g)
+                }
+                DataSet::Multi(m) => {
+                    let mut out = datamodel::MultiBlock::with_slots(m.num_slots());
+                    for i in 0..m.num_slots() {
+                        if let Some(b) = m.block(i) {
+                            out.set(i, strip(b));
+                        }
+                    }
+                    DataSet::Multi(out)
+                }
+            }
+        }
+        strip(&self.data)
+    }
+
+    fn array_names(&self, assoc: Association) -> Vec<String> {
+        let attrs = match assoc {
+            Association::Point => self.data.point_data(),
+            Association::Cell => self.data.cell_data(),
+        };
+        attrs
+            .map(|a| a.names().into_iter().map(String::from).collect())
+            .unwrap_or_default()
+    }
+
+    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
+        let src = match assoc {
+            Association::Point => self.data.point_data(),
+            Association::Cell => self.data.cell_data(),
+        };
+        let Some(array) = src.and_then(|a| a.get(name)) else {
+            return false;
+        };
+        // Clone is cheap for shared (zero-copy) buffers: it bumps a
+        // refcount per buffer rather than copying elements.
+        let array = array.clone();
+        match (mesh, assoc) {
+            (DataSet::Image(g), Association::Point) => g.point_data.insert(array),
+            (DataSet::Image(g), Association::Cell) => g.cell_data.insert(array),
+            (DataSet::Rectilinear(g), Association::Point) => g.point_data.insert(array),
+            (DataSet::Rectilinear(g), Association::Cell) => g.cell_data.insert(array),
+            (DataSet::Unstructured(g), Association::Point) => g.point_data.insert(array),
+            (DataSet::Unstructured(g), Association::Cell) => g.cell_data.insert(array),
+            (DataSet::Multi(_), _) => return false,
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datamodel::{DataArray, Extent, ImageData};
+    use std::sync::Arc;
+
+    fn sample() -> InMemoryAdaptor {
+        let e = Extent::whole([3, 3, 3]);
+        let mut g = ImageData::new(e, e);
+        g.add_point_array(DataArray::shared(
+            "data",
+            1,
+            Arc::new((0..27).map(|i| i as f64).collect()),
+        ));
+        g.add_cell_array(DataArray::owned("rho", 1, vec![1.0f64; 8]));
+        InMemoryAdaptor::new(DataSet::Image(g), 1.5, 3)
+    }
+
+    #[test]
+    fn mesh_is_structure_only() {
+        let a = sample();
+        let mesh = a.mesh();
+        assert_eq!(mesh.point_data().unwrap().len(), 0);
+        assert_eq!(mesh.cell_data().unwrap().len(), 0);
+        assert_eq!(mesh.num_points(), 27);
+    }
+
+    #[test]
+    fn lazy_array_attachment() {
+        let a = sample();
+        let mut mesh = a.mesh();
+        assert!(a.add_array(&mut mesh, Association::Point, "data"));
+        assert_eq!(mesh.point_data().unwrap().len(), 1);
+        assert!(!a.add_array(&mut mesh, Association::Point, "nope"));
+    }
+
+    #[test]
+    fn attached_array_stays_zero_copy() {
+        let a = sample();
+        let mut mesh = a.mesh();
+        a.add_array(&mut mesh, Association::Point, "data");
+        assert!(mesh.point_data().unwrap().get("data").unwrap().is_zero_copy());
+    }
+
+    #[test]
+    fn full_mesh_has_everything() {
+        let a = sample();
+        let m = a.full_mesh();
+        assert_eq!(m.point_data().unwrap().len(), 1);
+        assert_eq!(m.cell_data().unwrap().len(), 1);
+        assert_eq!(a.time(), 1.5);
+        assert_eq!(a.step(), 3);
+    }
+
+    #[test]
+    fn array_names_by_association() {
+        let a = sample();
+        assert_eq!(a.array_names(Association::Point), vec!["data".to_string()]);
+        assert_eq!(a.array_names(Association::Cell), vec!["rho".to_string()]);
+    }
+}

@@ -1,0 +1,317 @@
+//! The time-dependent autocorrelation analysis of §3.3.
+//!
+//! For a signal `f(x)` and integer delay `t`, computes
+//! `Σₛ f(x, s) · f(x, s − t')` for every retained delay `t' ∈ 1..=t`,
+//! keeping per-cell circular buffers of the last `t` values and running
+//! correlations — two buffers of size `O(t·N³)`, exactly the memory
+//! profile the paper studies. At finalize, a global reduction finds the
+//! top-k correlations per delay; for periodic oscillators those peaks
+//! sit at the oscillator centers.
+
+use minimpi::Comm;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::adaptor::{Association, DataAdaptor};
+use crate::analysis::AnalysisAdaptor;
+use datamodel::DataSet;
+
+/// One candidate: correlation value and global cell id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Peak {
+    /// Accumulated correlation.
+    pub value: f64,
+    /// Global cell identifier.
+    pub cell: u64,
+}
+
+/// Final result on rank 0: `peaks[lag - 1]` holds the global top-k for
+/// that delay, strongest first.
+pub type AutocorrelationResult = Vec<Vec<Peak>>;
+
+/// Shared handle to the finalize result.
+pub type ResultsHandle = Arc<Mutex<Option<AutocorrelationResult>>>;
+
+/// Autocorrelation analysis adaptor.
+pub struct Autocorrelation {
+    array: String,
+    window: usize,
+    k: usize,
+    /// Circular value history, `cells × window`, lazily sized.
+    history: Vec<f64>,
+    /// Running correlations, `cells × window`.
+    corr: Vec<f64>,
+    cells: usize,
+    steps_seen: u64,
+    /// Global id per local cell, captured on first execute.
+    ids: Vec<u64>,
+    results: ResultsHandle,
+}
+
+impl Autocorrelation {
+    /// Track the named point array over a `window`-step delay range,
+    /// reporting the global top-`k` peaks per delay at finalize.
+    pub fn new(array: impl Into<String>, window: usize, k: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(k > 0, "k must be positive");
+        Autocorrelation {
+            array: array.into(),
+            window,
+            k,
+            history: Vec::new(),
+            corr: Vec::new(),
+            cells: 0,
+            steps_seen: 0,
+            ids: Vec::new(),
+            results: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// A handle through which rank 0 reads the finalize result.
+    pub fn results_handle(&self) -> ResultsHandle {
+        Arc::clone(&self.results)
+    }
+
+    /// Heap bytes held by the two circular buffers (the paper's memory
+    /// subject for Fig. 4).
+    pub fn buffer_bytes(&self) -> usize {
+        (self.history.capacity() + self.corr.capacity()) * 8
+    }
+
+    fn collect_values(&mut self, data: &dyn DataAdaptor) -> Vec<f64> {
+        let mut mesh = data.mesh();
+        if !data.add_array(&mut mesh, Association::Point, &self.array) {
+            return Vec::new();
+        }
+        let _ = data.add_array(&mut mesh, Association::Point, datamodel::GHOST_ARRAY_NAME);
+        let mut values = Vec::new();
+        let mut ids = Vec::new();
+        let want_ids = self.ids.is_empty();
+        for leaf in mesh.leaves() {
+            let Some(attrs) = leaf.point_data() else { continue };
+            let Some(arr) = attrs.get(&self.array) else { continue };
+            for t in 0..arr.num_tuples() {
+                if attrs.is_ghost(t) {
+                    continue;
+                }
+                values.push(arr.get(t, 0));
+                if want_ids {
+                    ids.push(global_point_id(leaf, t));
+                }
+            }
+        }
+        if want_ids {
+            self.ids = ids;
+        }
+        values
+    }
+}
+
+/// Global id of a leaf's local point `t`: the global structured linear
+/// index for image grids (so peaks name true grid cells), or a
+/// local-index fallback for other mesh types.
+fn global_point_id(leaf: &DataSet, t: usize) -> u64 {
+    match leaf {
+        DataSet::Image(g) => {
+            let p = g.extent.point_at(t);
+            g.global_extent.linear_index(p) as u64
+        }
+        DataSet::Rectilinear(g) => {
+            let p = g.extent.point_at(t);
+            g.global_extent.linear_index(p) as u64
+        }
+        _ => t as u64,
+    }
+}
+
+impl AnalysisAdaptor for Autocorrelation {
+    fn name(&self) -> &str {
+        "autocorrelation"
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+        let _ = comm;
+        let values = self.collect_values(data);
+        if values.is_empty() {
+            return true;
+        }
+        if self.cells == 0 {
+            self.cells = values.len();
+            self.history = vec![0.0; self.cells * self.window];
+            self.corr = vec![0.0; self.cells * self.window];
+        }
+        assert_eq!(
+            values.len(),
+            self.cells,
+            "autocorrelation: cell count changed mid-run"
+        );
+        let s = self.steps_seen;
+        let w = self.window as u64;
+        for (i, &v) in values.iter().enumerate() {
+            let base = i * self.window;
+            // Update running correlations against the retained history.
+            let max_lag = s.min(w);
+            for lag in 1..=max_lag {
+                let past = self.history[base + ((s - lag) % w) as usize];
+                self.corr[base + (lag - 1) as usize] += v * past;
+            }
+            // Store the newest value.
+            self.history[base + (s % w) as usize] = v;
+        }
+        self.steps_seen += 1;
+        true
+    }
+
+    fn finalize(&mut self, comm: &Comm) {
+        // Local top-k per lag, then gather and merge at root (§3.3's
+        // final global reduction).
+        let mut local: Vec<Vec<Peak>> = Vec::with_capacity(self.window);
+        for lag in 0..self.window {
+            let mut peaks: Vec<Peak> = (0..self.cells)
+                .map(|i| Peak {
+                    value: self.corr[i * self.window + lag],
+                    cell: self.ids.get(i).copied().unwrap_or(i as u64),
+                })
+                .collect();
+            peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+            peaks.truncate(self.k);
+            local.push(peaks);
+        }
+        let gathered = comm.gather(0, local);
+        if let Some(all) = gathered {
+            let mut global: Vec<Vec<Peak>> = vec![Vec::new(); self.window];
+            for rank_peaks in all {
+                for (lag, peaks) in rank_peaks.into_iter().enumerate() {
+                    if lag < self.window {
+                        global[lag].extend(peaks);
+                    }
+                }
+            }
+            for peaks in &mut global {
+                peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+                peaks.truncate(self.k);
+            }
+            *self.results.lock() = Some(global);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::InMemoryAdaptor;
+    use datamodel::{DataArray, DataSet, Extent, ImageData};
+    use minimpi::World;
+
+    fn adaptor(values: Vec<f64>, step: u64) -> InMemoryAdaptor {
+        let n = values.len();
+        let e = Extent::whole([n, 1, 1]);
+        let mut g = ImageData::new(e, e);
+        g.add_point_array(DataArray::owned("data", 1, values));
+        InMemoryAdaptor::new(DataSet::Image(g), step as f64, step)
+    }
+
+    #[test]
+    fn constant_signal_accumulates_linear_correlation() {
+        World::run(1, |comm| {
+            let mut ac = Autocorrelation::new("data", 2, 1);
+            let res = ac.results_handle();
+            for s in 0..5 {
+                ac.execute(&adaptor(vec![2.0, 0.0], s), comm);
+            }
+            ac.finalize(comm);
+            let r = res.lock().clone().unwrap();
+            // Lag 1: steps 1..4 contribute 2*2 = 4 each → 16.
+            assert_eq!(r[0][0].value, 16.0);
+            assert_eq!(r[0][0].cell, 0, "constant cell is the peak");
+            // Lag 2: steps 2..4 → 12.
+            assert_eq!(r[1][0].value, 12.0);
+        });
+    }
+
+    #[test]
+    fn periodic_signal_peaks_at_its_period() {
+        World::run(1, |comm| {
+            // Period-4 signal: correlation at lag 4 ≫ lag 2 (anti-phase).
+            let mut ac = Autocorrelation::new("data", 4, 1);
+            let res = ac.results_handle();
+            for s in 0..64u64 {
+                let v = (std::f64::consts::TAU * s as f64 / 4.0).cos();
+                ac.execute(&adaptor(vec![v], s), comm);
+            }
+            ac.finalize(comm);
+            let r = res.lock().clone().unwrap();
+            let lag2 = r[1][0].value;
+            let lag4 = r[3][0].value;
+            assert!(lag4 > 10.0, "lag-4 correlation strong: {lag4}");
+            assert!(lag2 < -10.0, "lag-2 anti-correlated: {lag2}");
+        });
+    }
+
+    #[test]
+    fn identifies_oscillating_cell_across_ranks() {
+        World::run(4, |comm| {
+            // Only rank 2's cell oscillates; others are silent.
+            let mut ac = Autocorrelation::new("data", 3, 2);
+            let res = ac.results_handle();
+            for s in 0..30u64 {
+                let v = if comm.rank() == 2 {
+                    (s as f64 * 0.7).sin() * 3.0
+                } else {
+                    0.0
+                };
+                // 4-cell global grid; each rank holds one cell.
+                let e = Extent::whole([5, 2, 2]);
+                let local = datamodel::partition_extent(&e, [4, 1, 1], comm.rank());
+                let mut g = ImageData::new(local, e);
+                let vals = vec![v; g.num_points()];
+                g.add_point_array(DataArray::owned("data", 1, vals));
+                let a = InMemoryAdaptor::new(DataSet::Image(g), s as f64, s);
+                ac.execute(&a, comm);
+            }
+            ac.finalize(comm);
+            if comm.rank() == 0 {
+                let r = res.lock().clone().unwrap();
+                // Top lag-1 peaks must be rank 2's cells. Rank 2 owns
+                // global x ∈ [2..=3] (shared planes) of the 5×2×2 grid.
+                let e = Extent::whole([5, 2, 2]);
+                let rank2 = datamodel::partition_extent(&e, [4, 1, 1], 2);
+                for p in &r[0] {
+                    let pt = e.point_at(p.cell as usize);
+                    assert!(rank2.contains(pt), "peak {pt:?} inside rank 2's block");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn buffers_are_two_window_sized_arrays() {
+        World::run(1, |comm| {
+            let mut ac = Autocorrelation::new("data", 10, 1);
+            ac.execute(&adaptor(vec![1.0; 100], 0), comm);
+            // Two buffers × 100 cells × 10 lags × 8 bytes.
+            assert_eq!(ac.buffer_bytes(), 2 * 100 * 10 * 8);
+        });
+    }
+
+    #[test]
+    fn short_runs_have_partial_lags() {
+        World::run(1, |comm| {
+            let mut ac = Autocorrelation::new("data", 5, 1);
+            let res = ac.results_handle();
+            ac.execute(&adaptor(vec![3.0], 0), comm);
+            ac.execute(&adaptor(vec![3.0], 1), comm);
+            ac.finalize(comm);
+            let r = res.lock().clone().unwrap();
+            assert_eq!(r[0][0].value, 9.0, "one lag-1 product");
+            assert_eq!(r[1][0].value, 0.0, "lag 2 never reachable");
+            assert_eq!(r.len(), 5);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = Autocorrelation::new("data", 0, 1);
+    }
+}

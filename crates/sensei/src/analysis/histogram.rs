@@ -1,0 +1,234 @@
+//! The histogram analysis of §3.3: two global reductions find the data
+//! range, each rank bins its local values, and the bins reduce to root.
+//! The only extra storage is proportional to the bin count.
+
+use minimpi::Comm;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::adaptor::{Association, DataAdaptor};
+use crate::analysis::{for_each_value, AnalysisAdaptor};
+
+/// The result available on rank 0 after each execute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramResult {
+    /// Global minimum of the field.
+    pub min: f64,
+    /// Global maximum of the field.
+    pub max: f64,
+    /// Per-bin global counts.
+    pub counts: Vec<u64>,
+    /// Timestep the histogram was computed at.
+    pub step: u64,
+}
+
+impl HistogramResult {
+    /// The inclusive value range of bin `b`.
+    pub fn bin_range(&self, b: usize) -> (f64, f64) {
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        (self.min + b as f64 * w, self.min + (b + 1) as f64 * w)
+    }
+}
+
+/// Shared handle to the most recent result (populated on rank 0).
+pub type ResultsHandle = Arc<Mutex<Option<HistogramResult>>>;
+
+/// Histogram analysis adaptor.
+pub struct HistogramAnalysis {
+    array: String,
+    assoc: Association,
+    bins: usize,
+    results: ResultsHandle,
+}
+
+impl HistogramAnalysis {
+    /// Histogram of the named **point** array with `bins` bins.
+    pub fn new(array: impl Into<String>, bins: usize) -> Self {
+        Self::with_association(array, Association::Point, bins)
+    }
+
+    /// Histogram with an explicit association.
+    pub fn with_association(array: impl Into<String>, assoc: Association, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        HistogramAnalysis {
+            array: array.into(),
+            assoc,
+            bins,
+            results: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// A handle through which rank 0 can read each step's result.
+    pub fn results_handle(&self) -> ResultsHandle {
+        Arc::clone(&self.results)
+    }
+}
+
+impl AnalysisAdaptor for HistogramAnalysis {
+    fn name(&self) -> &str {
+        "histogram"
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+        // Pass 1: local then global min/max (two reductions, as §3.3).
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut values = Vec::new();
+        for_each_value(data, self.assoc, &self.array, |v| {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            values.push(v);
+        });
+        let glo = comm.allreduce_scalar(lo, f64::min);
+        let ghi = comm.allreduce_scalar(hi, f64::max);
+
+        // Pass 2: local binning.
+        let mut counts = vec![0u64; self.bins];
+        if ghi > glo {
+            let inv_w = self.bins as f64 / (ghi - glo);
+            for v in &values {
+                let b = (((v - glo) * inv_w) as usize).min(self.bins - 1);
+                counts[b] += 1;
+            }
+        } else if glo.is_finite() {
+            // Degenerate range: everything in bin 0.
+            counts[0] = values.len() as u64;
+        }
+
+        // Reduce bins to root.
+        let global = comm.reduce(0, counts, |a, b| {
+            a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+        });
+        if let Some(counts) = global {
+            *self.results.lock() = Some(HistogramResult {
+                min: glo,
+                max: ghi,
+                counts,
+                step: data.step(),
+            });
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::InMemoryAdaptor;
+    use datamodel::{DataArray, DataSet, Extent, ImageData};
+    use minimpi::World;
+
+    fn adaptor_with(rank: usize, values: Vec<f64>) -> InMemoryAdaptor {
+        let n = values.len();
+        let e = Extent::whole([n, 1, 1]);
+        let mut g = ImageData::new(e, e);
+        g.add_point_array(DataArray::owned("data", 1, values));
+        InMemoryAdaptor::new(DataSet::Image(g), rank as f64, 7)
+    }
+
+    #[test]
+    fn uniform_values_fill_bins_evenly() {
+        World::run(4, |comm| {
+            // Global values 0..16 across 4 ranks, 4 bins → 4 per bin.
+            let vals: Vec<f64> = (0..4).map(|i| (comm.rank() * 4 + i) as f64).collect();
+            let mut h = HistogramAnalysis::new("data", 4);
+            let res = h.results_handle();
+            let a = adaptor_with(comm.rank(), vals);
+            assert!(h.execute(&a, comm));
+            if comm.rank() == 0 {
+                let r = res.lock().clone().unwrap();
+                assert_eq!(r.min, 0.0);
+                assert_eq!(r.max, 15.0);
+                assert_eq!(r.counts.iter().sum::<u64>(), 16);
+                assert_eq!(r.step, 7);
+                // Even spread: 4 per bin.
+                assert!(r.counts.iter().all(|&c| c == 4), "{:?}", r.counts);
+            } else {
+                assert!(res.lock().is_none(), "non-root holds no result");
+            }
+        });
+    }
+
+    #[test]
+    fn degenerate_constant_field() {
+        World::run(2, |comm| {
+            let mut h = HistogramAnalysis::new("data", 8);
+            let res = h.results_handle();
+            let a = adaptor_with(comm.rank(), vec![5.0; 10]);
+            h.execute(&a, comm);
+            if comm.rank() == 0 {
+                let r = res.lock().clone().unwrap();
+                assert_eq!(r.min, 5.0);
+                assert_eq!(r.max, 5.0);
+                assert_eq!(r.counts[0], 20);
+                assert_eq!(r.counts[1..].iter().sum::<u64>(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        World::run(1, |comm| {
+            let mut h = HistogramAnalysis::new("data", 4);
+            let res = h.results_handle();
+            let a = adaptor_with(0, vec![0.0, 1.0, 2.0, 4.0]);
+            h.execute(&a, comm);
+            let r = res.lock().clone().unwrap();
+            assert_eq!(*r.counts.last().unwrap(), 1);
+            assert_eq!(r.counts.iter().sum::<u64>(), 4);
+        });
+    }
+
+    #[test]
+    fn unknown_array_is_harmless() {
+        World::run(2, |comm| {
+            let mut h = HistogramAnalysis::new("missing", 4);
+            let a = adaptor_with(comm.rank(), vec![1.0]);
+            assert!(h.execute(&a, comm));
+            if comm.rank() == 0 {
+                let r = h.results_handle().lock().clone().unwrap();
+                assert_eq!(r.counts.iter().sum::<u64>(), 0);
+            }
+        });
+    }
+
+    #[test]
+    fn ghost_tuples_are_excluded() {
+        World::run(1, |comm| {
+            let e = Extent::whole([4, 1, 1]);
+            let mut g = ImageData::new(e, e);
+            g.add_point_array(DataArray::owned("data", 1, vec![1.0, 2.0, 3.0, 4.0]));
+            g.add_point_array(DataArray::owned(
+                datamodel::GHOST_ARRAY_NAME,
+                1,
+                vec![0u8, 1, 1, 0],
+            ));
+            let a = InMemoryAdaptor::new(DataSet::Image(g), 0.0, 0);
+            let mut h = HistogramAnalysis::new("data", 2);
+            let res = h.results_handle();
+            h.execute(&a, comm);
+            let r = res.lock().clone().unwrap();
+            assert_eq!(r.counts.iter().sum::<u64>(), 2, "ghosts blanked");
+            assert_eq!(r.min, 1.0);
+            assert_eq!(r.max, 4.0);
+        });
+    }
+
+    #[test]
+    fn bin_range_covers_span() {
+        let r = HistogramResult {
+            min: 0.0,
+            max: 10.0,
+            counts: vec![0; 5],
+            step: 0,
+        };
+        assert_eq!(r.bin_range(0), (0.0, 2.0));
+        assert_eq!(r.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = HistogramAnalysis::new("data", 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Analysis adaptors: the consumer-side half of the SENSEI interface.
+//!
+//! An analysis adaptor wraps anything that consumes simulation data — a
+//! few-line statistic or an entire infrastructure (the `catalyst`,
+//! `libsim`, `adios`, and `glean` crates each implement this trait).
+//! Because the paper treats infrastructures *as analyses under SENSEI*,
+//! coupling a simulation to all of them requires only adding adaptors to
+//! the bridge.
+
+pub mod autocorrelation;
+pub mod descriptive;
+pub mod histogram;
+
+use crate::adaptor::DataAdaptor;
+use minimpi::Comm;
+
+/// The analysis-side adaptor contract.
+pub trait AnalysisAdaptor: Send {
+    /// Short identifier used in timing reports ("histogram",
+    /// "catalyst-slice", …).
+    fn name(&self) -> &str;
+
+    /// Consume the current step's data. Returns `false` to request that
+    /// the simulation stop (computational steering hook); analyses that
+    /// never steer return `true`.
+    ///
+    /// Collective: every rank of `comm` calls `execute` each time the
+    /// bridge runs.
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool;
+
+    /// One-time teardown; global reductions that produce final results
+    /// (e.g. the autocorrelation top-k) happen here.
+    fn finalize(&mut self, _comm: &Comm) {}
+}
+
+/// Sum a field's values over the non-ghost tuples of every leaf of a
+/// dataset — a helper shared by the built-in analyses.
+pub fn for_each_value(
+    data: &dyn DataAdaptor,
+    assoc: crate::adaptor::Association,
+    array: &str,
+    mut f: impl FnMut(f64),
+) -> usize {
+    let mut mesh = data.mesh();
+    if !data.add_array(&mut mesh, assoc, array) {
+        return 0;
+    }
+    // Pull the ghost-marking array too (if the producer has one) so ghost
+    // tuples can be blanked.
+    let _ = data.add_array(&mut mesh, assoc, datamodel::GHOST_ARRAY_NAME);
+    let mut n = 0;
+    for leaf in mesh.leaves() {
+        let attrs = match assoc {
+            crate::adaptor::Association::Point => leaf.point_data(),
+            crate::adaptor::Association::Cell => leaf.cell_data(),
+        };
+        let Some(attrs) = attrs else { continue };
+        let Some(arr) = attrs.get(array) else { continue };
+        for t in 0..arr.num_tuples() {
+            if attrs.is_ghost(t) {
+                continue;
+            }
+            f(arr.get(t, 0));
+            n += 1;
+        }
+    }
+    n
+}

@@ -1,0 +1,211 @@
+//! Minimal configuration format for selecting analyses at run time,
+//! playing the role of SENSEI's XML configuration files (which choose
+//! between Catalyst, Libsim, ADIOS, … without recompiling).
+//!
+//! The format is INI-like:
+//!
+//! ```text
+//! [histogram]
+//! array = data
+//! bins = 64
+//!
+//! [autocorrelation]
+//! array = data
+//! window = 10
+//! k = 16
+//! ```
+//!
+//! Sections this crate knows (`histogram`, `autocorrelation`,
+//! `descriptive-stats`) construct built-in analyses via
+//! [`build_builtin_analyses`]; infrastructure crates parse the same
+//! [`Config`] and construct their own adaptors from sections such as
+//! `[catalyst-slice]`.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::autocorrelation::Autocorrelation;
+use crate::analysis::descriptive::DescriptiveStats;
+use crate::analysis::histogram::HistogramAnalysis;
+use crate::analysis::AnalysisAdaptor;
+
+/// A parsed configuration: ordered sections of key→value maps.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Config {
+    sections: Vec<(String, BTreeMap<String, String>)>,
+}
+
+/// Configuration parse errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A `key = value` line appeared before any `[section]`.
+    KeyOutsideSection { line: usize },
+    /// A line was neither a section, a comment, a blank, nor `key = value`.
+    Malformed { line: usize, text: String },
+    /// A numeric option failed to parse.
+    BadNumber { section: String, key: String, value: String },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::KeyOutsideSection { line } => {
+                write!(f, "line {line}: key/value outside any [section]")
+            }
+            ConfigError::Malformed { line, text } => {
+                write!(f, "line {line}: malformed line '{text}'")
+            }
+            ConfigError::BadNumber { section, key, value } => {
+                write!(f, "[{section}] {key} = '{value}' is not a number")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Parse the INI-like text.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line.starts_with(';') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                cfg.sections.push((name.trim().to_string(), BTreeMap::new()));
+            } else if let Some((k, v)) = line.split_once('=') {
+                let Some(last) = cfg.sections.last_mut() else {
+                    return Err(ConfigError::KeyOutsideSection { line: lineno + 1 });
+                };
+                last.1.insert(k.trim().to_string(), v.trim().to_string());
+            } else {
+                return Err(ConfigError::Malformed {
+                    line: lineno + 1,
+                    text: line.to_string(),
+                });
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Iterate sections in file order.
+    pub fn sections(&self) -> impl Iterator<Item = (&str, &BTreeMap<String, String>)> {
+        self.sections.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// First section with the given name.
+    pub fn section(&self, name: &str) -> Option<&BTreeMap<String, String>> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// String option with default.
+    pub fn get_str<'a>(map: &'a BTreeMap<String, String>, key: &str, default: &'a str) -> &'a str {
+        map.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Numeric option with default.
+    pub fn get_usize(
+        section: &str,
+        map: &BTreeMap<String, String>,
+        key: &str,
+        default: usize,
+    ) -> Result<usize, ConfigError> {
+        match map.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ConfigError::BadNumber {
+                section: section.to_string(),
+                key: key.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+}
+
+/// Construct the built-in analyses named by `cfg`. Unknown sections are
+/// returned so an infrastructure layer can claim them.
+pub fn build_builtin_analyses(
+    cfg: &Config,
+) -> Result<(Vec<Box<dyn AnalysisAdaptor>>, Vec<String>), ConfigError> {
+    let mut analyses: Vec<Box<dyn AnalysisAdaptor>> = Vec::new();
+    let mut unknown = Vec::new();
+    for (name, map) in cfg.sections() {
+        match name {
+            "histogram" => {
+                let array = Config::get_str(map, "array", "data").to_string();
+                let bins = Config::get_usize(name, map, "bins", 64)?;
+                analyses.push(Box::new(HistogramAnalysis::new(array, bins)));
+            }
+            "autocorrelation" => {
+                let array = Config::get_str(map, "array", "data").to_string();
+                let window = Config::get_usize(name, map, "window", 10)?;
+                let k = Config::get_usize(name, map, "k", 16)?;
+                analyses.push(Box::new(Autocorrelation::new(array, window, k)));
+            }
+            "descriptive-stats" => {
+                let array = Config::get_str(map, "array", "data").to_string();
+                analyses.push(Box::new(DescriptiveStats::new(array)));
+            }
+            other => unknown.push(other.to_string()),
+        }
+    }
+    Ok((analyses, unknown))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_sections_and_keys() {
+        let cfg = Config::parse(
+            "# comment\n[histogram]\narray = rho\nbins = 32\n\n[catalyst-slice]\nimage = 1920x1080\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.sections().count(), 2);
+        let h = cfg.section("histogram").unwrap();
+        assert_eq!(h.get("array").unwrap(), "rho");
+        assert_eq!(Config::get_usize("histogram", h, "bins", 64).unwrap(), 32);
+        assert_eq!(Config::get_usize("histogram", h, "missing", 64).unwrap(), 64);
+    }
+
+    #[test]
+    fn builtin_construction_and_unknown_passthrough() {
+        let cfg = Config::parse(
+            "[histogram]\nbins=8\n[autocorrelation]\nwindow=4\n[catalyst-slice]\n[descriptive-stats]\n",
+        )
+        .unwrap();
+        let (analyses, unknown) = build_builtin_analyses(&cfg).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(analyses.len(), 3);
+        assert_eq!(unknown, vec!["catalyst-slice".to_string()]);
+    }
+
+    #[test]
+    fn error_on_key_outside_section() {
+        let err = Config::parse("array = x\n").unwrap_err();
+        assert_eq!(err, ConfigError::KeyOutsideSection { line: 1 });
+    }
+
+    #[test]
+    fn error_on_malformed_line() {
+        let err = Config::parse("[s]\nnot a kv line\n").unwrap_err();
+        assert!(matches!(err, ConfigError::Malformed { line: 2, .. }));
+    }
+
+    #[test]
+    fn error_on_bad_number() {
+        let cfg = Config::parse("[histogram]\nbins = many\n").unwrap();
+        let err = match build_builtin_analyses(&cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("expected BadNumber error"),
+        };
+        assert!(matches!(err, ConfigError::BadNumber { .. }));
+        assert!(format!("{err}").contains("bins"));
+    }
+
+    #[test]
+    fn semicolon_comments_and_whitespace() {
+        let cfg = Config::parse("; c\n  [ s ]  \n  a  =  1 2 3  \n").unwrap();
+        assert_eq!(cfg.section("s").unwrap().get("a").unwrap(), "1 2 3");
+    }
+}

@@ -1,0 +1,202 @@
+//! Timing instrumentation: the measurement layer behind the paper's
+//! one-time vs. per-timestep cost decomposition (Figs. 5, 6, 8, 16).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Category of a recorded duration.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Category {
+    /// One-time startup cost under the given label.
+    Initialize(String),
+    /// Recurring per-timestep cost under the given label.
+    PerStep(String),
+    /// One-time teardown cost under the given label.
+    Finalize(String),
+}
+
+/// Aggregate statistics for one label.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Sum of samples, seconds.
+    pub total: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl TimingSummary {
+    /// Mean seconds per sample.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total / self.count as f64
+        }
+    }
+}
+
+/// A per-rank database of labeled durations.
+#[derive(Default, Debug)]
+pub struct TimingDb {
+    samples: BTreeMap<Category, Vec<f64>>,
+}
+
+impl TimingDb {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `seconds` under `cat`.
+    pub fn record(&mut self, cat: Category, seconds: f64) {
+        assert!(seconds >= 0.0 && seconds.is_finite(), "bad duration {seconds}");
+        self.samples.entry(cat).or_default().push(seconds);
+    }
+
+    /// Time the closure and record it under `cat`, returning its value.
+    pub fn timed<T>(&mut self, cat: Category, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(cat, t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Summary for one category, if recorded.
+    pub fn summary(&self, cat: &Category) -> Option<TimingSummary> {
+        let v = self.samples.get(cat)?;
+        if v.is_empty() {
+            return None;
+        }
+        Some(TimingSummary {
+            count: v.len(),
+            total: v.iter().sum(),
+            min: v.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: v.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        })
+    }
+
+    /// Per-step summary for a label.
+    pub fn per_step(&self, label: &str) -> Option<TimingSummary> {
+        self.summary(&Category::PerStep(label.to_string()))
+    }
+
+    /// Initialize summary for a label.
+    pub fn initialize(&self, label: &str) -> Option<TimingSummary> {
+        self.summary(&Category::Initialize(label.to_string()))
+    }
+
+    /// Finalize summary for a label.
+    pub fn finalize(&self, label: &str) -> Option<TimingSummary> {
+        self.summary(&Category::Finalize(label.to_string()))
+    }
+
+    /// All recorded categories in sorted order.
+    pub fn categories(&self) -> Vec<&Category> {
+        self.samples.keys().collect()
+    }
+
+    /// Raw samples for a category (chronological).
+    pub fn samples(&self, cat: &Category) -> &[f64] {
+        self.samples.get(cat).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total seconds across every category.
+    pub fn grand_total(&self) -> f64 {
+        self.samples.values().flatten().sum()
+    }
+}
+
+impl std::fmt::Display for TimingDb {
+    /// A per-rank report in the paper's decomposition: one-time costs
+    /// first, then per-step means, then finalize.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<32} {:>10} {:>12} {:>12}", "phase", "samples", "mean (s)", "total (s)")?;
+        for cat in self.categories() {
+            let label = match cat {
+                Category::Initialize(l) => format!("initialize/{l}"),
+                Category::PerStep(l) => format!("per-step/{l}"),
+                Category::Finalize(l) => format!("finalize/{l}"),
+            };
+            if let Some(s) = self.summary(cat) {
+                writeln!(
+                    f,
+                    "{label:<32} {:>10} {:>12.6} {:>12.6}",
+                    s.count,
+                    s.mean(),
+                    s.total
+                )?;
+            }
+        }
+        write!(f, "grand total: {:.6} s", self.grand_total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_summarize() {
+        let mut db = TimingDb::new();
+        let cat = Category::PerStep("analysis".into());
+        db.record(cat.clone(), 1.0);
+        db.record(cat.clone(), 3.0);
+        let s = db.summary(&cat).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean(), 2.0);
+    }
+
+    #[test]
+    fn timed_measures_something() {
+        let mut db = TimingDb::new();
+        let v = db.timed(Category::Initialize("x".into()), || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        let s = db.initialize("x").unwrap();
+        assert!(s.total >= 0.004, "measured {}", s.total);
+    }
+
+    #[test]
+    fn missing_category_is_none() {
+        let db = TimingDb::new();
+        assert!(db.per_step("none").is_none());
+        assert!(db.samples(&Category::PerStep("none".into())).is_empty());
+    }
+
+    #[test]
+    fn categories_sorted_and_distinct() {
+        let mut db = TimingDb::new();
+        db.record(Category::Finalize("a".into()), 0.1);
+        db.record(Category::Initialize("a".into()), 0.1);
+        db.record(Category::PerStep("a".into()), 0.1);
+        assert_eq!(db.categories().len(), 3);
+        assert_eq!(db.grand_total(), 0.30000000000000004);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad duration")]
+    fn negative_duration_rejected() {
+        TimingDb::new().record(Category::PerStep("x".into()), -1.0);
+    }
+
+    #[test]
+    fn display_report_lists_phases() {
+        let mut db = TimingDb::new();
+        db.record(Category::Initialize("catalyst-slice".into()), 0.5);
+        db.record(Category::PerStep("catalyst-slice".into()), 0.1);
+        db.record(Category::PerStep("catalyst-slice".into()), 0.3);
+        let report = format!("{db}");
+        assert!(report.contains("initialize/catalyst-slice"));
+        assert!(report.contains("per-step/catalyst-slice"));
+        assert!(report.contains("grand total: 0.9"));
+    }
+}

@@ -1,0 +1,65 @@
+//! AVF-LESLIE temporal mixing layer with SENSEI/Libsim (§4.2.2): the
+//! solver runs every step, SENSEI is invoked every step, and the Libsim
+//! session (3 isosurfaces + slices of vorticity magnitude) renders
+//! every 5th step — reporting the per-iteration SENSEI cost series of
+//! Fig. 16.
+//!
+//! ```text
+//! cargo run --release --example leslie_tml
+//! ```
+
+use minimpi::World;
+use science::{Leslie, LeslieAdaptor, LeslieConfig};
+use sensei::Bridge;
+
+const STEPS: usize = 20;
+
+fn main() {
+    std::fs::create_dir_all("results").expect("results dir");
+    World::run(4, |comm| {
+        let mut sim = Leslie::new(
+            comm,
+            LeslieConfig {
+                grid: [32, 33, 16],
+                epsilon: 0.12,
+                ..LeslieConfig::default()
+            },
+        );
+        let session = libsim::Session::parse(
+            "image 480 480\nfrequency 5\nplot isosurface vorticity levels=0.35,0.55,0.75\nplot pseudocolor vorticity axis=z index=4\n",
+        )
+        .expect("session");
+        let libsim_analysis = libsim::LibsimAnalysis::new(
+            session,
+            std::path::Path::new("/nonexistent/.visitrc"),
+        )
+        .with_output_dir(std::path::PathBuf::from("results"));
+        let mut bridge = Bridge::new();
+        bridge.add_analysis(Box::new(libsim_analysis));
+
+        if comm.rank() == 0 {
+            println!("TML: {} ranks, per-iteration SENSEI cost (cf. Fig. 16):", comm.size());
+        }
+        for step in 0..STEPS {
+            let t = std::time::Instant::now();
+            sim.step(comm);
+            let solver = t.elapsed().as_secs_f64();
+            let t = std::time::Instant::now();
+            bridge.execute(&LeslieAdaptor::new(&sim), comm);
+            let sensei_cost = t.elapsed().as_secs_f64();
+            let energy = sim.kinetic_energy(comm);
+            if comm.rank() == 0 {
+                // The adaptor reports the post-step index, so renders
+                // land where (step+1) % 5 == 0.
+                let marker = if (step + 1) % 5 == 0 { " <- libsim render" } else { "" };
+                println!(
+                    "  step {step:3}: avf_timestep {solver:.4}s  avf_insitu::analyze {sensei_cost:.4}s  KE {energy:.2}{marker}"
+                );
+            }
+        }
+        bridge.finalize(comm);
+        if comm.rank() == 0 {
+            println!("rendered frames under results/libsim_*.png");
+        }
+    });
+}

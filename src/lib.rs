@@ -1,0 +1,25 @@
+//! # sensei-repro — umbrella crate for the SC16 SENSEI reproduction
+//!
+//! Re-exports every workspace crate so examples and downstream users
+//! can depend on a single package. See the README for the map and
+//! DESIGN.md / EXPERIMENTS.md for the reproduction methodology.
+//!
+//! ```
+//! use sensei_repro::minimpi::World;
+//!
+//! let ranks = World::run(2, |comm| comm.rank());
+//! assert_eq!(ranks, vec![0, 1]);
+//! ```
+
+pub use adios;
+pub use catalyst;
+pub use datamodel;
+pub use glean;
+pub use iosim;
+pub use libsim;
+pub use minimpi;
+pub use oscillator;
+pub use perfmodel;
+pub use render;
+pub use science;
+pub use sensei;

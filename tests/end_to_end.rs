@@ -1,0 +1,332 @@
+//! Cross-crate integration tests: full instrumented runs spanning the
+//! miniapp, SENSEI, the infrastructures, the I/O paths, and the science
+//! proxies — the paper's workflows end to end at thread scale.
+
+use datamodel::{partition_extent, Extent};
+use minimpi::World;
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use sensei::analysis::autocorrelation::Autocorrelation;
+use sensei::analysis::descriptive::DescriptiveStats;
+use sensei::analysis::histogram::HistogramAnalysis;
+use sensei::{AnalysisAdaptor as _, Bridge};
+
+fn deck() -> String {
+    format_deck(&demo_oscillators())
+}
+
+/// The full §4.1 coupling: miniapp + every non-rendering analysis at
+/// once through one bridge, over several steps, with timing capture.
+#[test]
+fn miniapp_with_all_direct_analyses() {
+    let d = deck();
+    World::run(8, move |comm| {
+        let cfg = SimConfig {
+            grid: [17, 17, 17],
+            steps: 6,
+            ..SimConfig::default()
+        };
+        let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+        let mut sim = Simulation::new(comm, cfg, root);
+
+        let hist = HistogramAnalysis::new("data", 32);
+        let hist_res = hist.results_handle();
+        let ac = Autocorrelation::new("data", 5, 8);
+        let ac_res = ac.results_handle();
+        let stats = DescriptiveStats::new("data");
+        let stats_res = stats.results_handle();
+
+        let mut bridge = Bridge::new();
+        bridge.add_analysis(Box::new(hist));
+        bridge.add_analysis(Box::new(ac));
+        bridge.add_analysis(Box::new(stats));
+
+        for _ in 0..6 {
+            sim.step(comm);
+            assert!(bridge.execute(&OscillatorAdaptor::new(&sim), comm));
+        }
+        let timings = bridge.finalize(comm);
+        assert_eq!(timings.per_step("histogram").unwrap().count, 6);
+        assert_eq!(timings.per_step("autocorrelation").unwrap().count, 6);
+
+        // Statistics agree between analyses: histogram range equals
+        // descriptive-stats extrema.
+        let s = stats_res.lock().clone().unwrap();
+        if comm.rank() == 0 {
+            let h = hist_res.lock().clone().unwrap();
+            assert_eq!(h.min, s.min);
+            assert_eq!(h.max, s.max);
+            assert_eq!(h.counts.iter().sum::<u64>(), s.count);
+            let peaks = ac_res.lock().clone().unwrap();
+            assert_eq!(peaks.len(), 5, "one peak list per delay");
+            assert!(!peaks[0].is_empty());
+        }
+    });
+}
+
+/// Catalyst and Libsim render the same field; both produce valid PNGs
+/// on rank 0 through the common SENSEI path.
+#[test]
+fn both_infrastructures_render_same_run() {
+    let d = deck();
+    World::run(4, move |comm| {
+        let cfg = SimConfig {
+            grid: [17, 17, 17],
+            steps: 2,
+            ..SimConfig::default()
+        };
+        let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+        let mut sim = Simulation::new(comm, cfg, root);
+        sim.step(comm);
+
+        let mut pipe = catalyst::SlicePipeline::new("data", 2, 8);
+        pipe.width = 64;
+        pipe.height = 48;
+        let catalyst_analysis = catalyst::CatalystSliceAnalysis::new(pipe);
+        let catalyst_png = catalyst_analysis.png_handle();
+
+        let session =
+            libsim::Session::parse("image 64 64\nplot pseudocolor data axis=z index=8\n").unwrap();
+        let libsim_analysis =
+            libsim::LibsimAnalysis::new(session, std::path::Path::new("/nonexistent"));
+        let libsim_png = libsim_analysis.png_handle();
+
+        let mut bridge = Bridge::new();
+        bridge.add_analysis(Box::new(catalyst_analysis));
+        bridge.add_analysis(Box::new(libsim_analysis));
+        bridge.execute(&OscillatorAdaptor::new(&sim), comm);
+        bridge.finalize(comm);
+
+        if comm.rank() == 0 {
+            let c = catalyst_png.lock().clone().expect("catalyst png");
+            let l = libsim_png.lock().clone().expect("libsim png");
+            assert!(render::png::decode_rgb(&c).is_ok());
+            assert!(render::png::decode_rgb(&l).is_ok());
+        }
+    });
+}
+
+/// Write-once-use-everywhere: the same config text selects analyses
+/// that then run against the miniapp adaptor unchanged.
+#[test]
+fn config_driven_analysis_selection() {
+    let d = deck();
+    World::run(2, move |comm| {
+        let cfg_text = "[histogram]\narray = data\nbins = 16\n\n[descriptive-stats]\narray = data\n\n[catalyst-slice]\n";
+        let cfg = sensei::config::Config::parse(cfg_text).unwrap();
+        let (analyses, unknown) = match sensei::config::build_builtin_analyses(&cfg) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        };
+        assert_eq!(unknown, vec!["catalyst-slice".to_string()]);
+        let mut bridge = Bridge::new();
+        for a in analyses {
+            bridge.add_analysis(a);
+        }
+        assert_eq!(bridge.num_analyses(), 2);
+
+        let sim_cfg = SimConfig {
+            grid: [9, 9, 9],
+            steps: 1,
+            ..SimConfig::default()
+        };
+        let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+        let mut sim = Simulation::new(comm, sim_cfg, root);
+        sim.step(comm);
+        bridge.execute(&OscillatorAdaptor::new(&sim), comm);
+        bridge.finalize(comm);
+    });
+}
+
+/// The in situ / in transit / post hoc triple point: the histogram of
+/// the same field computed three ways is identical.
+#[test]
+fn three_paths_one_histogram() {
+    use adios::staging::{adaptor_to_step, run_endpoint};
+    use adios::{pair, Role};
+
+    let grid = 13usize;
+    let make_field = move |comm: &minimpi::Comm, ranks: usize| {
+        let global = Extent::whole([grid, grid, grid]);
+        let local = partition_extent(&global, [ranks, 1, 1], comm.rank());
+        let mut g = datamodel::ImageData::new(local, global);
+        g.add_point_array(datamodel::DataArray::owned(
+            "data",
+            1,
+            local.iter_points().map(|p| (p[0] * p[1] + p[2]) as f64).collect(),
+        ));
+        (local, global, g)
+    };
+
+    // Path 1: in situ on 2 ranks.
+    let insitu = World::run(2, move |comm| {
+        let (_, _, g) = make_field(comm, 2);
+        let adaptor = sensei::InMemoryAdaptor::new(datamodel::DataSet::Image(g), 0.0, 0);
+        let mut h = HistogramAnalysis::new("data", 8);
+        let res = h.results_handle();
+        h.execute(&adaptor, comm);
+        if comm.rank() == 0 {
+            let out = res.lock().clone();
+            out
+        } else {
+            None
+        }
+    })
+    .remove(0)
+    .expect("in situ histogram");
+
+    // Path 2: in transit (2 writers + 1 endpoint).
+    let intransit = World::run(3, move |world| match pair(world, 2) {
+        Role::Writer { sub, mut writer } => {
+            let (_, _, g) = make_field(&sub, 2);
+            let adaptor = sensei::InMemoryAdaptor::new(datamodel::DataSet::Image(g), 0.0, 0);
+            writer.advance(world);
+            writer.write(world, &adaptor_to_step(&adaptor));
+            writer.close(world);
+            None
+        }
+        Role::Endpoint { sub, mut reader } => {
+            let h = HistogramAnalysis::new("data", 8);
+            let res = h.results_handle();
+            run_endpoint(world, &sub, &mut reader, vec![Box::new(h)]);
+            let out = res.lock().clone();
+            out
+        }
+    })
+    .into_iter()
+    .flatten()
+    .next()
+    .expect("in transit histogram");
+
+    // Path 3: post hoc — write pieces, read back with one reader.
+    let dir = std::env::temp_dir().join(format!("threepaths_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_w = dir.clone();
+    World::run(2, move |comm| {
+        let (local, global, g) = make_field(comm, 2);
+        let arr = g.point_data.get("data").unwrap();
+        let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+        let piece = iosim::Piece {
+            extent: local,
+            global,
+            spacing: [1.0; 3],
+            arrays: vec![("data".to_string(), values)],
+        };
+        iosim::write_piece(&dir_w, 0, comm.rank(), &piece).unwrap();
+        comm.barrier();
+    });
+    let dir_r = dir.clone();
+    let posthoc = World::run(1, move |comm| {
+        let h = HistogramAnalysis::new("data", 8);
+        let res = h.results_handle();
+        iosim::posthoc_analysis(comm, &dir_r, 1, 2, vec![Box::new(h)], None);
+        let out = res.lock().clone();
+        out.expect("post hoc histogram")
+    })
+    .remove(0);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    assert_eq!(insitu.counts, intransit.counts, "in situ == in transit");
+    assert_eq!(insitu.counts, posthoc.counts, "in situ == post hoc");
+    assert_eq!(insitu.min, posthoc.min);
+    assert_eq!(insitu.max, intransit.max);
+}
+
+/// GLEAN as a fourth infrastructure: aggregate the miniapp's field and
+/// verify the blobs reconstruct every rank's block.
+#[test]
+fn glean_aggregation_end_to_end() {
+    let d = deck();
+    let dir = std::env::temp_dir().join(format!("glean_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir2 = dir.clone();
+    World::run(4, move |comm| {
+        let cfg = SimConfig {
+            grid: [9, 9, 9],
+            steps: 2,
+            ..SimConfig::default()
+        };
+        let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+        let mut sim = Simulation::new(comm, cfg, root);
+        let mut bridge = Bridge::new();
+        bridge.add_analysis(Box::new(glean::GleanWriter::new(
+            glean::Topology::new(2),
+            "data",
+            dir2.clone(),
+        )));
+        for _ in 0..2 {
+            sim.step(comm);
+            bridge.execute(&OscillatorAdaptor::new(&sim), comm);
+        }
+        bridge.finalize(comm);
+    });
+    let f0 = glean::read_blob_file(&glean::GleanWriter::blob_path(&dir, 0)).unwrap();
+    let f2 = glean::read_blob_file(&glean::GleanWriter::blob_path(&dir, 2)).unwrap();
+    assert_eq!(f0.len(), 2, "two steps aggregated");
+    let ranks: Vec<usize> = f0[0].1.iter().chain(f2[0].1.iter()).map(|b| b.rank).collect();
+    assert_eq!(ranks.len(), 4, "all four ranks' blocks present");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The science proxies all drive the same bridge API.
+#[test]
+fn science_proxies_through_one_bridge_api() {
+    World::run(2, |comm| {
+        // Leslie.
+        let mut leslie = science::Leslie::new(
+            comm,
+            science::LeslieConfig {
+                grid: [12, 13, 4],
+                ..science::LeslieConfig::default()
+            },
+        );
+        leslie.step(comm);
+        let mut bridge = Bridge::new();
+        let stats = DescriptiveStats::new("vorticity");
+        let res = stats.results_handle();
+        bridge.add_analysis(Box::new(stats));
+        bridge.execute(&science::LeslieAdaptor::new(&leslie), comm);
+        bridge.finalize(comm);
+        assert!(res.lock().clone().unwrap().count > 0);
+
+        // Nyx.
+        let mut nyx = science::Nyx::new(
+            comm,
+            science::NyxConfig {
+                grid: [8, 8, 8],
+                ..science::NyxConfig::default()
+            },
+        );
+        nyx.step(comm);
+        let mut bridge = Bridge::new();
+        let h = HistogramAnalysis::new("density", 8);
+        let res = h.results_handle();
+        bridge.add_analysis(Box::new(h));
+        bridge.execute(&science::NyxAdaptor::new(&nyx), comm);
+        bridge.finalize(comm);
+        if comm.rank() == 0 {
+            assert_eq!(
+                res.lock().clone().unwrap().counts.iter().sum::<u64>(),
+                8 * 8 * 8
+            );
+        }
+
+        // PHASTA (stats over velocity magnitude on the unstructured mesh).
+        let mut phasta = science::Phasta::new(
+            comm,
+            science::PhastaConfig {
+                lattice: [9, 7, 7],
+                ..science::PhastaConfig::default()
+            },
+        );
+        phasta.step(comm);
+        let mut bridge = Bridge::new();
+        let stats = DescriptiveStats::new("velmag");
+        let res = stats.results_handle();
+        bridge.add_analysis(Box::new(stats));
+        bridge.execute(&science::PhastaAdaptor::new(&phasta), comm);
+        bridge.finalize(comm);
+        let s = res.lock().clone().unwrap();
+        assert!(s.count > 0);
+        assert!(s.max > 0.0, "flow is moving");
+    });
+}

@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across crates.
+
+use proptest::prelude::*;
+
+use datamodel::{dims_create, partition_extent, DataArray, Extent};
+use render::deflate::{deflate, inflate, zlib_compress, zlib_decompress, Mode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// DEFLATE round-trips arbitrary byte strings in both modes.
+    #[test]
+    fn deflate_roundtrip_any_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for mode in [Mode::Stored, Mode::Fixed] {
+            let back = inflate(&deflate(&data, mode)).expect("inflate");
+            prop_assert_eq!(&back, &data);
+        }
+    }
+
+    /// zlib wrapper round-trips and validates its checksum.
+    #[test]
+    fn zlib_roundtrip_any_bytes(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let z = zlib_compress(&data, Mode::Fixed);
+        prop_assert_eq!(zlib_decompress(&z).expect("decode"), data);
+    }
+
+    /// dims_create always factors exactly and stays sorted.
+    #[test]
+    fn dims_create_factors(p in 1usize..5000) {
+        let d = dims_create(p);
+        prop_assert_eq!(d[0] * d[1] * d[2], p);
+        prop_assert!(d[0] >= d[1] && d[1] >= d[2]);
+    }
+
+    /// Partitioned extents cover every cell exactly once, for any grid
+    /// and rank-count that fits.
+    #[test]
+    fn partition_covers_cells(
+        nx in 4usize..20,
+        ny in 4usize..20,
+        nz in 4usize..20,
+        p in 1usize..9,
+    ) {
+        let global = Extent::whole([nx, ny, nz]);
+        let dims = dims_create(p);
+        let cells = global.cell_dims();
+        prop_assume!(dims[0] <= cells[0].max(1) && dims[1] <= cells[1].max(1) && dims[2] <= cells[2].max(1));
+        let mut owners = vec![0u32; global.num_cells()];
+        for r in 0..p {
+            let e = partition_extent(&global, dims, r);
+            for k in e.lo[2]..e.hi[2] {
+                for j in e.lo[1]..e.hi[1] {
+                    for i in e.lo[0]..e.hi[0] {
+                        let idx = ((k as usize) * cells[1] + j as usize) * cells[0] + i as usize;
+                        owners[idx] += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(owners.iter().all(|&c| c == 1));
+    }
+
+    /// Extent linear indexing is a bijection.
+    #[test]
+    fn extent_linear_index_bijective(
+        lo in proptest::array::uniform3(-10i64..10),
+        d in proptest::array::uniform3(1i64..6),
+    ) {
+        let e = Extent::new(lo, [lo[0] + d[0], lo[1] + d[1], lo[2] + d[2]]);
+        for (n, p) in e.iter_points().enumerate() {
+            prop_assert_eq!(e.linear_index(p), n);
+            prop_assert_eq!(e.point_at(n), p);
+        }
+    }
+
+    /// DataArray range is min/max of the data, regardless of layout.
+    #[test]
+    fn data_array_range(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let expect_lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let expect_hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let owned = DataArray::owned("v", 1, values.clone());
+        prop_assert_eq!(owned.range(0), Some((expect_lo, expect_hi)));
+        let shared = DataArray::shared("v", 1, std::sync::Arc::new(values));
+        prop_assert_eq!(shared.range(0), Some((expect_lo, expect_hi)));
+    }
+
+    /// BP-lite steps round-trip any payload.
+    #[test]
+    fn bp_roundtrip(
+        n in 1u64..6,
+        step in any::<u64>(),
+        time in -1e9f64..1e9,
+        attr in -1e3f64..1e3,
+    ) {
+        let mut s = adios::BpStep::new(step, time);
+        s.set_attr("spacing_0", attr);
+        let count = (n * n * n) as usize;
+        s.vars.push(adios::BpVar::new(
+            "data",
+            [n, n, n],
+            [0, 0, 0],
+            [n, n, n],
+            (0..count).map(|i| i as f64 * attr).collect(),
+        ));
+        let back = adios::BpStep::decode(&s.encode()).expect("decode");
+        prop_assert_eq!(back, s);
+    }
+
+    /// PNG encode/decode round-trips arbitrary small RGB images.
+    #[test]
+    fn png_roundtrip(
+        w in 1usize..24,
+        h in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let mut x = seed | 1;
+        let rgb: Vec<u8> = (0..w * h * 3)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        for mode in [Mode::Stored, Mode::Fixed] {
+            let png = render::png::encode_rgb(w, h, &rgb, mode);
+            let (dw, dh, back) = render::png::decode_rgb(&png).expect("decode");
+            prop_assert_eq!((dw, dh), (w, h));
+            prop_assert_eq!(&back, &rgb);
+        }
+    }
+
+    /// The histogram analysis counts every non-ghost value exactly once
+    /// and its range brackets the data, for arbitrary fields.
+    #[test]
+    fn histogram_counts_and_range(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        bins in 1usize..32,
+    ) {
+        use sensei::analysis::histogram::HistogramAnalysis;
+        use sensei::analysis::AnalysisAdaptor as _;
+        let n = values.len();
+        let expect_lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let expect_hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let out = minimpi::World::run(1, move |comm| {
+            let e = Extent::whole([n, 1, 1]);
+            let mut g = datamodel::ImageData::new(e, e);
+            g.add_point_array(DataArray::owned("data", 1, values.clone()));
+            let a = sensei::InMemoryAdaptor::new(datamodel::DataSet::Image(g), 0.0, 0);
+            let mut hist = HistogramAnalysis::new("data", bins);
+            let res = hist.results_handle();
+            hist.execute(&a, comm);
+            let r = res.lock().clone();
+            r.unwrap()
+        }).remove(0);
+        prop_assert_eq!(out.counts.iter().sum::<u64>() as usize, n);
+        prop_assert_eq!(out.min, expect_lo);
+        prop_assert_eq!(out.max, expect_hi);
+    }
+
+    /// Framebuffer depth compositing is commutative for any two pixel
+    /// sets (the property binary swap relies on).
+    #[test]
+    fn compositing_commutes(
+        pixels_a in proptest::collection::vec((0usize..8, 0usize..8, 0.0f32..10.0), 0..20),
+        pixels_b in proptest::collection::vec((0usize..8, 0usize..8, 0.0f32..10.0), 0..20),
+    ) {
+        use render::color::Color;
+        use render::framebuffer::Framebuffer;
+        let paint = |pixels: &[(usize, usize, f32)], tint: u8| {
+            let mut fb = Framebuffer::new(8, 8);
+            for &(x, y, z) in pixels {
+                fb.set_pixel(x, y, z, Color::rgb(tint, (z * 10.0) as u8, 0));
+            }
+            fb
+        };
+        let a = paint(&pixels_a, 1);
+        let b = paint(&pixels_b, 2);
+        let mut ab = a.clone();
+        ab.composite_from(&b);
+        let mut ba = b.clone();
+        ba.composite_from(&a);
+        // Ties broken by depth only when depths differ; identical depths
+        // at the same pixel may keep either color, so compare depths.
+        prop_assert_eq!(ab.depth, ba.depth);
+    }
+}
