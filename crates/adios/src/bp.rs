@@ -128,7 +128,10 @@ impl BpStep {
 
     /// Read an attribute.
     pub fn attr(&self, name: &str) -> Option<f64> {
-        self.attributes.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 
     /// Find a variable by name.
@@ -313,7 +316,13 @@ mod tests {
             [4, 8, 8],
             (0..256).map(|i| i as f64 * 0.5).collect(),
         ));
-        s.vars.push(BpVar::new("rho", [8, 8, 8], [0, 0, 0], [1, 1, 1], vec![9.0]));
+        s.vars.push(BpVar::new(
+            "rho",
+            [8, 8, 8],
+            [0, 0, 0],
+            [1, 1, 1],
+            vec![9.0],
+        ));
         s
     }
 
@@ -348,7 +357,10 @@ mod tests {
     fn corrupt_data_rejected() {
         let s = sample();
         let bytes = s.encode();
-        assert!(matches!(BpStep::decode(&bytes[..10]), Err(BpError::Corrupt(_))));
+        assert!(matches!(
+            BpStep::decode(&bytes[..10]),
+            Err(BpError::Corrupt(_))
+        ));
         assert!(matches!(BpStep::decode(b"NOPE"), Err(BpError::Corrupt(_))));
         let mut bad = bytes.to_vec();
         bad.truncate(bad.len() - 4);

@@ -202,8 +202,13 @@ mod tests {
 
     fn step_with(step: u64, v: f64) -> BpStep {
         let mut s = BpStep::new(step, step as f64 * 0.1);
-        s.vars
-            .push(BpVar::new("data", [2, 1, 1], [0, 0, 0], [2, 1, 1], vec![v, v]));
+        s.vars.push(BpVar::new(
+            "data",
+            [2, 1, 1],
+            [0, 0, 0],
+            [2, 1, 1],
+            vec![v, v],
+        ));
         s
     }
 

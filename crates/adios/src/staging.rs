@@ -19,14 +19,26 @@ pub fn adaptor_to_step(data: &dyn DataAdaptor) -> BpStep {
     let mut step = BpStep::new(data.step(), data.time());
     for leaf in mesh.leaves() {
         let (local, global, attrs, spacing, origin) = match leaf {
-            DataSet::Image(g) => (g.extent, g.global_extent, &g.point_data, g.spacing, g.origin),
+            DataSet::Image(g) => (
+                g.extent,
+                g.global_extent,
+                &g.point_data,
+                g.spacing,
+                g.origin,
+            ),
             DataSet::Rectilinear(g) => {
                 let spacing = [
                     if g.x.len() > 1 { g.x[1] - g.x[0] } else { 1.0 },
                     if g.y.len() > 1 { g.y[1] - g.y[0] } else { 1.0 },
                     if g.z.len() > 1 { g.z[1] - g.z[0] } else { 1.0 },
                 ];
-                (g.extent, g.global_extent, &g.point_data, spacing, [g.x[0], g.y[0], g.z[0]])
+                (
+                    g.extent,
+                    g.global_extent,
+                    &g.point_data,
+                    spacing,
+                    [g.x[0], g.y[0], g.z[0]],
+                )
             }
             _ => continue,
         };
@@ -152,11 +164,12 @@ impl DataAdaptor for BpAdaptor {
         if assoc != Association::Point {
             return false;
         }
-        let DataSet::Multi(mb) = mesh else { return false };
+        let DataSet::Multi(mb) = mesh else {
+            return false;
+        };
         let mut any = false;
         for (i, b) in self.blocks.iter().enumerate() {
-            if let (Some(DataSet::Image(g)), Some(arr)) =
-                (mb.block_mut(i), b.point_data.get(name))
+            if let (Some(DataSet::Image(g)), Some(arr)) = (mb.block_mut(i), b.point_data.get(name))
             {
                 g.point_data.insert(arr.clone());
                 any = true;
@@ -260,7 +273,10 @@ mod tests {
         let global = Extent::whole([2 * n_writers + 1, 3, 3]);
         let local = datamodel::partition_extent(&global, [n_writers, 1, 1], rank);
         let mut g = ImageData::new(local, global);
-        let vals: Vec<f64> = local.iter_points().map(|p| p[0] as f64 + step as f64).collect();
+        let vals: Vec<f64> = local
+            .iter_points()
+            .map(|p| p[0] as f64 + step as f64)
+            .collect();
         g.add_point_array(DataArray::owned("data", 1, vals));
         InMemoryAdaptor::new(DataSet::Image(g), step as f64, step)
     }
@@ -344,7 +360,10 @@ mod tests {
         let adaptor = BpAdaptor::new(&[(0, s0), (1, s1)]);
         let mesh = adaptor.full_mesh();
         assert_eq!(mesh.leaves().count(), 2);
-        assert_eq!(adaptor.array_names(Association::Point), vec!["data".to_string()]);
+        assert_eq!(
+            adaptor.array_names(Association::Point),
+            vec!["data".to_string()]
+        );
         let total: usize = mesh
             .leaves()
             .map(|l| l.point_data().unwrap().get("data").unwrap().num_tuples())

@@ -67,7 +67,11 @@ fn direct_vs_bridge(c: &mut Criterion) {
                     grid: [16, 16, 16],
                     ..SimConfig::default()
                 };
-                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let root = if comm.rank() == 0 {
+                    Some(d.as_str())
+                } else {
+                    None
+                };
                 let mut sim = Simulation::new(comm, cfg, root);
                 let mut ac = Autocorrelation::new("data", 4, 4);
                 for _ in 0..3 {
@@ -85,7 +89,11 @@ fn direct_vs_bridge(c: &mut Criterion) {
                     grid: [16, 16, 16],
                     ..SimConfig::default()
                 };
-                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let root = if comm.rank() == 0 {
+                    Some(d.as_str())
+                } else {
+                    None
+                };
                 let mut sim = Simulation::new(comm, cfg, root);
                 let mut bridge = Bridge::new();
                 bridge.add_analysis(Box::new(Autocorrelation::new("data", 4, 4)));

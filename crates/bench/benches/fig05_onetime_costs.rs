@@ -42,7 +42,11 @@ fn onetime_costs(c: &mut Criterion) {
                     grid: [17, 17, 17],
                     ..SimConfig::default()
                 };
-                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let root = if comm.rank() == 0 {
+                    Some(d.as_str())
+                } else {
+                    None
+                };
                 let mut sim = Simulation::new(comm, cfg, root);
                 let mut ac = Autocorrelation::new("data", 8, 16);
                 for _ in 0..8 {

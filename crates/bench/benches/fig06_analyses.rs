@@ -29,7 +29,11 @@ fn per_step_costs(c: &mut Criterion) {
                     grid: [33, 33, 33],
                     ..SimConfig::default()
                 };
-                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let root = if comm.rank() == 0 {
+                    Some(d.as_str())
+                } else {
+                    None
+                };
                 let mut sim = Simulation::new(comm, cfg, root);
                 sim.step(comm);
                 sim.step(comm);
@@ -48,7 +52,11 @@ fn per_step_costs(c: &mut Criterion) {
                         grid: [33, 33, 33],
                         ..SimConfig::default()
                     };
-                    let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                    let root = if comm.rank() == 0 {
+                        Some(d.as_str())
+                    } else {
+                        None
+                    };
                     let mut sim = Simulation::new(comm, cfg, root);
                     sim.step(comm);
                     let mut a: Box<dyn AnalysisAdaptor> = match analysis {

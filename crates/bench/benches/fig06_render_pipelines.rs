@@ -26,7 +26,11 @@ fn render_pipelines(c: &mut Criterion) {
                     grid: [25, 25, 25],
                     ..SimConfig::default()
                 };
-                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let root = if comm.rank() == 0 {
+                    Some(d.as_str())
+                } else {
+                    None
+                };
                 let mut sim = Simulation::new(comm, cfg, root);
                 sim.step(comm);
                 let mut pipe = catalyst::SlicePipeline::new("data", 2, 12);
@@ -46,12 +50,17 @@ fn render_pipelines(c: &mut Criterion) {
                     grid: [25, 25, 25],
                     ..SimConfig::default()
                 };
-                let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+                let root = if comm.rank() == 0 {
+                    Some(d.as_str())
+                } else {
+                    None
+                };
                 let mut sim = Simulation::new(comm, cfg, root);
                 sim.step(comm);
-                let session =
-                    libsim::Session::parse("image 320 320\nplot pseudocolor data axis=z index=12\n")
-                        .unwrap();
+                let session = libsim::Session::parse(
+                    "image 320 320\nplot pseudocolor data axis=z index=12\n",
+                )
+                .unwrap();
                 let mut a = libsim::LibsimAnalysis::new(
                     session,
                     std::path::Path::new("/nonexistent/.visitrc"),

@@ -58,7 +58,11 @@ fn in_transit_histogram(c: &mut Criterion) {
                         grid: [17, 17, 17],
                         ..SimConfig::default()
                     };
-                    let root = if sub.rank() == 0 { Some(d.as_str()) } else { None };
+                    let root = if sub.rank() == 0 {
+                        Some(d.as_str())
+                    } else {
+                        None
+                    };
                     let mut sim = Simulation::new(&sub, cfg, root);
                     let mut ship = AdiosWriterAnalysis::new(writer);
                     for _ in 0..3 {

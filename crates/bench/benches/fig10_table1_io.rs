@@ -67,10 +67,8 @@ fn write_paths(c: &mut Criterion) {
                     1,
                     local.iter_points().map(|p| p[0] as f64).collect(),
                 ));
-                let adaptor =
-                    sensei::InMemoryAdaptor::new(datamodel::DataSet::Image(g), 0.0, 0);
-                let mut w =
-                    glean::GleanWriter::new(glean::Topology::new(2), "data", d.clone());
+                let adaptor = sensei::InMemoryAdaptor::new(datamodel::DataSet::Image(g), 0.0, 0);
+                let mut w = glean::GleanWriter::new(glean::Topology::new(2), "data", d.clone());
                 w.execute(&adaptor, comm);
                 w.finalize(comm);
             })

@@ -21,7 +21,10 @@ fn write_dataset(dir: &std::path::Path, steps: u64, writers: usize, n: usize) {
                 spacing: [1.0; 3],
                 arrays: vec![(
                     "data".to_string(),
-                    local.iter_points().map(|p| (p[0] + step as i64) as f64).collect(),
+                    local
+                        .iter_points()
+                        .map(|p| (p[0] + step as i64) as f64)
+                        .collect(),
                 )],
             };
             write_piece(dir, step, w, &piece).unwrap();
@@ -48,8 +51,7 @@ fn posthoc(c: &mut Criterion) {
             let d2 = d.clone();
             World::run(1, move |comm| {
                 let hist = HistogramAnalysis::new("data", 64);
-                let (_, report) =
-                    posthoc_analysis(comm, &d2, 4, 10, vec![Box::new(hist)], None);
+                let (_, report) = posthoc_analysis(comm, &d2, 4, 10, vec![Box::new(hist)], None);
                 report.bytes_read
             })
         })

@@ -1,0 +1,107 @@
+//! The parallel in situ hot path: support-culled step kernel vs the
+//! naive all-pairs kernel, streaming parallel histogram vs serial, and
+//! the reduce-scatter/allgather vector allreduce vs the binomial tree.
+//!
+//! The `hotpath` binary (same measurements, larger sizes) writes the
+//! checked-in `BENCH_hotpath.json`; this bench tracks the same paths
+//! under criterion for regression comparison.
+
+use bench::hotpath::sparse_deck;
+use criterion::{criterion_group, criterion_main, Criterion};
+use minimpi::World;
+use oscillator::{OscillatorAdaptor, SimConfig, Simulation};
+use sensei::analysis::histogram::HistogramAnalysis;
+use sensei::analysis::AnalysisAdaptor;
+
+const GRID: [usize; 3] = [33, 33, 33];
+
+fn step_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_step");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    let deck = sparse_deck(32);
+    for (name, threads) in [("naive", None), ("culled", Some(1)), ("culled_mt", Some(0))] {
+        let d0 = deck.clone();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let d = d0.clone();
+                World::run(1, move |comm| {
+                    let cfg = SimConfig {
+                        grid: GRID,
+                        ..SimConfig::default()
+                    };
+                    let mut sim = Simulation::new(comm, cfg, Some(d.as_str()));
+                    for _ in 0..2 {
+                        match threads {
+                            None => sim.step_naive(comm),
+                            Some(t) => sim.step_with_threads(comm, t),
+                        }
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn streaming_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_histogram");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    let deck = sparse_deck(32);
+    for (name, threads) in [("serial", 1usize), ("threaded", 0)] {
+        let d0 = deck.clone();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let d = d0.clone();
+                World::run(1, move |comm| {
+                    let cfg = SimConfig {
+                        grid: GRID,
+                        ..SimConfig::default()
+                    };
+                    let mut sim = Simulation::new(comm, cfg, Some(d.as_str()));
+                    sim.step(comm);
+                    let mut hist = HistogramAnalysis::new("data", 64).with_threads(threads);
+                    for _ in 0..3 {
+                        hist.execute(&OscillatorAdaptor::new(&sim), comm);
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn vector_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_allreduce");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+
+    for (name, rsag) in [("tree", false), ("rsag", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                World::run(8, move |comm| {
+                    let v: Vec<f64> = (0..1 << 14).map(|i| (i + comm.rank()) as f64).collect();
+                    let out = if rsag {
+                        comm.allreduce_vec_rsag(v, |a, b| a + b)
+                    } else {
+                        comm.allreduce_vec(v, |a, b| a + b)
+                    };
+                    std::hint::black_box(out.len())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, step_kernels, streaming_histogram, vector_allreduce);
+criterion_main!(benches);

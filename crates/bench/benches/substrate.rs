@@ -55,9 +55,7 @@ fn deflate_throughput(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(1));
-    let data: Vec<u8> = (0..1_000_000u32)
-        .map(|i| ((i / 17) % 251) as u8)
-        .collect();
+    let data: Vec<u8> = (0..1_000_000u32).map(|i| ((i / 17) % 251) as u8).collect();
     group.throughput(Throughput::Bytes(data.len() as u64));
     let d1 = data.clone();
     group.bench_function("zlib_fixed_1mb", move |b| {
@@ -123,15 +121,10 @@ fn isosurface_and_slice(c: &mut Criterion) {
         .collect();
     let v1 = vals.clone();
     group.bench_function("marching_tetrahedra_32cubed", move |b| {
-        b.iter(|| {
-            render::isosurface::marching_tetrahedra(&e, &v1, 10.0, [0.0; 3], [1.0; 3]).len()
-        })
+        b.iter(|| render::isosurface::marching_tetrahedra(&e, &v1, 10.0, [0.0; 3], [1.0; 3]).len())
     });
     group.bench_function("slice_extract_32cubed", move |b| {
-        b.iter(|| {
-            render::slice::extract_plane(&e, &e, &vals, 2, 16)
-                .map(|s| s.values.len())
-        })
+        b.iter(|| render::slice::extract_plane(&e, &e, &vals, 2, 16).map(|s| s.values.len()))
     });
     group.finish();
 }

@@ -17,7 +17,10 @@ fn png_image_size_effect(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(2));
-    for (w, h, tag) in [(800usize, 200usize, "is1_800x200"), (2900, 725, "is2_2900x725")] {
+    for (w, h, tag) in [
+        (800usize, 200usize, "is1_800x200"),
+        (2900, 725, "is2_2900x725"),
+    ] {
         let rgb = pseudocolor_like_image(w, h);
         let rgb2 = rgb.clone();
         group.bench_function(format!("zlib_fixed_{tag}"), move |b| {

@@ -97,8 +97,8 @@ pub fn fig4() -> Table {
         &["cores", "original", "sensei", "overhead %"],
     );
     for (p, cells) in w::miniapp_scales() {
-        let heap = memory::miniapp_heap(cells, OSCILLATORS)
-            + memory::autocorrelation_heap(cells, WINDOW);
+        let heap =
+            memory::miniapp_heap(cells, OSCILLATORS) + memory::autocorrelation_heap(cells, WINDOW);
         let original = memory::total_high_water(p, Executable::Original, heap);
         let sensei = memory::total_high_water(p, Executable::DirectAnalysis, heap);
         t.row(vec![
@@ -202,8 +202,8 @@ pub fn fig8() -> Table {
         let endpoint_analysis = w::histogram_step(&m, p, cells, BINS);
         let open = 0.2 + w::flexpath_reader_init(&m, p) * 0.1; // writer side sees a fraction
         let advance = w::adios_advance(&m, p);
-        let analysis = w::adios_transmit(&m, bytes_per_rank)
-            + w::ADIOS_COSCHEDULE_FACTOR * endpoint_analysis;
+        let analysis =
+            w::adios_transmit(&m, bytes_per_rank) + w::ADIOS_COSCHEDULE_FACTOR * endpoint_analysis;
         t.row(vec![
             p.to_string(),
             secs(open),
@@ -249,7 +249,14 @@ pub fn fig10() -> Table {
     let m = cori();
     let mut t = Table::new(
         "Fig. 10 — baseline vs baseline+I/O (file-per-rank writes, 100 steps)",
-        &["cores", "initialize", "sim/step", "write/step", "finalize", "write/sim ratio"],
+        &[
+            "cores",
+            "initialize",
+            "sim/step",
+            "write/step",
+            "finalize",
+            "write/sim ratio",
+        ],
     );
     for (p, cells) in w::miniapp_scales() {
         let sim = w::oscillator_step(&m, cells, OSCILLATORS);
@@ -347,7 +354,8 @@ pub fn fig12() -> Table {
     // Post hoc contrast: writes alone.
     for (p, cells) in w::miniapp_scales() {
         let sim = STEPS as f64 * w::oscillator_step(&m, cells, OSCILLATORS);
-        let write = STEPS as f64 * storage::file_per_rank_write(&m, p, w::miniapp_step_bytes(p, cells));
+        let write =
+            STEPS as f64 * storage::file_per_rank_write(&m, p, w::miniapp_step_bytes(p, cells));
         t.row(vec![
             "PostHoc-writes".to_string(),
             p.to_string(),
@@ -448,7 +456,12 @@ pub fn fig16() -> Table {
         t.row(vec![
             step.to_string(),
             secs(cost),
-            if renders { "adaptor+libsim" } else { "adaptor only" }.to_string(),
+            if renders {
+                "adaptor+libsim"
+            } else {
+                "adaptor only"
+            }
+            .to_string(),
         ]);
     }
     t
@@ -540,7 +553,10 @@ mod tests {
         for (r, (vtk, mpiio)) in expect.iter().enumerate() {
             let got_vtk = t.value(r, "VTK I/O (s)").unwrap();
             let got_mpiio = t.value(r, "MPI-IO (s)").unwrap();
-            assert!((got_vtk - vtk).abs() / vtk < 0.15, "row {r}: {got_vtk} vs {vtk}");
+            assert!(
+                (got_vtk - vtk).abs() / vtk < 0.15,
+                "row {r}: {got_vtk} vs {vtk}"
+            );
             assert!(
                 (got_mpiio - mpiio).abs() / mpiio < 0.15,
                 "row {r}: {got_mpiio} vs {mpiio}"
@@ -608,13 +624,23 @@ mod tests {
     #[test]
     fn table2_matches_paper() {
         let t = table2();
-        let expect = [(1.40, 1051.0, 8.2), (5.24, 962.0, 33.0), (5.62, 653.0, 13.0)];
+        let expect = [
+            (1.40, 1051.0, 8.2),
+            (5.24, 962.0, 33.0),
+            (5.62, 653.0, 13.0),
+        ];
         for (r, (per_step, total, pct)) in expect.iter().enumerate() {
             let got_ps = t.value(r, "in situ per step").unwrap();
             let got_total = t.value(r, "total").unwrap();
             let got_pct = t.value(r, "% in situ").unwrap();
-            assert!((got_ps - per_step).abs() / per_step < 0.25, "row {r} per-step {got_ps}");
-            assert!((got_total - total).abs() / total < 0.10, "row {r} total {got_total}");
+            assert!(
+                (got_ps - per_step).abs() / per_step < 0.25,
+                "row {r} per-step {got_ps}"
+            );
+            assert!(
+                (got_total - total).abs() / total < 0.10,
+                "row {r} total {got_total}"
+            );
             assert!((got_pct - pct).abs() / pct < 0.30, "row {r} pct {got_pct}");
         }
     }

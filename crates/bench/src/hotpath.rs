@@ -1,0 +1,231 @@
+//! The per-step in situ hot path, measured end to end on real code:
+//! simulation step (naive all-pairs vs support-culled vs culled+threads),
+//! streaming histogram (serial vs chunk-parallel), and the bin/lag
+//! vector allreduce (binomial tree vs reduce-scatter/allgather).
+//!
+//! The `hotpath` binary runs these on a sparse oscillator deck — many
+//! small-radius oscillators whose supports cover a small fraction of the
+//! domain, the regime support culling exists for — and writes
+//! `BENCH_hotpath.json` with wall times and speedups.
+
+use std::time::Instant;
+
+use minimpi::World;
+use oscillator::{
+    format_deck, Oscillator, OscillatorAdaptor, OscillatorKind, SimConfig, Simulation,
+};
+use sensei::analysis::histogram::HistogramAnalysis;
+use sensei::analysis::AnalysisAdaptor;
+
+/// A sparse deck: `n` small-radius oscillators scattered over the unit
+/// cube. Support radius ≈ 38.6 × radius, so at radius ≈ 0.005 each
+/// oscillator touches a few percent of the cells instead of all of them.
+pub fn sparse_deck(n: usize) -> String {
+    let oscillators: Vec<Oscillator> = (0..n)
+        .map(|i| Oscillator {
+            kind: match i % 3 {
+                0 => OscillatorKind::Periodic,
+                1 => OscillatorKind::Damped,
+                _ => OscillatorKind::Decaying,
+            },
+            center: [
+                (i as f64 * 0.377).fract(),
+                (i as f64 * 0.617).fract(),
+                (i as f64 * 0.839).fract(),
+            ],
+            radius: 0.004 + (i % 5) as f64 * 0.0008,
+            omega: 1.0 + (i % 7) as f64,
+            zeta: 0.08 * (i % 4) as f64,
+        })
+        .collect();
+    format_deck(&oscillators)
+}
+
+/// One measured section: seconds for the baseline and optimized paths.
+#[derive(Clone, Copy, Debug)]
+pub struct Section {
+    pub baseline_s: f64,
+    pub optimized_s: f64,
+}
+
+impl Section {
+    /// Baseline time over optimized time.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_s / self.optimized_s
+    }
+}
+
+/// The full hot-path report.
+#[derive(Clone, Debug)]
+pub struct HotpathReport {
+    pub grid: [usize; 3],
+    pub oscillators: usize,
+    pub steps: usize,
+    pub threads: usize,
+    /// Step loop: naive all-pairs kernel vs culled + threaded kernel.
+    pub step: Section,
+    /// Culled kernel, single thread (isolates the algorithmic win).
+    pub step_culled_serial_s: f64,
+    /// Histogram executes: serial streaming vs chunk-parallel streaming.
+    pub histogram: Section,
+    pub histogram_bins: usize,
+    /// Vector allreduce: binomial tree vs reduce-scatter/allgather.
+    pub allreduce: Section,
+    pub allreduce_ranks: usize,
+    pub allreduce_elements: usize,
+    pub allreduce_rounds: usize,
+}
+
+impl HotpathReport {
+    /// Serialize as pretty-printed JSON (no external dependencies).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"config\": {{\"grid\": [{}, {}, {}], \"oscillators\": {}, \"steps\": {}, \"threads\": {}}},\n",
+            self.grid[0], self.grid[1], self.grid[2], self.oscillators, self.steps, self.threads
+        ));
+        s.push_str(&format!(
+            "  \"step\": {{\"naive_s\": {:.6}, \"culled_serial_s\": {:.6}, \"culled_threaded_s\": {:.6}, \"speedup\": {:.2}}},\n",
+            self.step.baseline_s,
+            self.step_culled_serial_s,
+            self.step.optimized_s,
+            self.step.speedup()
+        ));
+        s.push_str(&format!(
+            "  \"histogram\": {{\"bins\": {}, \"serial_s\": {:.6}, \"threaded_s\": {:.6}, \"speedup\": {:.2}}},\n",
+            self.histogram_bins,
+            self.histogram.baseline_s,
+            self.histogram.optimized_s,
+            self.histogram.speedup()
+        ));
+        s.push_str(&format!(
+            "  \"allreduce\": {{\"ranks\": {}, \"elements\": {}, \"rounds\": {}, \"tree_s\": {:.6}, \"rsag_s\": {:.6}, \"speedup\": {:.2}}}\n",
+            self.allreduce_ranks,
+            self.allreduce_elements,
+            self.allreduce_rounds,
+            self.allreduce.baseline_s,
+            self.allreduce.optimized_s,
+            self.allreduce.speedup()
+        ));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Time `steps` simulation steps through `step_fn` on a single rank.
+fn time_steps(
+    deck: &str,
+    grid: [usize; 3],
+    steps: usize,
+    step_fn: impl Fn(&mut Simulation, &minimpi::Comm) + Send + Sync + 'static,
+) -> f64 {
+    let deck = deck.to_string();
+    World::run(1, move |comm| {
+        let cfg = SimConfig {
+            grid,
+            steps,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(comm, cfg, Some(deck.as_str()));
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            step_fn(&mut sim, comm);
+        }
+        t0.elapsed().as_secs_f64()
+    })
+    .remove(0)
+}
+
+/// Time `executes` histogram passes over a stepped field.
+fn time_histogram(
+    deck: &str,
+    grid: [usize; 3],
+    bins: usize,
+    threads: usize,
+    executes: usize,
+) -> f64 {
+    let deck = deck.to_string();
+    World::run(1, move |comm| {
+        let cfg = SimConfig {
+            grid,
+            steps: 1,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(comm, cfg, Some(deck.as_str()));
+        sim.step(comm);
+        let mut hist = HistogramAnalysis::new("data", bins).with_threads(threads);
+        let adaptor = OscillatorAdaptor::new(&sim);
+        let t0 = Instant::now();
+        for _ in 0..executes {
+            hist.execute(&adaptor, comm);
+        }
+        t0.elapsed().as_secs_f64()
+    })
+    .remove(0)
+}
+
+/// Time `rounds` vector allreduces of `elements` f64 on `ranks` ranks.
+fn time_allreduce(ranks: usize, elements: usize, rounds: usize, rsag: bool) -> f64 {
+    World::run(ranks, move |comm| {
+        let v: Vec<f64> = (0..elements)
+            .map(|i| (i * (comm.rank() + 1)) as f64)
+            .collect();
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            let out = if rsag {
+                comm.allreduce_vec_rsag(v.clone(), |a, b| a + b)
+            } else {
+                comm.allreduce_vec(v.clone(), |a, b| a + b)
+            };
+            assert_eq!(out.len(), elements);
+        }
+        t0.elapsed().as_secs_f64()
+    })
+    .remove(0)
+}
+
+/// Run the full hot-path measurement.
+pub fn run(grid: [usize; 3], oscillators: usize, steps: usize, threads: usize) -> HotpathReport {
+    let deck = sparse_deck(oscillators);
+
+    let naive = time_steps(&deck, grid, steps, |sim, comm| sim.step_naive(comm));
+    let culled_serial = time_steps(&deck, grid, steps, |sim, comm| {
+        sim.step_with_threads(comm, 1)
+    });
+    let culled_threaded = time_steps(&deck, grid, steps, move |sim, comm| {
+        sim.step_with_threads(comm, threads)
+    });
+
+    let bins = 64;
+    let executes = steps.max(4);
+    let hist_serial = time_histogram(&deck, grid, bins, 1, executes);
+    let hist_threaded = time_histogram(&deck, grid, bins, threads, executes);
+
+    let (ranks, elements, rounds) = (8, 1 << 15, 16);
+    let tree = time_allreduce(ranks, elements, rounds, false);
+    let rsag = time_allreduce(ranks, elements, rounds, true);
+
+    HotpathReport {
+        grid,
+        oscillators,
+        steps,
+        threads,
+        step: Section {
+            baseline_s: naive,
+            optimized_s: culled_threaded,
+        },
+        step_culled_serial_s: culled_serial,
+        histogram: Section {
+            baseline_s: hist_serial,
+            optimized_s: hist_threaded,
+        },
+        histogram_bins: bins,
+        allreduce: Section {
+            baseline_s: tree,
+            optimized_s: rsag,
+        },
+        allreduce_ranks: ranks,
+        allreduce_elements: elements,
+        allreduce_rounds: rounds,
+    }
+}

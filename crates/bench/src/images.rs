@@ -13,7 +13,10 @@ use render::deflate::Mode;
 use render::framebuffer::Framebuffer;
 use render::png::encode_framebuffer;
 use render::raster::{fill_triangle, Vertex};
-use science::{Leslie, LeslieAdaptor, LeslieConfig, Nyx, NyxAdaptor, NyxConfig, Phasta, PhastaAdaptor, PhastaConfig};
+use science::{
+    Leslie, LeslieAdaptor, LeslieConfig, Nyx, NyxAdaptor, NyxConfig, Phasta, PhastaAdaptor,
+    PhastaConfig,
+};
 use sensei::AnalysisAdaptor as _;
 use sensei::DataAdaptor as _;
 
@@ -28,7 +31,11 @@ pub fn render_oscillator_slice(dir: &Path) -> std::path::PathBuf {
             steps: 10,
             ..SimConfig::default()
         };
-        let root_deck = if comm.rank() == 0 { Some(deck.as_str()) } else { None };
+        let root_deck = if comm.rank() == 0 {
+            Some(deck.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, cfg, root_deck);
         let mut pipe = SlicePipeline::new("data", 2, 16);
         pipe.width = 640;
@@ -125,10 +132,7 @@ pub fn render_phasta_cut(dir: &Path) -> std::path::PathBuf {
         let (w, h) = (640usize, 320usize);
         let mut fb = Framebuffer::new(w, h);
         // Global scalar range for a shared color scale.
-        let local_max = tris
-            .iter()
-            .flat_map(|t| t.scalars)
-            .fold(0.0f64, f64::max);
+        let local_max = tris.iter().flat_map(|t| t.scalars).fold(0.0f64, f64::max);
         let global_max = comm.allreduce_scalar(local_max, f64::max).max(1e-9);
         for t in &tris {
             let verts: Vec<Vertex> = t
@@ -208,10 +212,7 @@ mod tests {
         let (w, h, rgb) = decode_rgb(&bytes).unwrap();
         assert_eq!((w, h), (640, 320));
         // The cut paints a nontrivial portion of the frame in non-white.
-        let painted = rgb
-            .chunks(3)
-            .filter(|p| *p != [255, 255, 255])
-            .count();
+        let painted = rgb.chunks(3).filter(|p| *p != [255, 255, 255]).count();
         assert!(painted > w * h / 4, "painted {painted}");
         std::fs::remove_dir_all(&dir).unwrap();
     }

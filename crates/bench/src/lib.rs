@@ -8,6 +8,7 @@
 //! real code paths behind each figure.
 
 pub mod figures;
+pub mod hotpath;
 pub mod images;
 pub mod realruns;
 pub mod table;

@@ -32,7 +32,11 @@ pub fn measure_sensei_overhead(ranks: usize, grid: usize, steps: usize) -> (f64,
                 steps,
                 ..SimConfig::default()
             };
-            let root_deck = if comm.rank() == 0 { Some(deck.as_str()) } else { None };
+            let root_deck = if comm.rank() == 0 {
+                Some(deck.as_str())
+            } else {
+                None
+            };
             let mut sim = Simulation::new(comm, cfg, root_deck);
             let t0 = Instant::now();
             if use_bridge {
@@ -90,15 +94,8 @@ pub fn measure_write_paths(ranks: usize, grid: usize, dir: &std::path::Path) -> 
         let local = datamodel::partition_extent(&global, dims, comm.rank());
         let values: Vec<f64> = local.iter_points().map(|p| p[0] as f64).collect();
         let t0 = Instant::now();
-        iosim::collective_write(
-            comm,
-            &dir_b.join("shared.bin"),
-            &local,
-            &global,
-            &values,
-            2,
-        )
-        .expect("collective write");
+        iosim::collective_write(comm, &dir_b.join("shared.bin"), &local, &global, &values, 2)
+            .expect("collective write");
         t0.elapsed().as_secs_f64()
     })
     .into_iter()
@@ -115,12 +112,10 @@ pub fn measure_write_paths(ranks: usize, grid: usize, dir: &std::path::Path) -> 
 /// Huffman pass does real work while still shrinking the output.
 pub fn measure_png_ablation(width: usize, height: usize) -> (f64, f64, usize, usize) {
     let rgb = pseudocolor_like_image(width, height);
-    let (t_fixed, png_fixed) = time(|| {
-        render::png::encode_rgb(width, height, &rgb, render::deflate::Mode::Fixed)
-    });
-    let (t_stored, png_stored) = time(|| {
-        render::png::encode_rgb(width, height, &rgb, render::deflate::Mode::Stored)
-    });
+    let (t_fixed, png_fixed) =
+        time(|| render::png::encode_rgb(width, height, &rgb, render::deflate::Mode::Fixed));
+    let (t_stored, png_stored) =
+        time(|| render::png::encode_rgb(width, height, &rgb, render::deflate::Mode::Stored));
     (t_fixed, t_stored, png_fixed.len(), png_stored.len())
 }
 
@@ -155,7 +150,11 @@ pub fn measure_staging_penalty(writers: usize, grid: usize, steps: usize) -> (f6
             steps,
             ..SimConfig::default()
         };
-        let root_deck = if comm.rank() == 0 { Some(deck1.as_str()) } else { None };
+        let root_deck = if comm.rank() == 0 {
+            Some(deck1.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, cfg, root_deck);
         let mut hist = HistogramAnalysis::new("data", 32);
         let t0 = Instant::now();
@@ -169,30 +168,32 @@ pub fn measure_staging_penalty(writers: usize, grid: usize, steps: usize) -> (f6
     .fold(0.0, f64::max);
 
     // Staged: writers ship to endpoints that run the histogram.
-    let staged = World::run(writers * 2, move |world| {
-        match pair(world, writers) {
-            Role::Writer { sub, writer } => {
-                let cfg = SimConfig {
-                    grid: [grid, grid, grid],
-                    steps,
-                    ..SimConfig::default()
-                };
-                let root_deck = if sub.rank() == 0 { Some(deck.as_str()) } else { None };
-                let mut sim = Simulation::new(&sub, cfg, root_deck);
-                let mut ship = AdiosWriterAnalysis::new(writer);
-                let t0 = Instant::now();
-                for _ in 0..steps {
-                    sim.step(&sub);
-                    ship.execute(&OscillatorAdaptor::new(&sim), world);
-                }
-                ship.finalize(world);
-                Some(t0.elapsed().as_secs_f64() / steps as f64)
-            }
-            Role::Endpoint { sub, mut reader } => {
-                let hist = HistogramAnalysis::new("data", 32);
-                run_endpoint(world, &sub, &mut reader, vec![Box::new(hist)]);
+    let staged = World::run(writers * 2, move |world| match pair(world, writers) {
+        Role::Writer { sub, writer } => {
+            let cfg = SimConfig {
+                grid: [grid, grid, grid],
+                steps,
+                ..SimConfig::default()
+            };
+            let root_deck = if sub.rank() == 0 {
+                Some(deck.as_str())
+            } else {
                 None
+            };
+            let mut sim = Simulation::new(&sub, cfg, root_deck);
+            let mut ship = AdiosWriterAnalysis::new(writer);
+            let t0 = Instant::now();
+            for _ in 0..steps {
+                sim.step(&sub);
+                ship.execute(&OscillatorAdaptor::new(&sim), world);
             }
+            ship.finalize(world);
+            Some(t0.elapsed().as_secs_f64() / steps as f64)
+        }
+        Role::Endpoint { sub, mut reader } => {
+            let hist = HistogramAnalysis::new("data", 32);
+            run_endpoint(world, &sub, &mut reader, vec![Box::new(hist)]);
+            None
         }
     })
     .into_iter()
@@ -224,7 +225,10 @@ mod tests {
         // At PHASTA's IS2 image size the LZ77+Huffman work dominates the
         // extra memcpy of stored mode.
         let (fixed, stored, nf, ns) = measure_png_ablation(2900, 725);
-        assert!(fixed > stored, "compression costs time: {fixed} vs {stored}");
+        assert!(
+            fixed > stored,
+            "compression costs time: {fixed} vs {stored}"
+        );
         assert!(nf < ns, "…and saves bytes: {nf} vs {ns}");
     }
 

@@ -81,7 +81,12 @@ impl Table {
                 s.to_string()
             }
         };
-        let mut out = self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",");
+        let mut out = self
+            .headers
+            .iter()
+            .map(|h| esc(h))
+            .collect::<Vec<_>>()
+            .join(",");
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

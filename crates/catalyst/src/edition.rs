@@ -87,7 +87,13 @@ mod tests {
 
     #[test]
     fn editions_order_by_features() {
-        assert!(Edition::full(true).executable_bytes() > Edition::rendering_edition(true).executable_bytes());
-        assert!(Edition::extracts_only().executable_bytes() < Edition::rendering_edition(true).executable_bytes());
+        assert!(
+            Edition::full(true).executable_bytes()
+                > Edition::rendering_edition(true).executable_bytes()
+        );
+        assert!(
+            Edition::extracts_only().executable_bytes()
+                < Edition::rendering_edition(true).executable_bytes()
+        );
     }
 }

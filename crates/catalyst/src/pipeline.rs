@@ -108,7 +108,9 @@ impl CatalystSliceAnalysis {
                 DataSet::Rectilinear(g) => (g.extent, g.global_extent, &g.point_data),
                 _ => continue,
             };
-            let Some(arr) = attrs.get(&self.pipeline.array) else { continue };
+            let Some(arr) = attrs.get(&self.pipeline.array) else {
+                continue;
+            };
             let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
             return Some((local, global, values));
         }
@@ -122,7 +124,7 @@ impl AnalysisAdaptor for CatalystSliceAnalysis {
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
-        if data.step() % self.pipeline.frequency != 0 {
+        if !data.step().is_multiple_of(self.pipeline.frequency) {
             return true;
         }
         let Some((local, global, values)) = self.structured_field(data) else {
@@ -272,7 +274,12 @@ mod tests {
                 analysis.execute(&adaptor(comm, 0), comm);
                 sizes.push(analysis.png_handle().lock().as_ref().unwrap().len());
             }
-            assert!(sizes[0] < sizes[1], "fixed {} < stored {}", sizes[0], sizes[1]);
+            assert!(
+                sizes[0] < sizes[1],
+                "fixed {} < stored {}",
+                sizes[0],
+                sizes[1]
+            );
         });
     }
 }

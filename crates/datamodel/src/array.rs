@@ -349,9 +349,7 @@ impl DataArray {
         let c = self.components_ref::<T>()?;
         match c.layout {
             Layout::SoA => c.buffers.get(comp).map(|b| b.as_slice()),
-            Layout::AoS if c.num_components == 1 && comp == 0 => {
-                Some(c.buffers[0].as_slice())
-            }
+            Layout::AoS if c.num_components == 1 && comp == 0 => Some(c.buffers[0].as_slice()),
             Layout::AoS => None,
         }
     }
@@ -500,7 +498,10 @@ mod tests {
         let sim = Arc::new(vec![7.0f64; 4]);
         let a = DataArray::soa(
             "mix",
-            vec![Buffer::Shared(Arc::clone(&sim)), Buffer::Owned(vec![0.0; 4])],
+            vec![
+                Buffer::Shared(Arc::clone(&sim)),
+                Buffer::Owned(vec![0.0; 4]),
+            ],
         );
         assert!(a.is_zero_copy());
         assert_eq!(a.get(3, 0), 7.0);

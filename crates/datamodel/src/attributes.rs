@@ -82,10 +82,7 @@ impl Attributes {
 
 impl MemoryFootprint for Attributes {
     fn heap_bytes(&self, count_shared: bool) -> usize {
-        self.arrays
-            .iter()
-            .map(|a| a.heap_bytes(count_shared))
-            .sum()
+        self.arrays.iter().map(|a| a.heap_bytes(count_shared)).sum()
     }
 }
 

@@ -14,11 +14,11 @@ pub fn dims_create(p: usize) -> [usize; 3] {
     // Enumerate factor triples a*b*c = p with a <= b <= c.
     let mut a = 1;
     while a * a * a <= p {
-        if p % a == 0 {
+        if p.is_multiple_of(a) {
             let rest = p / a;
             let mut b = a;
             while b * b <= rest {
-                if rest % b == 0 {
+                if rest.is_multiple_of(b) {
                     let c = rest / b;
                     let spread = c - a;
                     if spread < best_spread {
@@ -111,7 +111,10 @@ mod tests {
                 }
             }
         }
-        assert!(cell_owner.iter().all(|&c| c == 1), "every cell owned exactly once");
+        assert!(
+            cell_owner.iter().all(|&c| c == 1),
+            "every cell owned exactly once"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl Extent {
     /// applied: a flat axis has zero cells, so a plane has no 3D cells).
     pub fn cell_dims(&self) -> [usize; 3] {
         let p = self.point_dims();
-        [p[0].saturating_sub(1), p[1].saturating_sub(1), p[2].saturating_sub(1)]
+        [
+            p[0].saturating_sub(1),
+            p[1].saturating_sub(1),
+            p[2].saturating_sub(1),
+        ]
     }
 
     /// Total number of points.
@@ -144,7 +148,7 @@ mod tests {
     fn whole_counts() {
         let e = Extent::whole([4, 3, 2]);
         assert_eq!(e.num_points(), 24);
-        assert_eq!(e.num_cells(), 3 * 2 * 1);
+        assert_eq!(e.num_cells(), 6);
         assert_eq!(e.point_dims(), [4, 3, 2]);
     }
 

@@ -126,11 +126,35 @@ pub struct RectilinearGrid {
 impl RectilinearGrid {
     /// Build from explicit per-axis coordinates. Coordinates must be
     /// strictly increasing and sized to the extent.
-    pub fn new(extent: Extent, global_extent: Extent, x: Vec<f64>, y: Vec<f64>, z: Vec<f64>) -> Self {
+    pub fn new(
+        extent: Extent,
+        global_extent: Extent,
+        x: Vec<f64>,
+        y: Vec<f64>,
+        z: Vec<f64>,
+    ) -> Self {
         let d = extent.point_dims();
-        assert_eq!(x.len(), d[0], "x coords sized {} for {} points", x.len(), d[0]);
-        assert_eq!(y.len(), d[1], "y coords sized {} for {} points", y.len(), d[1]);
-        assert_eq!(z.len(), d[2], "z coords sized {} for {} points", z.len(), d[2]);
+        assert_eq!(
+            x.len(),
+            d[0],
+            "x coords sized {} for {} points",
+            x.len(),
+            d[0]
+        );
+        assert_eq!(
+            y.len(),
+            d[1],
+            "y coords sized {} for {} points",
+            y.len(),
+            d[1]
+        );
+        assert_eq!(
+            z.len(),
+            d[2],
+            "z coords sized {} for {} points",
+            z.len(),
+            d[2]
+        );
         for c in [&x, &y, &z] {
             assert!(
                 c.windows(2).all(|w| w[1] > w[0]),
@@ -149,7 +173,12 @@ impl RectilinearGrid {
     }
 
     /// Uniformly spaced coordinates (convenience for Nyx-style boxes).
-    pub fn uniform(extent: Extent, global_extent: Extent, origin: [f64; 3], spacing: [f64; 3]) -> Self {
+    pub fn uniform(
+        extent: Extent,
+        global_extent: Extent,
+        origin: [f64; 3],
+        spacing: [f64; 3],
+    ) -> Self {
         let gen = |axis: usize| {
             (extent.lo[axis]..=extent.hi[axis])
                 .map(|i| origin[axis] + i as f64 * spacing[axis])
@@ -243,19 +272,13 @@ mod tests {
         let e = Extent::new([2, 0, 0], [4, 1, 1]);
         let g = RectilinearGrid::uniform(e, Extent::whole([5, 2, 2]), [0.0; 3], [0.25, 1.0, 1.0]);
         assert_eq!(g.x, vec![0.5, 0.75, 1.0]);
-        assert_eq!(g.num_cells(), 2 * 1 * 1);
+        assert_eq!(g.num_cells(), 2);
     }
 
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn non_monotone_coords_panic() {
         let e = Extent::whole([3, 1, 1]);
-        let _ = RectilinearGrid::new(
-            e,
-            e,
-            vec![0.0, 2.0, 1.0],
-            vec![0.0],
-            vec![0.0],
-        );
+        let _ = RectilinearGrid::new(e, e, vec![0.0, 2.0, 1.0], vec![0.0], vec![0.0]);
     }
 }

@@ -14,7 +14,9 @@ pub struct MultiBlock {
 impl MultiBlock {
     /// Empty collection.
     pub fn new() -> Self {
-        MultiBlock { children: Vec::new() }
+        MultiBlock {
+            children: Vec::new(),
+        }
     }
 
     /// A collection with `n` empty slots (global block count known, local
@@ -77,7 +79,10 @@ mod tests {
     use crate::grids::ImageData;
 
     fn img() -> DataSet {
-        DataSet::Image(ImageData::new(Extent::whole([2, 2, 2]), Extent::whole([2, 2, 2])))
+        DataSet::Image(ImageData::new(
+            Extent::whole([2, 2, 2]),
+            Extent::whole([2, 2, 2]),
+        ))
     }
 
     #[test]

@@ -65,7 +65,10 @@ impl UnstructuredGrid {
         cell_types: Vec<CellType>,
     ) -> Self {
         assert_eq!(points.num_components(), 3, "points must have 3 components");
-        assert!(!offsets.is_empty() && offsets[0] == 0, "offsets must start at 0");
+        assert!(
+            !offsets.is_empty() && offsets[0] == 0,
+            "offsets must start at 0"
+        );
         assert_eq!(
             offsets.len(),
             cell_types.len() + 1,

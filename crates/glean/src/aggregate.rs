@@ -109,8 +109,12 @@ impl GleanWriter {
                 rank,
                 name: self.array.clone(),
                 extent: [
-                    extent.lo[0], extent.lo[1], extent.lo[2],
-                    extent.hi[0], extent.hi[1], extent.hi[2],
+                    extent.lo[0],
+                    extent.lo[1],
+                    extent.lo[2],
+                    extent.hi[0],
+                    extent.hi[1],
+                    extent.hi[2],
                 ],
                 data,
             });
@@ -251,19 +255,28 @@ mod tests {
         // Each frame holds both node members' blocks, rank-sorted.
         for (step, blocks) in &f0 {
             assert!(*step < 3);
-            assert_eq!(blocks.iter().map(|b| b.rank).collect::<Vec<_>>(), vec![0, 1]);
+            assert_eq!(
+                blocks.iter().map(|b| b.rank).collect::<Vec<_>>(),
+                vec![0, 1]
+            );
         }
         for (_, blocks) in &f2 {
-            assert_eq!(blocks.iter().map(|b| b.rank).collect::<Vec<_>>(), vec![2, 3]);
+            assert_eq!(
+                blocks.iter().map(|b| b.rank).collect::<Vec<_>>(),
+                vec![2, 3]
+            );
         }
         // Every cell of the global grid is present exactly once per step
         // across the two files (shared planes belong to both blocks, so
         // compare against the sum of local point counts).
-        let total: usize = f0[0].1.iter().chain(f2[0].1.iter()).map(|b| b.data.len()).sum();
+        let total: usize = f0[0]
+            .1
+            .iter()
+            .chain(f2[0].1.iter())
+            .map(|b| b.data.len())
+            .sum();
         let expect: usize = (0..4)
-            .map(|r| {
-                partition_extent(&Extent::whole([9, 3, 3]), [4, 1, 1], r).num_points()
-            })
+            .map(|r| partition_extent(&Extent::whole([9, 3, 3]), [4, 1, 1], r).num_points())
             .sum();
         assert_eq!(total, expect);
         std::fs::remove_dir_all(&dir).unwrap();

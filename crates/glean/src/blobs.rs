@@ -25,8 +25,12 @@ pub struct BlockRecord {
 
 /// Append one aggregated step to `path`.
 pub fn append_step(path: &Path, step: u64, blocks: &[BlockRecord]) -> std::io::Result<()> {
-    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    let mut buf = Vec::with_capacity(16 + blocks.iter().map(|b| b.data.len() * 8 + 80).sum::<usize>());
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut buf =
+        Vec::with_capacity(16 + blocks.iter().map(|b| b.data.len() * 8 + 80).sum::<usize>());
     buf.extend_from_slice(&step.to_le_bytes());
     buf.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
     for b in blocks {
@@ -75,9 +79,16 @@ pub fn read_blob_file(path: &Path) -> std::io::Result<Vec<(u64, Vec<BlockRecord>
             let count = u64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()) as usize;
             let mut data = Vec::with_capacity(count);
             for _ in 0..count {
-                data.push(f64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()));
+                data.push(f64::from_le_bytes(
+                    raw[take(&mut pos, 8)?].try_into().unwrap(),
+                ));
             }
-            blocks.push(BlockRecord { rank, name, extent, data });
+            blocks.push(BlockRecord {
+                rank,
+                name,
+                extent,
+                data,
+            });
         }
         out.push((step, blocks));
     }

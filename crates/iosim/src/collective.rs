@@ -88,8 +88,10 @@ pub fn collective_write(
             }
         }
         if slab_elems > 0 {
+            // Aggregators seek into a shared file; never truncate it.
             let mut f = std::fs::OpenOptions::new()
                 .create(true)
+                .truncate(false)
                 .write(true)
                 .open(path)?;
             f.seek(SeekFrom::Start(slab_base * 8))?;

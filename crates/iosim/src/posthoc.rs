@@ -72,7 +72,9 @@ impl DataAdaptor for PiecesAdaptor {
         if assoc != Association::Point {
             return false;
         }
-        let DataSet::Multi(mb) = mesh else { return false };
+        let DataSet::Multi(mb) = mesh else {
+            return false;
+        };
         let mut any = false;
         for (i, b) in self.blocks.iter().enumerate() {
             if let (Some(DataSet::Image(g)), Some(arr)) = (mb.block_mut(i), b.point_data.get(name))
@@ -113,8 +115,8 @@ pub fn posthoc_analysis(
         for &w in &my_writers {
             let piece = read_piece(dir, step, w)
                 .unwrap_or_else(|e| panic!("posthoc: reading step {step} rank {w}: {e}"));
-            let mut g = ImageData::new(piece.extent, piece.global)
-                .with_geometry([0.0; 3], piece.spacing);
+            let mut g =
+                ImageData::new(piece.extent, piece.global).with_geometry([0.0; 3], piece.spacing);
             for (name, data) in piece.arrays {
                 report.bytes_read += data.len() as u64 * 8;
                 g.add_point_array(DataArray::owned(name, 1, data));
@@ -173,7 +175,10 @@ mod tests {
                     spacing: [1.0; 3],
                     arrays: vec![(
                         "data".to_string(),
-                        local.iter_points().map(|p| p[0] as f64 + step as f64).collect(),
+                        local
+                            .iter_points()
+                            .map(|p| p[0] as f64 + step as f64)
+                            .collect(),
                     )],
                 };
                 write_piece(dir, step, w, &piece).unwrap();
@@ -223,8 +228,7 @@ mod tests {
         World::run(2, move |comm| {
             let hist = HistogramAnalysis::new("data", 4);
             let handle = hist.results_handle();
-            let (_, report) =
-                posthoc_analysis(comm, &d2, 2, 6, vec![Box::new(hist)], None);
+            let (_, report) = posthoc_analysis(comm, &d2, 2, 6, vec![Box::new(hist)], None);
             // Each of 2 readers reads 3 of the 6 writers' pieces.
             assert_eq!(report.bytes_read, 2 * 3 * 27 * 8);
             if comm.rank() == 0 {

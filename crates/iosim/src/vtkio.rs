@@ -125,7 +125,9 @@ pub fn read_piece(dir: &Path, step: u64, rank: usize) -> Result<Piece, VtkIoErro
         let count = u64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()) as usize;
         let mut data = Vec::with_capacity(count);
         for _ in 0..count {
-            data.push(f64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()));
+            data.push(f64::from_le_bytes(
+                raw[take(&mut pos, 8)?].try_into().unwrap(),
+            ));
         }
         arrays.push((name, data));
     }
@@ -190,12 +192,19 @@ pub fn read_manifest(dir: &Path, step: u64) -> Result<Manifest, VtkIoError> {
         if nums.len() != 6 {
             return Err(VtkIoError::Corrupt("piece needs 6 numbers"));
         }
-        extents.push(Extent::new([nums[0], nums[1], nums[2]], [nums[3], nums[4], nums[5]]));
+        extents.push(Extent::new(
+            [nums[0], nums[1], nums[2]],
+            [nums[3], nums[4], nums[5]],
+        ));
     }
     if extents.len() != pieces {
         return Err(VtkIoError::Corrupt("piece count mismatch"));
     }
-    Ok(Manifest { step, pieces, extents })
+    Ok(Manifest {
+        step,
+        pieces,
+        extents,
+    })
 }
 
 #[cfg(test)]

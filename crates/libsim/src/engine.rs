@@ -11,9 +11,7 @@ use render::color::{Color, Colormap};
 use render::composite::Compositor;
 use render::deflate::Mode;
 use render::framebuffer::Framebuffer;
-use render::pipeline::{
-    pseudocolor_slice, shaded_isosurface, IsosurfaceRender, SliceRender,
-};
+use render::pipeline::{pseudocolor_slice, shaded_isosurface, IsosurfaceRender, SliceRender};
 use render::png::encode_framebuffer;
 use sensei::{AnalysisAdaptor, Association, DataAdaptor};
 
@@ -76,6 +74,7 @@ impl LibsimAnalysis {
 
     /// Gather `(local, global, values, spacing, origin)` of the named
     /// point array on a structured leaf.
+    #[allow(clippy::type_complexity)]
     fn structured_field(
         &self,
         data: &dyn DataAdaptor,
@@ -113,12 +112,7 @@ impl LibsimAnalysis {
         None
     }
 
-    fn render_plot(
-        &self,
-        plot: &Plot,
-        data: &dyn DataAdaptor,
-        comm: &Comm,
-    ) -> Option<Framebuffer> {
+    fn render_plot(&self, plot: &Plot, data: &dyn DataAdaptor, comm: &Comm) -> Option<Framebuffer> {
         let (w, h) = self.session.image;
         match plot {
             Plot::Pseudocolor { array, axis, index } => {
@@ -146,8 +140,7 @@ impl LibsimAnalysis {
                 }
                 let glo = comm.allreduce_scalar(lo, f64::min);
                 let ghi = comm.allreduce_scalar(hi, f64::max);
-                let isovalues: Vec<f64> =
-                    levels.iter().map(|f| glo + f * (ghi - glo)).collect();
+                let isovalues: Vec<f64> = levels.iter().map(|f| glo + f * (ghi - glo)).collect();
                 // Camera looks at the domain center from outside.
                 let gd = global.point_dims();
                 let center = [
@@ -185,7 +178,7 @@ impl AnalysisAdaptor for LibsimAnalysis {
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
-        if data.step() % self.session.frequency != 0 {
+        if !data.step().is_multiple_of(self.session.frequency) {
             return true;
         }
         self.renders += 1;
@@ -290,18 +283,27 @@ mod tests {
     fn isosurface_only_session_covers_fewer_pixels_than_slice() {
         World::run(2, |comm| {
             let slice_png = {
-                let s = Session::parse("image 40 40\nplot pseudocolor data axis=z index=4\n").unwrap();
+                let s =
+                    Session::parse("image 40 40\nplot pseudocolor data axis=z index=4\n").unwrap();
                 let mut a = LibsimAnalysis::new(s, Path::new("/nonexistent"));
                 let h = a.png_handle();
                 a.execute(&adaptor(comm, 0), comm);
-                if comm.rank() == 0 { h.lock().clone() } else { None }
+                if comm.rank() == 0 {
+                    h.lock().clone()
+                } else {
+                    None
+                }
             };
             let iso_png = {
                 let s = Session::parse("image 40 40\nplot isosurface data levels=0.4\n").unwrap();
                 let mut a = LibsimAnalysis::new(s, Path::new("/nonexistent"));
                 let h = a.png_handle();
                 a.execute(&adaptor(comm, 0), comm);
-                if comm.rank() == 0 { h.lock().clone() } else { None }
+                if comm.rank() == 0 {
+                    h.lock().clone()
+                } else {
+                    None
+                }
             };
             if comm.rank() == 0 {
                 let count_nonblack = |png: &[u8]| {

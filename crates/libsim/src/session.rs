@@ -142,8 +142,7 @@ impl Session {
                             let levels_str = kv("levels").ok_or_else(|| bad("needs levels="))?;
                             let mut levels = Vec::new();
                             for part in levels_str.split(',') {
-                                let v: f64 =
-                                    part.parse().map_err(|_| bad("bad level value"))?;
+                                let v: f64 = part.parse().map_err(|_| bad("bad level value"))?;
                                 if !(0.0..=1.0).contains(&v) {
                                     return Err(bad("levels are fractions in [0,1]"));
                                 }
@@ -184,9 +183,21 @@ impl Session {
                     array: array.to_string(),
                     levels: vec![0.25, 0.5, 0.75],
                 },
-                Plot::Pseudocolor { array: array.to_string(), axis: 0, index: 0 },
-                Plot::Pseudocolor { array: array.to_string(), axis: 1, index: 0 },
-                Plot::Pseudocolor { array: array.to_string(), axis: 2, index: 0 },
+                Plot::Pseudocolor {
+                    array: array.to_string(),
+                    axis: 0,
+                    index: 0,
+                },
+                Plot::Pseudocolor {
+                    array: array.to_string(),
+                    axis: 1,
+                    index: 0,
+                },
+                Plot::Pseudocolor {
+                    array: array.to_string(),
+                    axis: 2,
+                    index: 0,
+                },
             ],
         }
     }
@@ -207,11 +218,18 @@ mod tests {
         assert_eq!(s.plots.len(), 2);
         assert_eq!(
             s.plots[0],
-            Plot::Pseudocolor { array: "data".into(), axis: 1, index: 12 }
+            Plot::Pseudocolor {
+                array: "data".into(),
+                axis: 1,
+                index: 12
+            }
         );
         assert_eq!(
             s.plots[1],
-            Plot::Isosurface { array: "vort".into(), levels: vec![0.2, 0.8] }
+            Plot::Isosurface {
+                array: "vort".into(),
+                levels: vec![0.2, 0.8]
+            }
         );
     }
 
@@ -220,7 +238,14 @@ mod tests {
         let s = Session::parse("plot pseudocolor data\n").unwrap();
         assert_eq!(s.image, crate::DEFAULT_IMAGE);
         assert_eq!(s.frequency, 1);
-        assert_eq!(s.plots[0], Plot::Pseudocolor { array: "data".into(), axis: 2, index: 0 });
+        assert_eq!(
+            s.plots[0],
+            Plot::Pseudocolor {
+                array: "data".into(),
+                axis: 2,
+                index: 0
+            }
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! order — the standard MPI contract. Violations deadlock, as they would
 //! under MPI.
 
+use std::sync::Arc;
+
 use crate::comm::Comm;
 use crate::envelope::{CollectiveKind, Tag};
 
@@ -70,6 +72,24 @@ impl Comm {
             mask >>= 1;
         }
         value
+    }
+
+    /// Zero-copy broadcast of a shared payload from `root`.
+    ///
+    /// Semantically identical to [`Comm::bcast`], but the value travels
+    /// as an [`Arc`]: each hop of the binomial tree clones a pointer
+    /// (one atomic increment), never the payload, so broadcasting a
+    /// multi-megabyte deck or lookup table to `p` ranks costs one
+    /// allocation total instead of `p` deep copies. Every rank's return
+    /// value shares the root's buffer; a rank that needs private
+    /// mutable access uses `Arc::make_mut`, paying for the copy only
+    /// if and when it actually writes.
+    pub fn bcast_arc<T: Send + Sync + 'static>(
+        &self,
+        root: usize,
+        value: Option<Arc<T>>,
+    ) -> Arc<T> {
+        self.bcast(root, value)
     }
 
     /// Binomial-tree reduction to `root` with a combining operator.
@@ -142,6 +162,127 @@ impl Comm {
         })
     }
 
+    /// Large-message element-wise all-reduce: recursive-halving
+    /// reduce-scatter followed by recursive-doubling allgather
+    /// (Rabenseifner's algorithm, the MPICH large-message path).
+    ///
+    /// [`Comm::allreduce_vec`] moves the *entire* vector up a binomial
+    /// tree and back down — every level transfers `n` elements, for
+    /// `O(n log p)` total traffic through the root. Here each rank
+    /// instead reduces one `n/p`-sized segment (halving the exchanged
+    /// volume every round) and then the segments are allgathered, for
+    /// `O(n)` volume per rank — the right trade for the bin- and
+    /// lag-vector reductions the in situ analyses perform every step.
+    ///
+    /// Non-power-of-two sizes are handled with the standard fold-in:
+    /// the ranks above the largest power of two send their vectors to a
+    /// partner first and receive the finished result last.
+    ///
+    /// `op` must be associative and commutative (the MPI built-in-op
+    /// contract); the combination *order* differs from
+    /// [`Comm::allreduce_vec`], so floating-point sums may differ by
+    /// rounding between the two — exact ops (integer sums, min/max)
+    /// agree bitwise.
+    ///
+    /// # Panics
+    /// Panics (or deadlocks, like MPI) if ranks contribute vectors of
+    /// different lengths.
+    pub fn allreduce_vec_rsag<T, F>(&self, value: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let p = self.size();
+        let n = value.len();
+        if p == 1 {
+            return value;
+        }
+        let epoch = self.next_epoch();
+        // Two tag kinds so a fast partner's allgather traffic can never
+        // be mistaken for reduce-scatter traffic from the same pair.
+        let rs_tag = Tag::collective(CollectiveKind::ReduceScatter, epoch);
+        let ag_tag = Tag::collective(CollectiveKind::Allgather, epoch);
+        let me = self.rank();
+        let p2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
+        let extra = p - p2;
+
+        // Fold-in: ranks beyond the power-of-two boundary contribute to
+        // a partner, then sit out until the result is folded back out.
+        if me >= p2 {
+            self.send_tagged(me - p2, rs_tag, value);
+            let (_, out): (_, Vec<T>) = self.recv_tagged(me - p2, ag_tag);
+            return out;
+        }
+        let mut buf = value;
+        if me < extra {
+            let theirs: Vec<T> = self.recv_tagged(me + p2, rs_tag).1;
+            assert_eq!(theirs.len(), n, "allreduce_vec_rsag: length mismatch");
+            for (a, b) in buf.iter_mut().zip(theirs.iter()) {
+                *a = op(a, b);
+            }
+        }
+
+        // Recursive halving: each round trades away half of the range
+        // still owned and combines the retained half. Splits nest, so
+        // after log₂ p₂ rounds rank order equals segment order.
+        let mut lo = 0usize;
+        let mut hi = n;
+        let mut mask = p2 >> 1;
+        while mask > 0 {
+            let partner = me ^ mask;
+            let mid = lo + (hi - lo) / 2;
+            if me & mask == 0 {
+                let upper = buf.split_off(mid - lo);
+                self.send_tagged(partner, rs_tag, upper);
+                hi = mid;
+            } else {
+                let upper = buf.split_off(mid - lo);
+                self.send_tagged(partner, rs_tag, buf);
+                buf = upper;
+                lo = mid;
+            }
+            let theirs: Vec<T> = self.recv_tagged(partner, rs_tag).1;
+            assert_eq!(
+                theirs.len(),
+                buf.len(),
+                "allreduce_vec_rsag: length mismatch"
+            );
+            for (a, b) in buf.iter_mut().zip(theirs.iter()) {
+                *a = op(a, b);
+            }
+            mask >>= 1;
+        }
+
+        // Recursive doubling: partners hold adjacent (nested-split)
+        // ranges, so every merge is a contiguous concatenation.
+        let mut mask = 1usize;
+        while mask < p2 {
+            let partner = me ^ mask;
+            self.send_tagged(partner, ag_tag, (lo, buf.clone()));
+            let (their_lo, theirs): (usize, Vec<T>) = self.recv_tagged(partner, ag_tag).1;
+            if their_lo < lo {
+                let mut merged = theirs;
+                merged.append(&mut buf);
+                buf = merged;
+                lo = their_lo;
+            } else {
+                buf.extend(theirs);
+            }
+            mask <<= 1;
+        }
+        debug_assert_eq!(
+            (lo, buf.len()),
+            (0, n),
+            "allreduce_vec_rsag: lost a segment"
+        );
+
+        // Fold-out: deliver the finished vector to the sidelined ranks.
+        if me < extra {
+            self.send_tagged(me + p2, ag_tag, buf.clone());
+        }
+        buf
+    }
+
     /// Gather one value from every rank to `root`, ordered by rank.
     /// Returns `Some(values)` on the root, `None` elsewhere.
     pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
@@ -155,7 +296,12 @@ impl Comm {
                 let (src, v) = self.recv_tagged::<T>(crate::ANY_SOURCE, tag);
                 slots[src] = Some(v);
             }
-            Some(slots.into_iter().map(|s| s.expect("gather: hole")).collect())
+            Some(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("gather: hole"))
+                    .collect(),
+            )
         } else {
             self.send_tagged(root, tag, value);
             None
@@ -188,7 +334,10 @@ impl Comm {
             }
             mine.expect("scatter: root element missing")
         } else {
-            assert!(values.is_none(), "scatter: non-root rank passed Some(values)");
+            assert!(
+                values.is_none(),
+                "scatter: non-root rank passed Some(values)"
+            );
             self.recv_tagged(root, tag).1
         }
     }
@@ -356,6 +505,56 @@ mod tests {
             let out = comm.allreduce_vec(v, |a, b| a + b);
             assert_eq!(out, vec![6.0, 4.0]);
         });
+    }
+
+    #[test]
+    fn bcast_arc_shares_one_allocation() {
+        use std::sync::Arc;
+        World::run(6, |comm| {
+            let v = if comm.rank() == 0 {
+                Some(Arc::new(vec![1u64, 2, 3]))
+            } else {
+                None
+            };
+            let got = comm.bcast_arc(0, v);
+            assert_eq!(got.as_ref(), &vec![1u64, 2, 3]);
+            // All ranks alias the root's buffer (in-process transport).
+            let expect = comm.allreduce_scalar(Arc::as_ptr(&got) as usize, |a, b| {
+                assert_eq!(a, b, "ranks hold different allocations");
+                a
+            });
+            assert_eq!(expect, Arc::as_ptr(&got) as usize);
+        });
+    }
+
+    #[test]
+    fn rsag_matches_tree_allreduce_on_exact_ops() {
+        for p in sizes() {
+            World::run(p, move |comm| {
+                // Length not divisible by p, and both odd/even lengths.
+                for n in [0usize, 1, 5, 17, 64] {
+                    let v: Vec<u64> = (0..n as u64).map(|i| i * 7 + comm.rank() as u64).collect();
+                    let tree = comm.allreduce_vec(v.clone(), |a, b| a + b);
+                    let rsag = comm.allreduce_vec_rsag(v, |a, b| a + b);
+                    assert_eq!(tree, rsag, "p={p} n={n}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn rsag_min_max() {
+        for p in sizes() {
+            World::run(p, move |comm| {
+                let v: Vec<i64> = (0..13).map(|i| (comm.rank() as i64 + 3) * i).collect();
+                let lo = comm.allreduce_vec_rsag(v.clone(), |a, b| *a.min(b));
+                let hi = comm.allreduce_vec_rsag(v, |a, b| *a.max(b));
+                for i in 0..13i64 {
+                    assert_eq!(lo[i as usize], 3 * i);
+                    assert_eq!(hi[i as usize], (p as i64 + 2) * i);
+                }
+            });
+        }
     }
 
     #[test]

@@ -308,7 +308,7 @@ mod tests {
             assert_eq!(sub.rank(), comm.rank() / 2);
             // The subgroup communicates independently of the parent.
             let total = sub.allreduce_scalar(comm.rank(), |a, b| a + b);
-            let expect = if color == 0 { 0 + 2 + 4 } else { 1 + 3 + 5 };
+            let expect = if color == 0 { 6 } else { 1 + 3 + 5 };
             assert_eq!(total, expect);
         });
     }

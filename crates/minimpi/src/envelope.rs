@@ -52,6 +52,7 @@ pub enum CollectiveKind {
     Alltoall = 8,
     Scan = 9,
     Split = 10,
+    ReduceScatter = 11,
 }
 
 /// A message in flight: source rank, tag, and type-erased payload.

@@ -66,7 +66,10 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::RankOutOfRange { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
             Error::EmptyGroup => write!(f, "communicator split produced an empty group"),
             Error::Disconnected => write!(f, "peer rank disconnected (panicked?)"),

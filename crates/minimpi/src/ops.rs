@@ -65,7 +65,11 @@ mod tests {
     fn allreduce_maxloc_finds_owner() {
         World::run(6, |comm| {
             // Rank 4 holds the peak.
-            let v = if comm.rank() == 4 { 100.0 } else { comm.rank() as f64 };
+            let v = if comm.rank() == 4 {
+                100.0
+            } else {
+                comm.rank() as f64
+            };
             let got = comm.allreduce(
                 MaxLoc {
                     value: v,

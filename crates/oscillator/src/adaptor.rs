@@ -64,7 +64,9 @@ impl DataAdaptor for OscillatorAdaptor {
         if assoc != Association::Point || name != "data" {
             return false;
         }
-        let DataSet::Image(g) = mesh else { return false };
+        let DataSet::Image(g) = mesh else {
+            return false;
+        };
         g.add_point_array(DataArray::shared("data", 1, Arc::clone(&self.field)));
         true
     }
@@ -73,8 +75,8 @@ impl DataAdaptor for OscillatorAdaptor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::SimConfig;
     use crate::osc::format_deck;
+    use crate::sim::SimConfig;
     use minimpi::World;
     use sensei::analysis::histogram::HistogramAnalysis;
     use sensei::analysis::AnalysisAdaptor as _;

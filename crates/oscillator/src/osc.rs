@@ -36,7 +36,37 @@ pub struct Oscillator {
     pub zeta: f64,
 }
 
+/// The Gaussian exponent magnitude beyond which `exp` underflows to
+/// exactly `+0.0` in IEEE f64.
+///
+/// `exp(x)` rounds to zero for `x < ln(2^-1075) ≈ -745.134`; at `x =
+/// -746` the true value (≈ 1.2e-324) is below half the smallest
+/// subnormal (≈ 2.47e-324), so even with a few ulps of rounding error in
+/// computing the exponent the result is exactly `+0.0`. Support culling
+/// built on this threshold is therefore *bitwise* exact, not an
+/// approximation: every culled contribution is a `±0.0` that cannot
+/// change a non-negative-zero accumulator.
+pub const GAUSSIAN_UNDERFLOW_EXPONENT: f64 = 746.0;
+
 impl Oscillator {
+    /// Squared support cutoff: for any `d2 >= cutoff_d2()` the spatial
+    /// Gaussian [`Oscillator::gaussian`] evaluates to exactly `+0.0`, so
+    /// a kernel may skip such cells without changing the field bitwise.
+    ///
+    /// Returns `0.0` when the radius is so small the denominator
+    /// underflows (callers must then disable culling — the Gaussian is
+    /// NaN at the center in that degenerate case).
+    pub fn cutoff_d2(&self) -> f64 {
+        2.0 * self.radius * self.radius * GAUSSIAN_UNDERFLOW_EXPONENT
+    }
+
+    /// Support radius: distance beyond which this oscillator contributes
+    /// exactly zero (`≈ 38.6 × radius`). Infinite when `radius` is large
+    /// enough to overflow the squared cutoff.
+    pub fn support_radius(&self) -> f64 {
+        self.cutoff_d2().sqrt()
+    }
+
     /// Temporal amplitude at time `t`.
     pub fn value_at(&self, t: f64) -> f64 {
         match self.kind {
@@ -73,6 +103,8 @@ pub enum ParseError {
     UnknownKind { line: usize, kind: String },
     /// A numeric field failed to parse.
     BadNumber { line: usize, field: &'static str },
+    /// A numeric field parsed to an infinity or NaN.
+    NonFiniteNumber { line: usize, field: &'static str },
     /// Radius must be positive.
     NonPositiveRadius { line: usize },
 }
@@ -88,6 +120,9 @@ impl std::fmt::Display for ParseError {
             }
             ParseError::BadNumber { line, field } => {
                 write!(f, "line {line}: field '{field}' is not a number")
+            }
+            ParseError::NonFiniteNumber { line, field } => {
+                write!(f, "line {line}: field '{field}' must be finite")
             }
             ParseError::NonPositiveRadius { line } => {
                 write!(f, "line {line}: radius must be positive")
@@ -126,9 +161,16 @@ pub fn parse_deck(text: &str) -> Result<Vec<Oscillator>, ParseError> {
             }
         };
         let num = |idx: usize, name: &'static str| -> Result<f64, ParseError> {
-            fields[idx]
+            let v: f64 = fields[idx]
                 .parse()
-                .map_err(|_| ParseError::BadNumber { line, field: name })
+                .map_err(|_| ParseError::BadNumber { line, field: name })?;
+            // Finite parameters are what makes support culling exact
+            // (a NaN/∞ amplitude times a zero Gaussian is NaN, which a
+            // culled kernel could not reproduce by skipping).
+            if !v.is_finite() {
+                return Err(ParseError::NonFiniteNumber { line, field: name });
+            }
+            Ok(v)
         };
         let osc = Oscillator {
             kind,
@@ -176,7 +218,10 @@ mod tests {
             zeta: 0.0,
         };
         assert_eq!(o.value_at(0.0), 1.0);
-        assert!((o.value_at(1.0) + 1.0).abs() < 1e-12, "half period flips sign");
+        assert!(
+            (o.value_at(1.0) + 1.0).abs() < 1e-12,
+            "half period flips sign"
+        );
         assert!((o.value_at(2.0) - 1.0).abs() < 1e-12);
     }
 
@@ -260,7 +305,10 @@ mod tests {
         );
         assert_eq!(
             parse_deck("periodic 0 0 zero 1 1 0\n"),
-            Err(ParseError::BadNumber { line: 1, field: "z" })
+            Err(ParseError::BadNumber {
+                line: 1,
+                field: "z"
+            })
         );
         assert_eq!(
             parse_deck("periodic 0 0 0 0 1 0\n"),

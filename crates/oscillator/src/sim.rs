@@ -1,10 +1,23 @@
 //! The time-stepping simulation: fills a block-decomposed structured
 //! grid with convolved oscillator values.
+//!
+//! The per-step fill is the miniapp half of the paper's hot path, and it
+//! runs through **one chunked kernel** ([`Simulation::step_with_threads`])
+//! parameterized by thread count: the rank's subgrid is split into
+//! contiguous k-plane slabs, each slab filled independently with
+//! **per-oscillator AABB support culling**. Culling exploits the fact
+//! that the spatial Gaussian underflows to exactly `+0.0` beyond
+//! [`Oscillator::support_radius`], so each oscillator only touches cells
+//! inside its influence box — `O(cells + Σ support volumes)` instead of
+//! `O(cells × oscillators)` — while staying **bitwise identical** to the
+//! naive all-pairs kernel ([`Simulation::step_naive`], kept as the
+//! property-test and benchmark reference).
 
 use std::sync::Arc;
 
 use datamodel::{dims_create, partition_extent, Extent};
 use minimpi::Comm;
+use sensei::exec;
 
 use crate::osc::{parse_deck, Oscillator};
 
@@ -39,7 +52,8 @@ impl Default for SimConfig {
 /// Per-rank simulation state.
 pub struct Simulation {
     config: SimConfig,
-    oscillators: Vec<Oscillator>,
+    /// The oscillator set, shared by the zero-copy deck broadcast.
+    oscillators: Arc<Vec<Oscillator>>,
     /// Local (block) extent.
     local: Extent,
     /// Global extent.
@@ -56,15 +70,19 @@ impl Simulation {
     /// Set up the simulation: the deck text is read on rank 0 and
     /// broadcast, the global grid is partitioned by regular
     /// decomposition, and the local field allocated.
+    ///
+    /// The parsed deck moves through [`Comm::bcast_arc`], so every rank
+    /// of a node shares one allocation instead of deep-copying the deck
+    /// along the broadcast tree.
     pub fn new(comm: &Comm, config: SimConfig, deck_on_root: Option<&str>) -> Self {
         // Root parses and broadcasts the oscillator set (§3.3: "read and
         // broadcast from the root process").
         let oscillators = if comm.rank() == 0 {
             let deck = deck_on_root.expect("rank 0 must supply the oscillator deck");
             let parsed = parse_deck(deck).unwrap_or_else(|e| panic!("bad deck: {e}"));
-            comm.bcast(0, Some(parsed))
+            comm.bcast_arc(0, Some(Arc::new(parsed)))
         } else {
-            comm.bcast(0, None)
+            comm.bcast_arc(0, None)
         };
         assert!(!oscillators.is_empty(), "need at least one oscillator");
 
@@ -89,12 +107,35 @@ impl Simulation {
         }
     }
 
-    /// Advance one timestep: recompute every local cell as the sum of
-    /// the convolved oscillator values at the new time.
+    /// Advance one timestep on a single thread (the culled kernel).
     pub fn step(&mut self, comm: &Comm) {
+        self.step_with_threads(comm, 1);
+    }
+
+    /// Advance one timestep with **hybrid MPI+thread execution**: one
+    /// intra-rank thread per available core, while ranks still exchange
+    /// via the communicator (the execution model the paper's Nyx
+    /// discussion calls for, §4.2.3). Results are bitwise identical to
+    /// [`Simulation::step`] at any thread count.
+    pub fn step_hybrid(&mut self, comm: &Comm) {
+        self.step_with_threads(comm, 0);
+    }
+
+    /// Advance one timestep on `threads` intra-rank threads (`0` = use
+    /// every available core).
+    ///
+    /// The local block is split into contiguous k-plane slabs, one per
+    /// thread; each slab runs the support-culled kernel independently.
+    /// Per-cell accumulation order is the deck order at every thread
+    /// count, so the field is bitwise identical to
+    /// [`Simulation::step_naive`] regardless of `threads`.
+    ///
+    /// The communicator is only touched from the calling thread
+    /// (`MPI_THREAD_FUNNELED`).
+    pub fn step_with_threads(&mut self, comm: &Comm, threads: usize) {
         self.time = self.step as f64 * self.config.dt;
         let t = self.time;
-        let oscillators = &self.oscillators;
+        let oscillators: &[Oscillator] = &self.oscillators;
         let spacing = self.spacing;
         let local = self.local;
 
@@ -102,8 +143,51 @@ impl Simulation {
         // (the steady state: adaptors release between steps); if a view
         // is still alive this copies rather than corrupting it.
         let field = Arc::make_mut(&mut self.field);
-        let mut idx = 0;
-        for p in local.iter_points() {
+        let dims = local.point_dims();
+        let plane = dims[0] * dims[1];
+        let slabs = exec::split_even(dims[2], exec::resolve_threads(threads));
+        if slabs.len() <= 1 {
+            fill_culled(local, field, oscillators, spacing, t);
+        } else {
+            std::thread::scope(|scope| {
+                let mut rest: &mut [f64] = field;
+                let mut handles = Vec::with_capacity(slabs.len());
+                for r in &slabs {
+                    let (slab, tail) = rest.split_at_mut(r.len() * plane);
+                    rest = tail;
+                    let chunk = Extent::new(
+                        [local.lo[0], local.lo[1], local.lo[2] + r.start as i64],
+                        [local.hi[0], local.hi[1], local.lo[2] + r.end as i64 - 1],
+                    );
+                    handles.push(
+                        scope.spawn(move || fill_culled(chunk, slab, oscillators, spacing, t)),
+                    );
+                }
+                for h in handles {
+                    h.join().expect("step: slab worker panicked");
+                }
+            });
+        }
+        self.step += 1;
+        if self.config.sync_every_step {
+            comm.barrier();
+        }
+    }
+
+    /// Advance one timestep with the naive all-pairs kernel: every cell
+    /// evaluates every oscillator, serially.
+    ///
+    /// Kept as the reference implementation: property tests assert the
+    /// culled/threaded kernel reproduces this bitwise, and the hot-path
+    /// benchmark measures its speedup against it.
+    pub fn step_naive(&mut self, comm: &Comm) {
+        self.time = self.step as f64 * self.config.dt;
+        let t = self.time;
+        let oscillators: &[Oscillator] = &self.oscillators;
+        let spacing = self.spacing;
+        let local = self.local;
+        let field = Arc::make_mut(&mut self.field);
+        for (out, p) in field.iter_mut().zip(local.iter_points()) {
             let pos = [
                 p[0] as f64 * spacing[0],
                 p[1] as f64 * spacing[1],
@@ -113,43 +197,8 @@ impl Simulation {
             for o in oscillators {
                 v += o.contribution(pos, t);
             }
-            field[idx] = v;
-            idx += 1;
+            *out = v;
         }
-        self.step += 1;
-        if self.config.sync_every_step {
-            comm.barrier();
-        }
-    }
-
-    /// Advance one timestep with **hybrid MPI+thread execution**: the
-    /// rank's subgrid fill is data-parallel over an intra-rank thread
-    /// pool (rayon), while ranks still exchange via the communicator.
-    ///
-    /// This is the execution model the paper's Nyx discussion calls for
-    /// ("in situ analysis must support hybrid MPI+OpenMP (or other
-    /// thread-based) execution models", §4.2.3). Results are bitwise
-    /// identical to [`Simulation::step`].
-    pub fn step_hybrid(&mut self, comm: &Comm) {
-        use rayon::prelude::*;
-        self.time = self.step as f64 * self.config.dt;
-        let t = self.time;
-        let oscillators = &self.oscillators;
-        let spacing = self.spacing;
-        let local = self.local;
-        let field = Arc::make_mut(&mut self.field);
-        field
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(n, cell)| {
-                let p = local.point_at(n);
-                let pos = [
-                    p[0] as f64 * spacing[0],
-                    p[1] as f64 * spacing[1],
-                    p[2] as f64 * spacing[2],
-                ];
-                *cell = oscillators.iter().map(|o| o.contribution(pos, t)).sum();
-            });
         self.step += 1;
         if self.config.sync_every_step {
             comm.barrier();
@@ -197,21 +246,150 @@ impl Simulation {
     }
 }
 
+/// Fill one chunk of the field with the support-culled kernel.
+///
+/// For each oscillator (in deck order, so per-cell accumulation order
+/// matches the naive kernel) the chunk is clipped to the oscillator's
+/// axis-aligned influence box, and inside the box each cell applies the
+/// exact-underflow gate: contributions with `d² >= cutoff_d2` are
+/// skipped because the Gaussian is exactly `+0.0` there. Skipped terms
+/// are `±0.0` adds, which cannot change an accumulator that is never
+/// `-0.0` (it starts at `+0.0`, and IEEE addition only yields `-0.0`
+/// from two negative zeros) — hence bitwise identity with the naive sum.
+///
+/// Degenerate oscillators (non-finite amplitude at `t`, or a radius so
+/// small the Gaussian denominator underflows) disable culling for that
+/// oscillator and fall back to evaluating every cell, preserving the
+/// naive kernel's NaN propagation.
+fn fill_culled(
+    chunk: Extent,
+    out: &mut [f64],
+    oscillators: &[Oscillator],
+    spacing: [f64; 3],
+    t: f64,
+) {
+    debug_assert_eq!(out.len(), chunk.num_points());
+    out.fill(0.0);
+    let d = chunk.point_dims();
+    for o in oscillators {
+        // Hoisted invariants: `amp` and `denom` are the exact values
+        // `contribution` computes internally, so `amp * (-d2/denom).exp()`
+        // reproduces it bit for bit.
+        let amp = o.value_at(t);
+        let denom = 2.0 * o.radius * o.radius;
+        let cutoff = o.cutoff_d2();
+        let cullable = amp.is_finite() && cutoff > 0.0;
+        let (ilo, ihi) = axis_range(
+            chunk.lo[0],
+            chunk.hi[0],
+            o.center[0],
+            spacing[0],
+            cutoff,
+            cullable,
+        );
+        let (jlo, jhi) = axis_range(
+            chunk.lo[1],
+            chunk.hi[1],
+            o.center[1],
+            spacing[1],
+            cutoff,
+            cullable,
+        );
+        let (klo, khi) = axis_range(
+            chunk.lo[2],
+            chunk.hi[2],
+            o.center[2],
+            spacing[2],
+            cutoff,
+            cullable,
+        );
+        if ilo > ihi || jlo > jhi || klo > khi {
+            continue; // influence box misses this chunk entirely
+        }
+        for k in klo..=khi {
+            let dz = k as f64 * spacing[2] - o.center[2];
+            let dz2 = dz * dz;
+            let krow = (k - chunk.lo[2]) as usize * d[1];
+            for j in jlo..=jhi {
+                let dy = j as f64 * spacing[1] - o.center[1];
+                let dy2 = dy * dy;
+                let jrow = (krow + (j - chunk.lo[1]) as usize) * d[0];
+                for i in ilo..=ihi {
+                    let dx = i as f64 * spacing[0] - o.center[0];
+                    let d2 = dx * dx + dy2 + dz2;
+                    if cullable && d2 >= cutoff {
+                        continue; // Gaussian underflowed: exactly ±0.0
+                    }
+                    out[jrow + (i - chunk.lo[0]) as usize] += amp * (-d2 / denom).exp();
+                }
+            }
+        }
+    }
+}
+
+/// Inclusive index range of points within `[lo, hi]` whose coordinate
+/// can lie inside the oscillator's support along one axis, widened by
+/// one point so float rounding can never shrink the true support. Falls
+/// back to the full range whenever the bound arithmetic is not
+/// trustworthy (culling disabled, non-positive spacing, or non-finite
+/// bounds).
+fn axis_range(lo: i64, hi: i64, center: f64, sp: f64, cutoff: f64, cullable: bool) -> (i64, i64) {
+    if !cullable || sp.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !cutoff.is_finite()
+    {
+        return (lo, hi);
+    }
+    let r = cutoff.sqrt();
+    let a = (center - r) / sp - 1.0;
+    let b = (center + r) / sp + 1.0;
+    if !a.is_finite() || !b.is_finite() {
+        return (lo, hi);
+    }
+    // `as i64` saturates, so astronomically wide supports clamp safely.
+    ((a.floor() as i64).max(lo), (b.ceil() as i64).min(hi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::osc::format_deck;
+    use crate::osc::{format_deck, OscillatorKind};
     use minimpi::World;
 
     fn deck() -> String {
         format_deck(&crate::demo_oscillators())
     }
 
+    /// A deck of small-radius oscillators whose supports cover only a
+    /// fraction of the unit cube — the case culling exists for.
+    fn sparse_deck(n: usize) -> String {
+        let oscillators: Vec<Oscillator> = (0..n)
+            .map(|i| Oscillator {
+                kind: match i % 3 {
+                    0 => OscillatorKind::Periodic,
+                    1 => OscillatorKind::Damped,
+                    _ => OscillatorKind::Decaying,
+                },
+                center: [
+                    (i as f64 * 0.37).fract(),
+                    (i as f64 * 0.61).fract(),
+                    (i as f64 * 0.83).fract(),
+                ],
+                radius: 0.004 + (i % 5) as f64 * 0.001,
+                omega: 1.0 + i as f64,
+                zeta: 0.1 * (i % 4) as f64,
+            })
+            .collect();
+        format_deck(&oscillators)
+    }
+
     #[test]
     fn broadcast_gives_every_rank_the_deck() {
         let d = deck();
         World::run(4, move |comm| {
-            let root_deck = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+            let root_deck = if comm.rank() == 0 {
+                Some(d.as_str())
+            } else {
+                None
+            };
             let sim = Simulation::new(comm, SimConfig::default(), root_deck);
             assert_eq!(sim.oscillators().len(), 3);
         });
@@ -221,9 +399,14 @@ mod tests {
     fn blocks_partition_the_global_grid() {
         let d = deck();
         World::run(8, move |comm| {
-            let root_deck = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+            let root_deck = if comm.rank() == 0 {
+                Some(d.as_str())
+            } else {
+                None
+            };
             let sim = Simulation::new(comm, SimConfig::default(), root_deck);
-            let total_cells: usize = comm.allreduce_scalar(sim.local_extent().num_cells(), |a, b| a + b);
+            let total_cells: usize =
+                comm.allreduce_scalar(sim.local_extent().num_cells(), |a, b| a + b);
             assert_eq!(total_cells, sim.global_extent().num_cells());
         });
     }
@@ -232,7 +415,11 @@ mod tests {
     fn field_matches_analytic_sum() {
         let d = deck();
         World::run(2, move |comm| {
-            let root_deck = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+            let root_deck = if comm.rank() == 0 {
+                Some(d.as_str())
+            } else {
+                None
+            };
             let cfg = SimConfig {
                 grid: [8, 8, 8],
                 steps: 3,
@@ -248,8 +435,16 @@ mod tests {
             let local = sim.local_extent();
             let sp = sim.spacing();
             for (i, p) in local.iter_points().enumerate() {
-                let pos = [p[0] as f64 * sp[0], p[1] as f64 * sp[1], p[2] as f64 * sp[2]];
-                let expect: f64 = sim.oscillators().iter().map(|o| o.contribution(pos, t)).sum();
+                let pos = [
+                    p[0] as f64 * sp[0],
+                    p[1] as f64 * sp[1],
+                    p[2] as f64 * sp[2],
+                ];
+                let expect: f64 = sim
+                    .oscillators()
+                    .iter()
+                    .map(|o| o.contribution(pos, t))
+                    .sum();
                 assert!((field[i] - expect).abs() < 1e-12);
             }
         });
@@ -282,14 +477,24 @@ mod tests {
         let probe = [3i64, 5, 2];
         let d1 = d.clone();
         let v1 = World::run(1, move |comm| {
-            let cfg = SimConfig { grid: [8, 8, 8], ..SimConfig::default() };
+            let cfg = SimConfig {
+                grid: [8, 8, 8],
+                ..SimConfig::default()
+            };
             let mut sim = Simulation::new(comm, cfg, Some(d1.as_str()));
             sim.step(comm);
             sim.field()[sim.local_extent().linear_index(probe)]
         });
         let v4 = World::run(4, move |comm| {
-            let root_deck = if comm.rank() == 0 { Some(d.as_str()) } else { None };
-            let cfg = SimConfig { grid: [8, 8, 8], ..SimConfig::default() };
+            let root_deck = if comm.rank() == 0 {
+                Some(d.as_str())
+            } else {
+                None
+            };
+            let cfg = SimConfig {
+                grid: [8, 8, 8],
+                ..SimConfig::default()
+            };
             let mut sim = Simulation::new(comm, cfg, root_deck);
             sim.step(comm);
             if sim.local_extent().contains(probe) {
@@ -311,14 +516,22 @@ mod tests {
         // change results.
         let d = deck();
         World::run(2, move |comm| {
-            let root_deck = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+            let root_deck = if comm.rank() == 0 {
+                Some(d.as_str())
+            } else {
+                None
+            };
             let cfg = SimConfig {
                 grid: [12, 12, 12],
                 steps: 3,
                 ..SimConfig::default()
             };
             let mut serial = Simulation::new(comm, cfg.clone(), root_deck);
-            let root_deck2 = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+            let root_deck2 = if comm.rank() == 0 {
+                Some(d.as_str())
+            } else {
+                None
+            };
             let mut hybrid = Simulation::new(comm, cfg, root_deck2);
             for _ in 0..3 {
                 serial.step(comm);
@@ -326,6 +539,69 @@ mod tests {
             }
             assert_eq!(serial.field().as_ref(), hybrid.field().as_ref());
             assert_eq!(serial.current_time(), hybrid.current_time());
+        });
+    }
+
+    #[test]
+    fn culled_kernel_is_bitwise_identical_to_naive() {
+        // The tentpole contract: support culling and slab threading must
+        // reproduce the all-pairs kernel bit for bit — on the dense demo
+        // deck (supports cover the domain) and a sparse deck (most
+        // oscillator/cell pairs culled).
+        for deck_text in [deck(), sparse_deck(40)] {
+            for threads in [1usize, 2, 5] {
+                let d = deck_text.clone();
+                World::run(2, move |comm| {
+                    let cfg = SimConfig {
+                        grid: [17, 13, 11],
+                        ..SimConfig::default()
+                    };
+                    let root = if comm.rank() == 0 {
+                        Some(d.as_str())
+                    } else {
+                        None
+                    };
+                    let mut naive = Simulation::new(comm, cfg.clone(), root);
+                    let root2 = if comm.rank() == 0 {
+                        Some(d.as_str())
+                    } else {
+                        None
+                    };
+                    let mut culled = Simulation::new(comm, cfg, root2);
+                    for _ in 0..4 {
+                        naive.step_naive(comm);
+                        culled.step_with_threads(comm, threads);
+                        assert_eq!(
+                            naive.field().as_ref(),
+                            culled.field().as_ref(),
+                            "culled/threads={threads} diverged from naive"
+                        );
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn support_box_misses_far_oscillator() {
+        // An oscillator far outside the domain with a tiny radius must
+        // contribute exactly zero everywhere — and bitwise-match naive.
+        let o = Oscillator {
+            kind: OscillatorKind::Periodic,
+            center: [50.0, 50.0, 50.0],
+            radius: 0.01,
+            omega: 3.0,
+            zeta: 0.0,
+        };
+        let text = format_deck(&[o]);
+        World::run(1, move |comm| {
+            let cfg = SimConfig {
+                grid: [8, 8, 8],
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(comm, cfg, Some(text.as_str()));
+            sim.step(comm);
+            assert!(sim.field().iter().all(|&v| v == 0.0));
         });
     }
 

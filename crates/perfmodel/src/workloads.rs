@@ -36,7 +36,11 @@ pub const MERGE_RATE: f64 = 2.0e7;
 /// planned for 50K cores (70³ per core). These reproduce Table 1's
 /// per-step dataset sizes exactly: 2 GB / 16 GB / 123 GB.
 pub fn miniapp_scales() -> [(usize, usize); 3] {
-    [(812, 68 * 68 * 68), (6496, 68 * 68 * 68), (45440, 70 * 70 * 70)]
+    [
+        (812, 68 * 68 * 68),
+        (6496, 68 * 68 * 68),
+        (45440, 70 * 70 * 70),
+    ]
 }
 
 /// Bytes of one timestep of miniapp output (one f64 field).
@@ -77,8 +81,8 @@ pub fn autocorrelation_finalize(
     window: usize,
     k: usize,
 ) -> f64 {
-    let local_select = (cells_per_rank as f64 * (k as f64).log2().max(1.0))
-        / (SCAN_RATE * m.core_speed);
+    let local_select =
+        (cells_per_rank as f64 * (k as f64).log2().max(1.0)) / (SCAN_RATE * m.core_speed);
     let payload = (k * window * 16) as f64;
     let gather = network::gather(m, p, payload);
     let root_merge = (p * k * window) as f64 / (MERGE_RATE * m.core_speed);
@@ -530,8 +534,8 @@ mod tests {
         assert!((20.0..28.0).contains(&t), "volume write {t}");
         // In situ affords 3–4× the temporal resolution of post hoc.
         let m = MachineSpec::titan();
-        let insitu_per_step = leslie_render_invocation(&m, 65536) / 5.0
-            + leslie_adaptor_step(&m, 65536);
+        let insitu_per_step =
+            leslie_render_invocation(&m, 65536) / 5.0 + leslie_adaptor_step(&m, 65536);
         let afford = t / (insitu_per_step * 5.0);
         assert!(afford > 2.0, "temporal-resolution advantage {afford}");
     }

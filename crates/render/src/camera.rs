@@ -52,13 +52,21 @@ impl Camera {
     /// An orthographic camera covering the rectangle `[x0,x1]×[y0,y1]`.
     pub fn ortho(x0: f64, x1: f64, y0: f64, y1: f64) -> Self {
         assert!(x1 > x0 && y1 > y0, "degenerate ortho window");
-        Camera::Ortho { x: [x0, x1], y: [y0, y1] }
+        Camera::Ortho {
+            x: [x0, x1],
+            y: [y0, y1],
+        }
     }
 
     /// A perspective camera looking from `eye` to `target`.
     pub fn look_at(eye: [f64; 3], target: [f64; 3], up: [f64; 3], fov_y: f64) -> Self {
         assert!(fov_y > 0.0 && fov_y < std::f64::consts::PI, "bad fov");
-        Camera::LookAt { eye, target, up, fov_y }
+        Camera::LookAt {
+            eye,
+            target,
+            up,
+            fov_y,
+        }
     }
 
     /// Project a world point (2D slices pass z as the slice-normal
@@ -75,7 +83,12 @@ impl Camera {
                     p[2] as f32,
                 ))
             }
-            Camera::LookAt { eye, target, up, fov_y } => {
+            Camera::LookAt {
+                eye,
+                target,
+                up,
+                fov_y,
+            } => {
                 let fwd = normalize(sub(*target, *eye));
                 let right = normalize(cross(fwd, *up));
                 let cam_up = cross(right, fwd);

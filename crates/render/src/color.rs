@@ -20,7 +20,12 @@ impl Color {
     }
 
     /// Fully transparent black (the compositing identity).
-    pub const TRANSPARENT: Color = Color { r: 0, g: 0, b: 0, a: 0 };
+    pub const TRANSPARENT: Color = Color {
+        r: 0,
+        g: 0,
+        b: 0,
+        a: 0,
+    };
 
     /// Opaque white.
     pub const WHITE: Color = Color::rgb(255, 255, 255);

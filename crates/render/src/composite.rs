@@ -66,7 +66,11 @@ pub fn binary_swap(comm: &Comm, mut fb: Framebuffer) -> Option<Framebuffer> {
         let partner = me ^ bit;
         let mid = lo + (hi - lo) / 2;
         let keep_low = me & bit == 0;
-        let (keep, give) = if keep_low { ((lo, mid), (mid, hi)) } else { ((mid, hi), (lo, mid)) };
+        let (keep, give) = if keep_low {
+            ((lo, mid), (mid, hi))
+        } else {
+            ((mid, hi), (lo, mid))
+        };
         let outgoing = fb.extract_rows(give.0, give.1);
         comm.send(partner, TAG_SWAP, (give.0, outgoing));
         let (their_lo, their_band): (usize, Framebuffer) = comm.recv(partner, TAG_SWAP);
@@ -160,7 +164,10 @@ mod tests {
     }
 
     fn expect_full(final_fb: &Framebuffer, p: usize) {
-        assert_eq!(final_fb.covered_pixels(), final_fb.width() * final_fb.height());
+        assert_eq!(
+            final_fb.covered_pixels(),
+            final_fb.width() * final_fb.height()
+        );
         // Column x belongs to rank x mod p.
         for x in 0..final_fb.width() {
             let want = (x % p) as u8 + 1;
@@ -216,7 +223,12 @@ mod tests {
         for which in [Compositor::BinarySwap, Compositor::DirectSendTree(2)] {
             let out = World::run(4, move |comm| {
                 let mut fb = Framebuffer::new(8, 8);
-                fb.set_pixel(3, 3, comm.rank() as f32, Color::rgb(comm.rank() as u8 + 1, 0, 0));
+                fb.set_pixel(
+                    3,
+                    3,
+                    comm.rank() as f32,
+                    Color::rgb(comm.rank() as u8 + 1, 0, 0),
+                );
                 composite(comm, fb, which)
             });
             let root = out.into_iter().next().unwrap().unwrap();
@@ -240,6 +252,8 @@ mod tests {
     #[should_panic(expected = "shorter than")]
     fn image_too_short_for_bands_panics() {
         // 8 pot participants need >= 8 rows; give 2.
-        World::run(8, |comm| binary_swap(comm, rank_columns(comm.rank(), 8, 4, 2)));
+        World::run(8, |comm| {
+            binary_swap(comm, rank_columns(comm.rank(), 8, 4, 2))
+        });
     }
 }

@@ -32,7 +32,11 @@ struct BitWriter {
 
 impl BitWriter {
     fn new() -> Self {
-        BitWriter { out: Vec::new(), bitbuf: 0, nbits: 0 }
+        BitWriter {
+            out: Vec::new(),
+            bitbuf: 0,
+            nbits: 0,
+        }
     }
 
     /// Write `n` bits, LSB-first.
@@ -80,7 +84,12 @@ struct BitReader<'a> {
 
 impl<'a> BitReader<'a> {
     fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, bitbuf: 0, nbits: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            bitbuf: 0,
+            nbits: 0,
+        }
     }
 
     fn refill(&mut self) {
@@ -130,20 +139,68 @@ fn fixed_litlen_code(s: usize) -> (u32, u32) {
 
 /// Length symbol table: `(symbol, extra_bits, base_length)`.
 const LENGTH_TABLE: [(u32, u32, u32); 29] = [
-    (257, 0, 3), (258, 0, 4), (259, 0, 5), (260, 0, 6), (261, 0, 7), (262, 0, 8),
-    (263, 0, 9), (264, 0, 10), (265, 1, 11), (266, 1, 13), (267, 1, 15), (268, 1, 17),
-    (269, 2, 19), (270, 2, 23), (271, 2, 27), (272, 2, 31), (273, 3, 35), (274, 3, 43),
-    (275, 3, 51), (276, 3, 59), (277, 4, 67), (278, 4, 83), (279, 4, 99), (280, 4, 115),
-    (281, 5, 131), (282, 5, 163), (283, 5, 195), (284, 5, 227), (285, 0, 258),
+    (257, 0, 3),
+    (258, 0, 4),
+    (259, 0, 5),
+    (260, 0, 6),
+    (261, 0, 7),
+    (262, 0, 8),
+    (263, 0, 9),
+    (264, 0, 10),
+    (265, 1, 11),
+    (266, 1, 13),
+    (267, 1, 15),
+    (268, 1, 17),
+    (269, 2, 19),
+    (270, 2, 23),
+    (271, 2, 27),
+    (272, 2, 31),
+    (273, 3, 35),
+    (274, 3, 43),
+    (275, 3, 51),
+    (276, 3, 59),
+    (277, 4, 67),
+    (278, 4, 83),
+    (279, 4, 99),
+    (280, 4, 115),
+    (281, 5, 131),
+    (282, 5, 163),
+    (283, 5, 195),
+    (284, 5, 227),
+    (285, 0, 258),
 ];
 
 /// Distance symbol table: `(symbol, extra_bits, base_distance)`.
 const DIST_TABLE: [(u32, u32, u32); 30] = [
-    (0, 0, 1), (1, 0, 2), (2, 0, 3), (3, 0, 4), (4, 1, 5), (5, 1, 7), (6, 2, 9),
-    (7, 2, 13), (8, 3, 17), (9, 3, 25), (10, 4, 33), (11, 4, 49), (12, 5, 65),
-    (13, 5, 97), (14, 6, 129), (15, 6, 193), (16, 7, 257), (17, 7, 385), (18, 8, 513),
-    (19, 8, 769), (20, 9, 1025), (21, 9, 1537), (22, 10, 2049), (23, 10, 3073),
-    (24, 11, 4097), (25, 11, 6145), (26, 12, 8193), (27, 12, 12289), (28, 13, 16385),
+    (0, 0, 1),
+    (1, 0, 2),
+    (2, 0, 3),
+    (3, 0, 4),
+    (4, 1, 5),
+    (5, 1, 7),
+    (6, 2, 9),
+    (7, 2, 13),
+    (8, 3, 17),
+    (9, 3, 25),
+    (10, 4, 33),
+    (11, 4, 49),
+    (12, 5, 65),
+    (13, 5, 97),
+    (14, 6, 129),
+    (15, 6, 193),
+    (16, 7, 257),
+    (17, 7, 385),
+    (18, 8, 513),
+    (19, 8, 769),
+    (20, 9, 1025),
+    (21, 9, 1537),
+    (22, 10, 2049),
+    (23, 10, 3073),
+    (24, 11, 4097),
+    (25, 11, 6145),
+    (26, 12, 8193),
+    (27, 12, 12289),
+    (28, 13, 16385),
     (29, 13, 24577),
 ];
 
@@ -233,9 +290,10 @@ fn lz77(data: &[u8]) -> Vec<Token> {
                 dist: best_dist as u32,
             });
             // Insert the skipped positions so later matches can find them.
-            for j in i + 1..(i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1)) {
+            let stop = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            for (j, p) in prev.iter_mut().enumerate().take(stop).skip(i + 1) {
                 let h = hash3(data, j);
-                prev[j] = head[h];
+                *p = head[h];
                 head[h] = j;
             }
             i += best_len;
@@ -390,12 +448,12 @@ fn read_fixed_litlen(r: &mut BitReader) -> Result<u32, InflateError> {
         code = (code << 1) | r.bits(1)?;
         let (lo, hi, base) = match len {
             7 => (0b000_0000, 0b001_0111, 256),
-            8 if code >= 0x30 && code <= 0xBF => (0x30, 0xBF, 0),
-            8 if code >= 0xC0 && code <= 0xC7 => (0xC0, 0xC7, 280),
+            8 if (0x30..=0xBF).contains(&code) => (0x30, 0xBF, 0),
+            8 if (0xC0..=0xC7).contains(&code) => (0xC0, 0xC7, 280),
             9 => (0x190, 0x1FF, 144),
             _ => continue,
         };
-        if code >= lo && code <= hi {
+        if (lo..=hi).contains(&code) {
             return Ok(base + (code - lo));
         }
     }
@@ -440,7 +498,7 @@ pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, InflateError> {
     if data.len() < 6 || data[0] & 0x0F != 8 {
         return Err(InflateError::BadZlib);
     }
-    if ((data[0] as u16) << 8 | data[1] as u16) % 31 != 0 {
+    if !((data[0] as u16) << 8 | data[1] as u16).is_multiple_of(31) {
         return Err(InflateError::BadZlib);
     }
     let body = &data[2..data.len() - 4];
@@ -464,7 +522,12 @@ mod tests {
     fn roundtrip(data: &[u8], mode: Mode) {
         let comp = deflate(data, mode);
         let back = inflate(&comp).expect("inflate");
-        assert_eq!(back, data, "roundtrip failed for {mode:?}, {} bytes", data.len());
+        assert_eq!(
+            back,
+            data,
+            "roundtrip failed for {mode:?}, {} bytes",
+            data.len()
+        );
     }
 
     #[test]
@@ -481,7 +544,12 @@ mod tests {
 
     #[test]
     fn repetitive_data_roundtrips_and_compresses() {
-        let data: Vec<u8> = b"abcabcabcabc".iter().cycle().take(10_000).cloned().collect();
+        let data: Vec<u8> = b"abcabcabcabc"
+            .iter()
+            .cycle()
+            .take(10_000)
+            .cloned()
+            .collect();
         roundtrip(&data, Mode::Fixed);
         let comp = deflate(&data, Mode::Fixed);
         assert!(
@@ -526,7 +594,12 @@ mod tests {
             }
         }
         let comp = deflate(&data, Mode::Fixed);
-        assert!(comp.len() < data.len() / 3, "{} vs {}", comp.len(), data.len());
+        assert!(
+            comp.len() < data.len() / 3,
+            "{} vs {}",
+            comp.len(),
+            data.len()
+        );
         roundtrip(&data, Mode::Fixed);
     }
 

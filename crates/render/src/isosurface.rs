@@ -56,8 +56,18 @@ pub fn marching_tetrahedra(
                 }
                 for tet in &TETS {
                     march_tet(
-                        [corner_p[tet[0]], corner_p[tet[1]], corner_p[tet[2]], corner_p[tet[3]]],
-                        [corner_v[tet[0]], corner_v[tet[1]], corner_v[tet[2]], corner_v[tet[3]]],
+                        [
+                            corner_p[tet[0]],
+                            corner_p[tet[1]],
+                            corner_p[tet[2]],
+                            corner_p[tet[3]],
+                        ],
+                        [
+                            corner_v[tet[0]],
+                            corner_v[tet[1]],
+                            corner_v[tet[2]],
+                            corner_v[tet[3]],
+                        ],
                         isovalue,
                         &mut triangles,
                     );

@@ -115,9 +115,24 @@ pub fn shaded_isosurface(
             if let (Some(a), Some(b), Some(cc)) = (project(t[0]), project(t[1]), project(t[2])) {
                 fill_triangle(
                     &mut fb,
-                    Vertex { x: a.0, y: a.1, z: a.2, color: c },
-                    Vertex { x: b.0, y: b.1, z: b.2, color: c },
-                    Vertex { x: cc.0, y: cc.1, z: cc.2, color: c },
+                    Vertex {
+                        x: a.0,
+                        y: a.1,
+                        z: a.2,
+                        color: c,
+                    },
+                    Vertex {
+                        x: b.0,
+                        y: b.1,
+                        z: b.2,
+                        color: c,
+                    },
+                    Vertex {
+                        x: cc.0,
+                        y: cc.1,
+                        z: cc.2,
+                        color: c,
+                    },
                 );
             }
         }
@@ -228,7 +243,11 @@ mod tests {
         let root = out[0].as_ref().unwrap();
         // The sphere projects to a disc: a good chunk of pixels covered,
         // and the center pixel definitely hit.
-        assert!(root.covered_pixels() > 200, "covered {}", root.covered_pixels());
+        assert!(
+            root.covered_pixels() > 200,
+            "covered {}",
+            root.covered_pixels()
+        );
         assert_ne!(root.pixel(32, 32), crate::color::Color::TRANSPARENT);
         // Corners stay background.
         assert_eq!(root.pixel(1, 1), crate::color::Color::TRANSPARENT);
@@ -266,7 +285,9 @@ mod tests {
                         origin: [0.0; 3],
                         spacing: [1.0; 3],
                     };
-                    shaded_isosurface(comm, &global, &vals, &cfg).unwrap().covered_pixels()
+                    shaded_isosurface(comm, &global, &vals, &cfg)
+                        .unwrap()
+                        .covered_pixels()
                 });
                 out[0]
             })

@@ -3,9 +3,9 @@
 //! "render, compress on rank 0, write" path the paper's slice pipelines
 //! take.
 
+use crate::color::Color;
 use crate::deflate::{self, Mode};
 use crate::framebuffer::Framebuffer;
-use crate::color::Color;
 
 /// CRC-32 (ISO 3309), as required by the PNG chunk format.
 /// Table-driven, like zlib's implementation.

@@ -47,9 +47,8 @@ pub fn fill_triangle(fb: &mut Framebuffer, v0: Vertex, v1: Vertex, v2: Vertex) {
                 continue;
             }
             let z = (w0 * v0.z as f64 + w1 * v1.z as f64 + w2 * v2.z as f64) as f32;
-            let blend = |a: u8, b: u8, c: u8| {
-                (w0 * a as f64 + w1 * b as f64 + w2 * c as f64).round() as u8
-            };
+            let blend =
+                |a: u8, b: u8, c: u8| (w0 * a as f64 + w1 * b as f64 + w2 * c as f64).round() as u8;
             let color = Color {
                 r: blend(v0.color.r, v1.color.r, v2.color.r),
                 g: blend(v0.color.g, v1.color.g, v2.color.g),

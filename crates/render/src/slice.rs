@@ -118,12 +118,7 @@ impl LocalSlice {
 /// Pseudocolor this rank's slice piece into `fb`, mapping the **global**
 /// plane onto the full image so pieces from different ranks tile
 /// seamlessly before compositing. `range` is the global data range.
-pub fn render_plane(
-    fb: &mut Framebuffer,
-    slice: &LocalSlice,
-    cmap: &Colormap,
-    range: (f64, f64),
-) {
+pub fn render_plane(fb: &mut Framebuffer, slice: &LocalSlice, cmap: &Colormap, range: (f64, f64)) {
     let gu0 = slice.global_u[0] as f64;
     let gv0 = slice.global_v[0] as f64;
     // The plane spans one fewer cell than points per axis.
@@ -182,7 +177,10 @@ mod tests {
     #[test]
     fn extracted_values_match_field() {
         let global = Extent::whole([5, 4, 3]);
-        let vals: Vec<f64> = global.iter_points().map(|p| (p[0] + 10 * p[1] + 100 * p[2]) as f64).collect();
+        let vals: Vec<f64> = global
+            .iter_points()
+            .map(|p| (p[0] + 10 * p[1] + 100 * p[2]) as f64)
+            .collect();
         let s = extract_plane(&global, &global, &vals, 2, 1).unwrap();
         assert_eq!(s.nu(), 5);
         assert_eq!(s.nv(), 4);

@@ -116,10 +116,7 @@ impl Leslie {
                         * envelope
                         * (tau * x / config.domain[0]).cos()
                         * (tau * z / config.domain[2]).sin();
-                    w[i] = 0.5
-                        * config.epsilon
-                        * envelope
-                        * (tau * x / config.domain[0]).sin();
+                    w[i] = 0.5 * config.epsilon * envelope * (tau * x / config.domain[0]).sin();
                 }
             }
         }
@@ -152,9 +149,7 @@ impl Leslie {
         let u0 = Arc::clone(&self.u);
         let v0 = Arc::clone(&self.v);
         let w0 = Arc::clone(&self.w);
-        let get = |f: &[f64], i: usize, j: usize, k: usize| {
-            f[(k * ny + j) * nx + i]
-        };
+        let get = |f: &[f64], i: usize, j: usize, k: usize| f[(k * ny + j) * nx + i];
         // Periodic x; clamped y; interior z only (ghosts provide k±1).
         let xm = |i: usize| (i + nx - 1) % nx;
         let xp = |i: usize| (i + 1) % nx;
@@ -267,7 +262,8 @@ impl Leslie {
             for j in 0..ny {
                 for i in 0..nx {
                     let n = (k * ny + j) * nx + i;
-                    ke += 0.5 * (self.u[n] * self.u[n] + self.v[n] * self.v[n] + self.w[n] * self.w[n]);
+                    ke += 0.5
+                        * (self.u[n] * self.u[n] + self.v[n] * self.v[n] + self.w[n] * self.w[n]);
                 }
             }
         }
@@ -336,10 +332,7 @@ impl LeslieAdaptor {
             [0, 0, lo_z],
             [nx as i64 - 1, ny as i64 - 1, lo_z + nzg as i64 - 1],
         );
-        let global_extent = Extent::new(
-            [0, 0, -1],
-            [nx as i64 - 1, ny as i64 - 1, gz as i64],
-        );
+        let global_extent = Extent::new([0, 0, -1], [nx as i64 - 1, ny as i64 - 1, gz as i64]);
         let plane = nx * ny;
         let mut ghosts = vec![0u8; nx * ny * nzg];
         ghosts[..plane].fill(1);
@@ -392,7 +385,9 @@ impl DataAdaptor for LeslieAdaptor {
         if assoc != Association::Point {
             return false;
         }
-        let DataSet::Image(g) = mesh else { return false };
+        let DataSet::Image(g) = mesh else {
+            return false;
+        };
         let array = match name {
             "u" => DataArray::shared("u", 1, Arc::clone(&self.u)),
             "v" => DataArray::shared("v", 1, Arc::clone(&self.v)),
@@ -448,10 +443,10 @@ mod tests {
             let tops = comm.allgather(interior_top);
             let ghosts = comm.allgather(ghost_bottom);
             let p = comm.size();
-            for r in 0..p {
+            for (r, ghost) in ghosts.iter().enumerate() {
                 let below = (r + p - 1) % p;
                 assert_eq!(
-                    ghosts[r], tops[below],
+                    *ghost, tops[below],
                     "rank {r}'s bottom ghost = rank {below}'s top interior"
                 );
             }
@@ -550,7 +545,7 @@ mod tests {
             let mut stats = DescriptiveStats::new("vorticity");
             let handle = stats.results_handle();
             stats.execute(&adaptor, comm);
-            let s = handle.lock().clone().unwrap();
+            let s = (*handle.lock()).unwrap();
             let [nx, ny, _] = sim.ghosted_dims();
             let interior = nx * ny * sim.nz_local() * comm.size();
             assert_eq!(s.count as usize, interior, "ghost planes excluded");

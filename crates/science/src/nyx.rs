@@ -12,9 +12,7 @@
 
 use std::sync::Arc;
 
-use datamodel::{
-    dims_create, DataArray, DataSet, Extent, RectilinearGrid, GHOST_ARRAY_NAME,
-};
+use datamodel::{dims_create, DataArray, DataSet, Extent, RectilinearGrid, GHOST_ARRAY_NAME};
 use minimpi::Comm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -114,8 +112,7 @@ impl Nyx {
             // One particle per cell (rounded stochastically for
             // fractional loadings).
             let want = config.particles_per_cell;
-            let count = want.floor() as usize
-                + usize::from(rng.gen_range(0.0..1.0) < want.fract());
+            let count = want.floor() as usize + usize::from(rng.gen_range(0.0..1.0) < want.fract());
             for _ in 0..count {
                 let jitter = |rng: &mut StdRng| rng.gen_range(0.25..0.75);
                 let pos = [
@@ -128,7 +125,11 @@ impl Nyx {
                     rng.gen_range(-config.sigma_v..config.sigma_v),
                     rng.gen_range(-config.sigma_v..config.sigma_v),
                 ];
-                particles.push(Particle { pos, vel, mass: 1.0 });
+                particles.push(Particle {
+                    pos,
+                    vel,
+                    mass: 1.0,
+                });
             }
         }
         let ghosted = cells.grow_within(1, &global_cells);
@@ -196,8 +197,8 @@ impl Nyx {
         // cell (softened).
         for p in &mut self.particles {
             let mut cell = [0i64; 3];
-            for a in 0..3 {
-                cell[a] = ((p.pos[a] / self.dx[a]) as i64)
+            for (a, c) in cell.iter_mut().enumerate() {
+                *c = ((p.pos[a] / self.dx[a]) as i64)
                     .clamp(self.ghosted.lo[a] + 1, self.ghosted.hi[a] - 1);
             }
             for a in 0..3 {
@@ -257,8 +258,7 @@ impl Nyx {
     fn owner_of(&self, pos: [f64; 3]) -> usize {
         let mut coords = [0usize; 3];
         for a in 0..3 {
-            let cell = ((pos[a] / self.dx[a]) as i64)
-                .clamp(0, self.config.grid[a] as i64 - 1);
+            let cell = ((pos[a] / self.dx[a]) as i64).clamp(0, self.config.grid[a] as i64 - 1);
             // Find which rank block contains this cell along axis a.
             coords[a] = block_of(self.config.grid[a], self.rank_dims[a], cell as usize);
         }
@@ -407,7 +407,9 @@ impl DataAdaptor for NyxAdaptor {
         if assoc != Association::Point {
             return false;
         }
-        let DataSet::Rectilinear(g) = mesh else { return false };
+        let DataSet::Rectilinear(g) = mesh else {
+            return false;
+        };
         match name {
             "density" => {
                 g.add_point_array(DataArray::shared("density", 1, Arc::clone(&self.density)));
@@ -522,7 +524,10 @@ mod tests {
                 let extra = n % dims;
                 let start = b * base + b.min(extra);
                 let len = base + usize::from(b < extra);
-                assert!(cell >= start && cell < start + len, "n={n} dims={dims} cell={cell}");
+                assert!(
+                    cell >= start && cell < start + len,
+                    "n={n} dims={dims} cell={cell}"
+                );
             }
         }
     }

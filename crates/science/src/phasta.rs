@@ -136,9 +136,8 @@ impl Phasta {
         for k in 0..gz - 1 {
             for j in 0..gy - 1 {
                 for i in 0..nx - 1 {
-                    let corner = |c: usize| {
-                        node(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1)) as i64
-                    };
+                    let corner =
+                        |c: usize| node(i + (c & 1), j + ((c >> 1) & 1), k + ((c >> 2) & 1)) as i64;
                     for t in &TETS {
                         for &c in t {
                             connectivity.push(corner(c));
@@ -263,24 +262,24 @@ impl Phasta {
             .flat_map(|k| (0..gy).map(move |j| (k * gy + j) * nx))
             .collect();
         let right_nodes: Vec<usize> = plane_nodes.iter().map(|n| n + nx - 1).collect();
-        for c in 0..3 {
+        for (c, vc) in vel.iter_mut().enumerate() {
             let tag_off = c as u32 * 16;
             if me + 1 < p {
-                let outgoing: Vec<f64> = right_nodes.iter().map(|&n| vel[c][n]).collect();
+                let outgoing: Vec<f64> = right_nodes.iter().map(|&n| vc[n]).collect();
                 comm.send(me + 1, TAG_R + tag_off, outgoing);
             }
             if me > 0 {
-                let outgoing: Vec<f64> = plane_nodes.iter().map(|&n| vel[c][n]).collect();
+                let outgoing: Vec<f64> = plane_nodes.iter().map(|&n| vc[n]).collect();
                 comm.send(me - 1, TAG_L + tag_off, outgoing);
                 let theirs: Vec<f64> = comm.recv(me - 1, TAG_R + tag_off);
                 for (i, &n) in plane_nodes.iter().enumerate() {
-                    vel[c][n] = 0.5 * (vel[c][n] + theirs[i]);
+                    vc[n] = 0.5 * (vc[n] + theirs[i]);
                 }
             }
             if me + 1 < p {
                 let theirs: Vec<f64> = comm.recv(me + 1, TAG_L + tag_off);
                 for (i, &n) in right_nodes.iter().enumerate() {
-                    vel[c][n] = 0.5 * (vel[c][n] + theirs[i]);
+                    vc[n] = 0.5 * (vc[n] + theirs[i]);
                 }
             }
         }
@@ -404,7 +403,9 @@ impl DataAdaptor for PhastaAdaptor {
         if assoc != Association::Point {
             return false;
         }
-        let DataSet::Unstructured(g) = mesh else { return false };
+        let DataSet::Unstructured(g) = mesh else {
+            return false;
+        };
         match name {
             "velocity" => {
                 g.add_point_array(DataArray::soa(
@@ -421,8 +422,11 @@ impl DataAdaptor for PhastaAdaptor {
                 let n = self.velocity[0].len();
                 let mags: Vec<f64> = (0..n)
                     .map(|i| {
-                        let (u, v, w) =
-                            (self.velocity[0][i], self.velocity[1][i], self.velocity[2][i]);
+                        let (u, v, w) = (
+                            self.velocity[0][i],
+                            self.velocity[1][i],
+                            self.velocity[2][i],
+                        );
                         (u * u + v * v + w * w).sqrt()
                     })
                     .collect();
@@ -580,12 +584,17 @@ mod tests {
             let sim = Phasta::new(comm, small());
             let adaptor = PhastaAdaptor::new(&sim);
             let mesh = adaptor.full_mesh();
-            let DataSet::Unstructured(g) = &mesh else { unreachable!() };
+            let DataSet::Unstructured(g) = &mesh else {
+                unreachable!()
+            };
             let tris = catalyst::cutter::cut_tets(g, "velmag", [0.0, 1.0, 0.0], 0.5);
             assert!(!tris.is_empty(), "mid-plane cut intersects the mesh");
             // Cut area ≈ the x–z plane area of the domain.
             let area = catalyst::cutter::cut_area(&tris);
-            assert!((area - 2.0).abs() < 0.1, "cut area {area} ≈ 2.0 (2×1 plane)");
+            assert!(
+                (area - 2.0).abs() < 0.1,
+                "cut area {area} ≈ 2.0 (2×1 plane)"
+            );
         });
     }
 }

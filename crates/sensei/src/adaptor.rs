@@ -196,7 +196,12 @@ mod tests {
         let a = sample();
         let mut mesh = a.mesh();
         a.add_array(&mut mesh, Association::Point, "data");
-        assert!(mesh.point_data().unwrap().get("data").unwrap().is_zero_copy());
+        assert!(mesh
+            .point_data()
+            .unwrap()
+            .get("data")
+            .unwrap()
+            .is_zero_copy());
     }
 
     #[test]

@@ -8,12 +8,19 @@
 //! top-k correlations per delay; for periodic oscillators those peaks
 //! sit at the oscillator centers.
 
+//! Per-step updates *stream*: each leaf's values are read in place
+//! through zero-copy borrowed slices (no temporary vector), and cells —
+//! whose history/correlation state is disjoint — are chunked across
+//! intra-rank threads. Leaves that carry ghost flags, or whose arrays
+//! need type widening, fall back to serial streaming.
+
 use minimpi::Comm;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 use crate::adaptor::{Association, DataAdaptor};
-use crate::analysis::AnalysisAdaptor;
+use crate::analysis::{ghost_at, leaf_views, AnalysisAdaptor, LeafView};
+use crate::exec;
 use datamodel::DataSet;
 
 /// One candidate: correlation value and global cell id.
@@ -37,6 +44,7 @@ pub struct Autocorrelation {
     array: String,
     window: usize,
     k: usize,
+    threads: usize,
     /// Circular value history, `cells × window`, lazily sized.
     history: Vec<f64>,
     /// Running correlations, `cells × window`.
@@ -58,6 +66,7 @@ impl Autocorrelation {
             array: array.into(),
             window,
             k,
+            threads: 1,
             history: Vec::new(),
             corr: Vec::new(),
             cells: 0,
@@ -65,6 +74,15 @@ impl Autocorrelation {
             ids: Vec::new(),
             results: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Run the per-step update on `threads` intra-rank threads (`0` =
+    /// use every available core). Per-cell state is disjoint and each
+    /// cell's accumulation order is fixed, so results are bitwise
+    /// identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// A handle through which rank 0 reads the finalize result.
@@ -78,32 +96,41 @@ impl Autocorrelation {
         (self.history.capacity() + self.corr.capacity()) * 8
     }
 
-    fn collect_values(&mut self, data: &dyn DataAdaptor) -> Vec<f64> {
-        let mut mesh = data.mesh();
-        if !data.add_array(&mut mesh, Association::Point, &self.array) {
-            return Vec::new();
-        }
-        let _ = data.add_array(&mut mesh, Association::Point, datamodel::GHOST_ARRAY_NAME);
-        let mut values = Vec::new();
+    /// First-step setup: count the non-ghost cells, capture their global
+    /// ids, and size the two circular buffers.
+    fn capture_layout(&mut self, mesh: &DataSet) {
         let mut ids = Vec::new();
-        let want_ids = self.ids.is_empty();
         for leaf in mesh.leaves() {
-            let Some(attrs) = leaf.point_data() else { continue };
-            let Some(arr) = attrs.get(&self.array) else { continue };
+            let Some(attrs) = leaf.point_data() else {
+                continue;
+            };
+            let Some(arr) = attrs.get(&self.array) else {
+                continue;
+            };
             for t in 0..arr.num_tuples() {
                 if attrs.is_ghost(t) {
                     continue;
                 }
-                values.push(arr.get(t, 0));
-                if want_ids {
-                    ids.push(global_point_id(leaf, t));
-                }
+                ids.push(global_point_id(leaf, t));
             }
         }
-        if want_ids {
-            self.ids = ids;
+        self.cells = ids.len();
+        self.ids = ids;
+        self.history = vec![0.0; self.cells * self.window];
+        self.corr = vec![0.0; self.cells * self.window];
+    }
+
+    /// Serial-path update of one cell's circular history and running
+    /// correlations (the same arithmetic the chunked kernel applies).
+    fn update_cell(&mut self, cell: usize, v: f64, s: u64) {
+        let w = self.window as u64;
+        let base = cell * self.window;
+        let max_lag = s.min(w);
+        for lag in 1..=max_lag {
+            let past = self.history[base + ((s - lag) % w) as usize];
+            self.corr[base + (lag - 1) as usize] += v * past;
         }
-        values
+        self.history[base + (s % w) as usize] = v;
     }
 }
 
@@ -131,40 +158,90 @@ impl AnalysisAdaptor for Autocorrelation {
 
     fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
         let _ = comm;
-        let values = self.collect_values(data);
-        if values.is_empty() {
+        let mut mesh = data.mesh();
+        if !data.add_array(&mut mesh, Association::Point, &self.array) {
+            return true;
+        }
+        let _ = data.add_array(&mut mesh, Association::Point, datamodel::GHOST_ARRAY_NAME);
+
+        let views = leaf_views(&mesh, Association::Point, &self.array);
+        let incoming: usize = views
+            .iter()
+            .map(|view| match view {
+                LeafView::Direct(vals, None) => vals.len(),
+                LeafView::Direct(vals, Some(gh)) => {
+                    (0..vals.len()).filter(|&t| !ghost_at(Some(gh), t)).count()
+                }
+                LeafView::Indirect(attrs, arr) => (0..arr.num_tuples())
+                    .filter(|&t| !attrs.is_ghost(t))
+                    .count(),
+            })
+            .sum();
+        if incoming == 0 {
             return true;
         }
         if self.cells == 0 {
-            self.cells = values.len();
-            self.history = vec![0.0; self.cells * self.window];
-            self.corr = vec![0.0; self.cells * self.window];
+            self.capture_layout(&mesh);
         }
         assert_eq!(
-            values.len(),
-            self.cells,
+            incoming, self.cells,
             "autocorrelation: cell count changed mid-run"
         );
+
         let s = self.steps_seen;
-        let w = self.window as u64;
-        for (i, &v) in values.iter().enumerate() {
-            let base = i * self.window;
-            // Update running correlations against the retained history.
-            let max_lag = s.min(w);
-            for lag in 1..=max_lag {
-                let past = self.history[base + ((s - lag) % w) as usize];
-                self.corr[base + (lag - 1) as usize] += v * past;
+        let w = self.window;
+        let mut offset = 0usize;
+        for view in &views {
+            match view {
+                // Ghost-free zero-copy leaf: cells chunk across threads,
+                // each worker owning a disjoint window of both buffers.
+                LeafView::Direct(vals, None) => {
+                    let m = vals.len();
+                    let hist = &mut self.history[offset * w..(offset + m) * w];
+                    let corr = &mut self.corr[offset * w..(offset + m) * w];
+                    exec::zip_chunks_mut(self.threads, m, hist, corr, |range, h, c| {
+                        for (li, cell) in range.enumerate() {
+                            let v = vals[cell];
+                            let base = li * w;
+                            let max_lag = s.min(w as u64);
+                            for lag in 1..=max_lag {
+                                let past = h[base + ((s - lag) % w as u64) as usize];
+                                c[base + (lag - 1) as usize] += v * past;
+                            }
+                            h[base + (s % w as u64) as usize] = v;
+                        }
+                    });
+                    offset += m;
+                }
+                // Ghost-bearing leaf: serial streaming (the value→cell
+                // mapping is prefix-dependent), still no temporary.
+                LeafView::Direct(vals, Some(gh)) => {
+                    for (t, &v) in vals.iter().enumerate() {
+                        if ghost_at(Some(gh), t) {
+                            continue;
+                        }
+                        self.update_cell(offset, v, s);
+                        offset += 1;
+                    }
+                }
+                LeafView::Indirect(attrs, arr) => {
+                    for t in 0..arr.num_tuples() {
+                        if attrs.is_ghost(t) {
+                            continue;
+                        }
+                        self.update_cell(offset, arr.get(t, 0), s);
+                        offset += 1;
+                    }
+                }
             }
-            // Store the newest value.
-            self.history[base + (s % w) as usize] = v;
         }
+        debug_assert_eq!(offset, self.cells);
         self.steps_seen += 1;
         true
     }
 
     fn finalize(&mut self, comm: &Comm) {
-        // Local top-k per lag, then gather and merge at root (§3.3's
-        // final global reduction).
+        // Local top-k per lag (§3.3's final global reduction)…
         let mut local: Vec<Vec<Peak>> = Vec::with_capacity(self.window);
         for lag in 0..self.window {
             let mut peaks: Vec<Peak> = (0..self.cells)
@@ -177,20 +254,19 @@ impl AnalysisAdaptor for Autocorrelation {
             peaks.truncate(self.k);
             local.push(peaks);
         }
-        let gathered = comm.gather(0, local);
-        if let Some(all) = gathered {
-            let mut global: Vec<Vec<Peak>> = vec![Vec::new(); self.window];
-            for rank_peaks in all {
-                for (lag, peaks) in rank_peaks.into_iter().enumerate() {
-                    if lag < self.window {
-                        global[lag].extend(peaks);
-                    }
-                }
+        // …merged up a binomial tree, re-truncating to k at every level:
+        // O(k·window·log p) data movement instead of gathering every
+        // rank's candidates to root.
+        let k = self.k;
+        let merged = comm.reduce(0, local, move |mut a, b| {
+            for (lag, peaks) in b.into_iter().enumerate() {
+                a[lag].extend(peaks);
+                a[lag].sort_by(|x, y| y.value.partial_cmp(&x.value).unwrap());
+                a[lag].truncate(k);
             }
-            for peaks in &mut global {
-                peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
-                peaks.truncate(self.k);
-            }
+            a
+        });
+        if let Some(global) = merged {
             *self.results.lock() = Some(global);
         }
     }
@@ -280,6 +356,30 @@ mod tests {
                     let pt = e.point_at(p.cell as usize);
                     assert!(rank2.contains(pt), "peak {pt:?} inside rank 2's block");
                 }
+            }
+        });
+    }
+
+    #[test]
+    fn threaded_update_is_bitwise_identical() {
+        World::run(1, |comm| {
+            for threads in [2usize, 5, 0] {
+                let mut serial = Autocorrelation::new("data", 4, 3);
+                let mut threaded = Autocorrelation::new("data", 4, 3).with_threads(threads);
+                let rs = serial.results_handle();
+                let rt = threaded.results_handle();
+                for s in 0..20u64 {
+                    let vals: Vec<f64> = (0..37)
+                        .map(|i| ((i as f64 * 0.31 + s as f64) * 1.7).sin())
+                        .collect();
+                    serial.execute(&adaptor(vals.clone(), s), comm);
+                    threaded.execute(&adaptor(vals, s), comm);
+                }
+                assert_eq!(serial.corr, threaded.corr, "threads={threads}");
+                assert_eq!(serial.history, threaded.history);
+                serial.finalize(comm);
+                threaded.finalize(comm);
+                assert_eq!(rs.lock().clone(), rt.lock().clone());
             }
         });
     }

@@ -135,7 +135,7 @@ mod tests {
             let mut d = DescriptiveStats::new("data");
             let res = d.results_handle();
             d.execute(&adaptor(vec![comm.rank() as f64; 2]), comm);
-            let s = res.lock().clone().unwrap();
+            let s = (*res.lock()).unwrap();
             assert_eq!(s.count, 8);
             assert_eq!(s.mean, 1.5);
             assert_eq!(s.min, 0.0);
@@ -151,7 +151,7 @@ mod tests {
             let mut d = DescriptiveStats::new("data");
             let res = d.results_handle();
             d.execute(&adaptor(vec![comm.rank() as f64 * 2.0]), comm);
-            let s = res.lock().clone().unwrap();
+            let s = (*res.lock()).unwrap();
             (s.mean, s.min, s.max)
         });
         assert!(outs.windows(2).all(|w| w[0] == w[1]));
@@ -163,7 +163,7 @@ mod tests {
             let mut d = DescriptiveStats::new("missing");
             let res = d.results_handle();
             d.execute(&adaptor(vec![1.0]), comm);
-            let s = res.lock().clone().unwrap();
+            let s = (*res.lock()).unwrap();
             assert_eq!(s.count, 0);
             assert!(s.min.is_nan());
         });
@@ -175,7 +175,7 @@ mod tests {
             let mut d = DescriptiveStats::new("data");
             let res = d.results_handle();
             d.execute(&adaptor(vec![7.0; 5]), comm);
-            assert_eq!(res.lock().clone().unwrap().variance, 0.0);
+            assert_eq!((*res.lock()).unwrap().variance, 0.0);
         });
     }
 }

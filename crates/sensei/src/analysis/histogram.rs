@@ -1,13 +1,23 @@
 //! The histogram analysis of §3.3: two global reductions find the data
 //! range, each rank bins its local values, and the bins reduce to root.
 //! The only extra storage is proportional to the bin count.
+//!
+//! Both local passes *stream* over the simulation's buffers: values are
+//! read in place through zero-copy borrowed slices (never gathered into
+//! a temporary), in contiguous chunks that can run on intra-rank threads
+//! with per-thread accumulators. Per-thread state is one `(min, max,
+//! count)` triple for pass 1 and one bin vector for pass 2, so storage
+//! stays proportional to the bin count (× threads), independent of the
+//! field size. The bin reduction rides the large-message
+//! reduce-scatter/allgather collective ([`Comm::allreduce_vec_rsag`]).
 
 use minimpi::Comm;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 use crate::adaptor::{Association, DataAdaptor};
-use crate::analysis::{for_each_value, AnalysisAdaptor};
+use crate::analysis::{ghost_at, leaf_views, AnalysisAdaptor, LeafView};
+use crate::exec;
 
 /// The result available on rank 0 after each execute.
 #[derive(Clone, Debug, PartialEq)]
@@ -38,6 +48,7 @@ pub struct HistogramAnalysis {
     array: String,
     assoc: Association,
     bins: usize,
+    threads: usize,
     results: ResultsHandle,
 }
 
@@ -54,8 +65,17 @@ impl HistogramAnalysis {
             array: array.into(),
             assoc,
             bins,
+            threads: 1,
             results: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Run the local streaming passes on `threads` intra-rank threads
+    /// (`0` = use every available core). Counts are integer, so results
+    /// are identical at any thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// A handle through which rank 0 can read each step's result.
@@ -70,36 +90,108 @@ impl AnalysisAdaptor for HistogramAnalysis {
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
-        // Pass 1: local then global min/max (two reductions, as §3.3).
+        let mut mesh = data.mesh();
+        let have = data.add_array(&mut mesh, self.assoc, &self.array);
+        if have {
+            // Ghost flags, so ghost tuples can be blanked.
+            let _ = data.add_array(&mut mesh, self.assoc, datamodel::GHOST_ARRAY_NAME);
+        }
+        let views = if have {
+            leaf_views(&mesh, self.assoc, &self.array)
+        } else {
+            Vec::new()
+        };
+
+        // Pass 1: streaming local min/max + count, then the two global
+        // reductions of §3.3. Nothing is materialized: each chunk folds
+        // borrowed values into a (min, max, count) triple.
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        let mut values = Vec::new();
-        for_each_value(data, self.assoc, &self.array, |v| {
-            lo = lo.min(v);
-            hi = hi.max(v);
-            values.push(v);
-        });
+        let mut local_n = 0u64;
+        for view in &views {
+            match view {
+                LeafView::Direct(vals, ghosts) => {
+                    let stats = exec::map_chunks(self.threads, vals, |_, start, chunk| {
+                        let mut lo = f64::INFINITY;
+                        let mut hi = f64::NEG_INFINITY;
+                        let mut n = 0u64;
+                        for (i, &v) in chunk.iter().enumerate() {
+                            if ghost_at(*ghosts, start + i) {
+                                continue;
+                            }
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                            n += 1;
+                        }
+                        (lo, hi, n)
+                    });
+                    for (clo, chi, cn) in stats {
+                        lo = lo.min(clo);
+                        hi = hi.max(chi);
+                        local_n += cn;
+                    }
+                }
+                LeafView::Indirect(attrs, arr) => {
+                    for t in 0..arr.num_tuples() {
+                        if attrs.is_ghost(t) {
+                            continue;
+                        }
+                        let v = arr.get(t, 0);
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                        local_n += 1;
+                    }
+                }
+            }
+        }
         let glo = comm.allreduce_scalar(lo, f64::min);
         let ghi = comm.allreduce_scalar(hi, f64::max);
 
-        // Pass 2: local binning.
+        // Pass 2: streaming local binning with per-thread bin vectors,
+        // merged by exact integer addition (thread-count invariant).
         let mut counts = vec![0u64; self.bins];
         if ghi > glo {
             let inv_w = self.bins as f64 / (ghi - glo);
-            for v in &values {
-                let b = (((v - glo) * inv_w) as usize).min(self.bins - 1);
-                counts[b] += 1;
+            let last = self.bins - 1;
+            for view in &views {
+                match view {
+                    LeafView::Direct(vals, ghosts) => {
+                        let partials = exec::map_chunks(self.threads, vals, |_, start, chunk| {
+                            let mut c = vec![0u64; self.bins];
+                            for (i, &v) in chunk.iter().enumerate() {
+                                if ghost_at(*ghosts, start + i) {
+                                    continue;
+                                }
+                                c[(((v - glo) * inv_w) as usize).min(last)] += 1;
+                            }
+                            c
+                        });
+                        for part in partials {
+                            for (a, b) in counts.iter_mut().zip(part) {
+                                *a += b;
+                            }
+                        }
+                    }
+                    LeafView::Indirect(attrs, arr) => {
+                        for t in 0..arr.num_tuples() {
+                            if attrs.is_ghost(t) {
+                                continue;
+                            }
+                            let v = arr.get(t, 0);
+                            counts[(((v - glo) * inv_w) as usize).min(last)] += 1;
+                        }
+                    }
+                }
             }
         } else if glo.is_finite() {
             // Degenerate range: everything in bin 0.
-            counts[0] = values.len() as u64;
+            counts[0] = local_n;
         }
 
-        // Reduce bins to root.
-        let global = comm.reduce(0, counts, |a, b| {
-            a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
-        });
-        if let Some(counts) = global {
+        // Bin reduction over the large-message path; every rank pays
+        // O(bins) traffic, and only root retains the result.
+        let counts = comm.allreduce_vec_rsag(counts, |a, b| a + b);
+        if comm.rank() == 0 {
             *self.results.lock() = Some(HistogramResult {
                 min: glo,
                 max: ghi,
@@ -211,6 +303,47 @@ mod tests {
             assert_eq!(r.counts.iter().sum::<u64>(), 2, "ghosts blanked");
             assert_eq!(r.min, 1.0);
             assert_eq!(r.max, 4.0);
+        });
+    }
+
+    #[test]
+    fn threaded_histogram_matches_serial() {
+        World::run(2, |comm| {
+            let vals: Vec<f64> = (0..1003)
+                .map(|i| ((i * 37 + comm.rank() * 11) % 101) as f64 - 50.0)
+                .collect();
+            for threads in [2usize, 7, 0] {
+                let mut serial = HistogramAnalysis::new("data", 16);
+                let mut threaded = HistogramAnalysis::new("data", 16).with_threads(threads);
+                let rs = serial.results_handle();
+                let rt = threaded.results_handle();
+                let a = adaptor_with(comm.rank(), vals.clone());
+                serial.execute(&a, comm);
+                threaded.execute(&a, comm);
+                if comm.rank() == 0 {
+                    assert_eq!(rs.lock().clone(), rt.lock().clone(), "threads={threads}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn shared_field_is_streamed_without_copy() {
+        World::run(1, |comm| {
+            let field = std::sync::Arc::new((0..256).map(|i| i as f64).collect::<Vec<_>>());
+            let e = Extent::whole([256, 1, 1]);
+            let mut g = ImageData::new(e, e);
+            g.add_point_array(DataArray::shared("data", 1, std::sync::Arc::clone(&field)));
+            let a = InMemoryAdaptor::new(DataSet::Image(g), 0.0, 0);
+            let before = std::sync::Arc::strong_count(&field);
+            let mut h = HistogramAnalysis::new("data", 8).with_threads(3);
+            h.execute(&a, comm);
+            // The analysis borrowed the simulation buffer in place: no
+            // lingering references, no materialized value vector.
+            assert_eq!(std::sync::Arc::strong_count(&field), before);
+            let r = h.results_handle().lock().clone().unwrap();
+            assert_eq!(r.counts.iter().sum::<u64>(), 256);
+            assert_eq!(r.counts, vec![32; 8]);
         });
     }
 

@@ -33,6 +33,59 @@ pub trait AnalysisAdaptor: Send {
     fn finalize(&mut self, _comm: &Comm) {}
 }
 
+/// A per-leaf access path to one scalar field, classified once so the
+/// streaming analyses can run their hot loops over borrowed slices.
+pub(crate) enum LeafView<'a> {
+    /// Zero-copy: the field as a borrowed `f64` slice, plus the leaf's
+    /// ghost flags (when present) as a borrowed byte slice. This is the
+    /// path simulation data takes — no element materializes anywhere.
+    Direct(&'a [f64], Option<&'a [u8]>),
+    /// Type-erased fallback for non-`f64` or multi-component arrays (or
+    /// exotically-typed ghost arrays): per-element widening getters.
+    Indirect(&'a datamodel::Attributes, &'a datamodel::DataArray),
+}
+
+/// Is tuple `i` a ghost, given a leaf's borrowed ghost flags?
+pub(crate) fn ghost_at(ghosts: Option<&[u8]>, i: usize) -> bool {
+    ghosts.is_some_and(|g| g[i] != 0)
+}
+
+/// Classify every leaf of `mesh` carrying the named array. Views borrow
+/// the mesh, so the caller streams the simulation's buffers in place.
+pub(crate) fn leaf_views<'a>(
+    mesh: &'a datamodel::DataSet,
+    assoc: crate::adaptor::Association,
+    array: &str,
+) -> Vec<LeafView<'a>> {
+    let mut out = Vec::new();
+    for leaf in mesh.leaves() {
+        let attrs = match assoc {
+            crate::adaptor::Association::Point => leaf.point_data(),
+            crate::adaptor::Association::Cell => leaf.cell_data(),
+        };
+        let Some(attrs) = attrs else { continue };
+        let Some(arr) = attrs.get(array) else {
+            continue;
+        };
+        // Ghost flags: `Some(None)` = no ghosts, `Some(Some(_))` = plain
+        // u8 flags, `None` = ghosts exist but need the indirect path.
+        let ghosts = match attrs.ghosts() {
+            None => Some(None),
+            Some(g) if g.num_components() == 1 => g.typed_slice::<u8>().map(Some),
+            Some(_) => None,
+        };
+        let direct = (arr.num_components() == 1)
+            .then(|| arr.typed_slice::<f64>())
+            .flatten()
+            .zip(ghosts);
+        match direct {
+            Some((vals, gh)) => out.push(LeafView::Direct(vals, gh)),
+            None => out.push(LeafView::Indirect(attrs, arr)),
+        }
+    }
+    out
+}
+
 /// Sum a field's values over the non-ghost tuples of every leaf of a
 /// dataset — a helper shared by the built-in analyses.
 pub fn for_each_value(
@@ -55,7 +108,9 @@ pub fn for_each_value(
             crate::adaptor::Association::Cell => leaf.cell_data(),
         };
         let Some(attrs) = attrs else { continue };
-        let Some(arr) = attrs.get(array) else { continue };
+        let Some(arr) = attrs.get(array) else {
+            continue;
+        };
         for t in 0..arr.num_tuples() {
             if attrs.is_ghost(t) {
                 continue;

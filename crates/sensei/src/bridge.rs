@@ -43,8 +43,7 @@ impl Bridge {
     /// one-time analysis-initialize cost.
     pub fn add_analysis(&mut self, analysis: Box<dyn AnalysisAdaptor>) {
         let label = analysis.name().to_string();
-        self.timings
-            .record(Category::Initialize(label), 0.0);
+        self.timings.record(Category::Initialize(label), 0.0);
         self.analyses.push(analysis);
     }
 
@@ -202,7 +201,10 @@ mod tests {
         World::run(1, |_comm| {
             let mut bridge = Bridge::new();
             bridge.add_analysis_with_init_cost(
-                Box::new(DescriptiveStats::with_association("data", Association::Point)),
+                Box::new(DescriptiveStats::with_association(
+                    "data",
+                    Association::Point,
+                )),
                 1.25,
             );
             let s = bridge.timings().initialize("descriptive-stats").unwrap();

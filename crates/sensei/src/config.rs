@@ -42,7 +42,11 @@ pub enum ConfigError {
     /// A line was neither a section, a comment, a blank, nor `key = value`.
     Malformed { line: usize, text: String },
     /// A numeric option failed to parse.
-    BadNumber { section: String, key: String, value: String },
+    BadNumber {
+        section: String,
+        key: String,
+        value: String,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -54,7 +58,11 @@ impl std::fmt::Display for ConfigError {
             ConfigError::Malformed { line, text } => {
                 write!(f, "line {line}: malformed line '{text}'")
             }
-            ConfigError::BadNumber { section, key, value } => {
+            ConfigError::BadNumber {
+                section,
+                key,
+                value,
+            } => {
                 write!(f, "[{section}] {key} = '{value}' is not a number")
             }
         }
@@ -73,7 +81,8 @@ impl Config {
                 continue;
             }
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
-                cfg.sections.push((name.trim().to_string(), BTreeMap::new()));
+                cfg.sections
+                    .push((name.trim().to_string(), BTreeMap::new()));
             } else if let Some((k, v)) = line.split_once('=') {
                 let Some(last) = cfg.sections.last_mut() else {
                     return Err(ConfigError::KeyOutsideSection { line: lineno + 1 });
@@ -96,7 +105,10 @@ impl Config {
 
     /// First section with the given name.
     pub fn section(&self, name: &str) -> Option<&BTreeMap<String, String>> {
-        self.sections.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
     }
 
     /// String option with default.
@@ -122,11 +134,12 @@ impl Config {
     }
 }
 
+/// The analyses a config names, plus the section names nobody claimed.
+pub type BuiltinAnalyses = (Vec<Box<dyn AnalysisAdaptor>>, Vec<String>);
+
 /// Construct the built-in analyses named by `cfg`. Unknown sections are
 /// returned so an infrastructure layer can claim them.
-pub fn build_builtin_analyses(
-    cfg: &Config,
-) -> Result<(Vec<Box<dyn AnalysisAdaptor>>, Vec<String>), ConfigError> {
+pub fn build_builtin_analyses(cfg: &Config) -> Result<BuiltinAnalyses, ConfigError> {
     let mut analyses: Vec<Box<dyn AnalysisAdaptor>> = Vec::new();
     let mut unknown = Vec::new();
     for (name, map) in cfg.sections() {
@@ -166,7 +179,10 @@ mod tests {
         let h = cfg.section("histogram").unwrap();
         assert_eq!(h.get("array").unwrap(), "rho");
         assert_eq!(Config::get_usize("histogram", h, "bins", 64).unwrap(), 32);
-        assert_eq!(Config::get_usize("histogram", h, "missing", 64).unwrap(), 64);
+        assert_eq!(
+            Config::get_usize("histogram", h, "missing", 64).unwrap(),
+            64
+        );
     }
 
     #[test]

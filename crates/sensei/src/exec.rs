@@ -1,0 +1,208 @@
+//! Intra-rank execution: chunked data parallelism inside one MPI rank.
+//!
+//! The paper's heterogeneous-architectures follow-up observes that a
+//! generic in situ interface only stays "as fast as the hardware allows"
+//! if the per-step hot path exploits intra-rank data parallelism while
+//! the communicator stays single-threaded (`MPI_THREAD_FUNNELED`). This
+//! module is the workspace's one implementation of that model: split an
+//! index space into contiguous chunks, run a worker per chunk on scoped
+//! threads, and merge per-thread results deterministically — never
+//! touching a [`minimpi::Comm`] off the rank thread.
+//!
+//! Everything here is order-preserving: chunk results come back in chunk
+//! order, so reductions that are associative-but-not-commutative over
+//! chunks (e.g. float accumulation in a fixed merge order) stay
+//! reproducible at any thread count.
+
+use std::ops::Range;
+
+/// Resolve a requested thread count: `0` means "use the machine's
+/// available parallelism", anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Split `0..n` into at most `parts` contiguous, non-empty, near-equal
+/// ranges covering every index exactly once (first `n % parts` ranges
+/// are one longer). Returns an empty vector when `n == 0`.
+pub fn split_even(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1).min(n);
+    let mut out = Vec::with_capacity(parts);
+    if n == 0 {
+        return out;
+    }
+    let base = n / parts;
+    let extra = n % parts;
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Map `f` over contiguous chunks of `data` on up to `threads` scoped
+/// threads; results are returned **in chunk order**, so a fold over them
+/// is deterministic regardless of scheduling.
+///
+/// `f` receives `(chunk_index, chunk_start, chunk)`. With one chunk (or
+/// `threads <= 1`) everything runs inline on the caller's thread — no
+/// spawn cost on the serial path.
+pub fn map_chunks<T, R, F>(threads: usize, data: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &[T]) -> R + Sync,
+{
+    let ranges = split_even(data.len(), resolve_threads(threads));
+    match ranges.len() {
+        0 => Vec::new(),
+        1 => vec![f(0, 0, data)],
+        _ => std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    let f = &f;
+                    let chunk = &data[r.clone()];
+                    scope.spawn(move || f(i, r.start, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("exec: chunk worker panicked"))
+                .collect()
+        }),
+    }
+}
+
+/// Run `f` over contiguous *cell* ranges of two parallel mutable
+/// buffers, on up to `threads` scoped threads. `a` and `b` hold a fixed
+/// number of elements per cell (`a.len() = cells × stride_a`, likewise
+/// `b`); each worker receives the cell range plus the exactly-matching
+/// sub-slices of both buffers, so per-cell state split across two arrays
+/// (e.g. history + running sums) partitions without any copying.
+pub fn zip_chunks_mut<A, B, F>(threads: usize, cells: usize, a: &mut [A], b: &mut [B], f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(Range<usize>, &mut [A], &mut [B]) + Sync,
+{
+    if cells == 0 {
+        return;
+    }
+    assert_eq!(a.len() % cells, 0, "a must hold whole cells");
+    assert_eq!(b.len() % cells, 0, "b must hold whole cells");
+    let sa = a.len() / cells;
+    let sb = b.len() / cells;
+    let ranges = split_even(cells, resolve_threads(threads));
+    if ranges.len() <= 1 {
+        f(0..cells, a, b);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut ra = a;
+        let mut rb = b;
+        for r in ranges {
+            let (ca, ta) = ra.split_at_mut(r.len() * sa);
+            let (cb, tb) = rb.split_at_mut(r.len() * sb);
+            ra = ta;
+            rb = tb;
+            let f = &f;
+            scope.spawn(move || f(r, ca, cb));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_is_machine_width() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn split_covers_exactly_once() {
+        for n in [0usize, 1, 2, 7, 16, 1000] {
+            for parts in [1usize, 2, 3, 7, 64] {
+                let ranges = split_even(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "non-empty");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "covers all of 0..{n}");
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_balanced() {
+        let ranges = split_even(10, 3);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn map_chunks_ordered_results() {
+        let data: Vec<u64> = (0..1000).collect();
+        let serial = map_chunks(1, &data, |_, _, c| c.iter().sum::<u64>());
+        let parallel = map_chunks(8, &data, |_, _, c| c.iter().sum::<u64>());
+        assert_eq!(serial.iter().sum::<u64>(), parallel.iter().sum::<u64>());
+        // Chunk order: starts must be increasing.
+        let starts = map_chunks(8, &data, |_, s, _| s);
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn map_chunks_empty_input() {
+        let out: Vec<u32> = map_chunks(4, &[] as &[u8], |_, _, _| 1u32);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zip_chunks_mut_partitions_both_buffers() {
+        // 10 cells, stride 3 in `a`, stride 2 in `b`: every worker must
+        // see matching sub-ranges of both.
+        let cells = 10;
+        let mut a = vec![0u32; cells * 3];
+        let mut b = vec![0u32; cells * 2];
+        zip_chunks_mut(4, cells, &mut a, &mut b, |r, ca, cb| {
+            assert_eq!(ca.len(), r.len() * 3);
+            assert_eq!(cb.len(), r.len() * 2);
+            for (i, c) in r.clone().enumerate() {
+                ca[i * 3] = c as u32;
+                cb[i * 2 + 1] = c as u32 * 10;
+            }
+        });
+        for c in 0..cells {
+            assert_eq!(a[c * 3], c as u32);
+            assert_eq!(b[c * 2 + 1], c as u32 * 10);
+        }
+    }
+
+    #[test]
+    fn zip_chunks_mut_zero_cells_is_noop() {
+        zip_chunks_mut(
+            4,
+            0,
+            &mut [] as &mut [u8],
+            &mut [] as &mut [u8],
+            |_, _, _| panic!("must not run"),
+        );
+    }
+}

@@ -56,6 +56,7 @@ pub mod adaptor;
 pub mod analysis;
 pub mod bridge;
 pub mod config;
+pub mod exec;
 pub mod timing;
 
 pub use adaptor::{Association, DataAdaptor, InMemoryAdaptor};

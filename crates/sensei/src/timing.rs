@@ -53,7 +53,10 @@ impl TimingDb {
 
     /// Record `seconds` under `cat`.
     pub fn record(&mut self, cat: Category, seconds: f64) {
-        assert!(seconds >= 0.0 && seconds.is_finite(), "bad duration {seconds}");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "bad duration {seconds}"
+        );
         self.samples.entry(cat).or_default().push(seconds);
     }
 
@@ -114,7 +117,11 @@ impl std::fmt::Display for TimingDb {
     /// A per-rank report in the paper's decomposition: one-time costs
     /// first, then per-step means, then finalize.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:<32} {:>10} {:>12} {:>12}", "phase", "samples", "mean (s)", "total (s)")?;
+        writeln!(
+            f,
+            "{:<32} {:>10} {:>12} {:>12}",
+            "phase", "samples", "mean (s)", "total (s)"
+        )?;
         for cat in self.categories() {
             let label = match cat {
                 Category::Initialize(l) => format!("initialize/{l}"),

@@ -34,7 +34,11 @@ fn main() {
                     steps: STEPS,
                     ..SimConfig::default()
                 };
-                let root_deck = if sub.rank() == 0 { Some(deck.as_str()) } else { None };
+                let root_deck = if sub.rank() == 0 {
+                    Some(deck.as_str())
+                } else {
+                    None
+                };
                 let mut sim = Simulation::new(&sub, cfg, root_deck);
                 let mut ship = AdiosWriterAnalysis::new(writer);
                 for _ in 0..STEPS {
@@ -59,8 +63,7 @@ fn main() {
                 let mut pipe = catalyst::SlicePipeline::new("data", 2, 12);
                 pipe.width = 480;
                 pipe.height = 360;
-                pipe.output =
-                    catalyst::SliceOutput::Directory(std::path::PathBuf::from("results"));
+                pipe.output = catalyst::SliceOutput::Directory(std::path::PathBuf::from("results"));
                 pipe.frequency = 6;
                 if sub.rank() == 0 {
                     std::fs::create_dir_all("results").expect("results dir");

@@ -29,16 +29,17 @@ fn main() {
             "image 480 480\nfrequency 5\nplot isosurface vorticity levels=0.35,0.55,0.75\nplot pseudocolor vorticity axis=z index=4\n",
         )
         .expect("session");
-        let libsim_analysis = libsim::LibsimAnalysis::new(
-            session,
-            std::path::Path::new("/nonexistent/.visitrc"),
-        )
-        .with_output_dir(std::path::PathBuf::from("results"));
+        let libsim_analysis =
+            libsim::LibsimAnalysis::new(session, std::path::Path::new("/nonexistent/.visitrc"))
+                .with_output_dir(std::path::PathBuf::from("results"));
         let mut bridge = Bridge::new();
         bridge.add_analysis(Box::new(libsim_analysis));
 
         if comm.rank() == 0 {
-            println!("TML: {} ranks, per-iteration SENSEI cost (cf. Fig. 16):", comm.size());
+            println!(
+                "TML: {} ranks, per-iteration SENSEI cost (cf. Fig. 16):",
+                comm.size()
+            );
         }
         for step in 0..STEPS {
             let t = std::time::Instant::now();
@@ -51,7 +52,11 @@ fn main() {
             if comm.rank() == 0 {
                 // The adaptor reports the post-step index, so renders
                 // land where (step+1) % 5 == 0.
-                let marker = if (step + 1) % 5 == 0 { " <- libsim render" } else { "" };
+                let marker = if (step + 1) % 5 == 0 {
+                    " <- libsim render"
+                } else {
+                    ""
+                };
                 println!(
                     "  step {step:3}: avf_timestep {solver:.4}s  avf_insitu::analyze {sensei_cost:.4}s  KE {energy:.2}{marker}"
                 );

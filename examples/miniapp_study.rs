@@ -66,7 +66,11 @@ fn main() {
                 steps: STEPS,
                 ..SimConfig::default()
             };
-            let root_deck = if comm.rank() == 0 { Some(deck.as_str()) } else { None };
+            let root_deck = if comm.rank() == 0 {
+                Some(deck.as_str())
+            } else {
+                None
+            };
             let mut sim = Simulation::new(comm, cfg, root_deck);
             let mut bridge = Bridge::new();
             if let Some(a) = build_analysis(config) {

@@ -39,7 +39,10 @@ fn main() {
 
         let n0 = sim.total_particles(comm);
         if comm.rank() == 0 {
-            println!("Nyx proxy: {n0} particles on {} ranks, {STEPS} steps", comm.size());
+            println!(
+                "Nyx proxy: {n0} particles on {} ranks, {STEPS} steps",
+                comm.size()
+            );
         }
         for step in 0..STEPS {
             sim.step(comm);

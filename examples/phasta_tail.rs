@@ -66,7 +66,12 @@ fn main() {
                     .zip(&t.scalars)
                     .map(|(p, s)| {
                         let (x, y, z) = cam.project(*p, w, h).expect("ortho");
-                        Vertex { x, y, z, color: cmap.map_range(*s, 0.0, vmax) }
+                        Vertex {
+                            x,
+                            y,
+                            z,
+                            color: cmap.map_range(*s, 0.0, vmax),
+                        }
                     })
                     .collect();
                 fill_triangle(&mut fb, vs[0], vs[1], vs[2]);

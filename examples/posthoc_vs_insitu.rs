@@ -33,7 +33,11 @@ fn main() {
             steps: STEPS,
             ..SimConfig::default()
         };
-        let root = if comm.rank() == 0 { Some(d1.as_str()) } else { None };
+        let root = if comm.rank() == 0 {
+            Some(d1.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, cfg, root);
         let mut hist = HistogramAnalysis::new("data", BINS);
         let handle = hist.results_handle();
@@ -60,7 +64,11 @@ fn main() {
             steps: STEPS,
             ..SimConfig::default()
         };
-        let root = if comm.rank() == 0 { Some(d2.as_str()) } else { None };
+        let root = if comm.rank() == 0 {
+            Some(d2.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, cfg, root);
         let global = Extent::whole([GRID, GRID, GRID]);
         let dims = dims_create(comm.size());
@@ -75,8 +83,9 @@ fn main() {
             };
             write_piece(&dir_w, step, comm.rank(), &piece).expect("write piece");
             if comm.rank() == 0 {
-                let extents: Vec<Extent> =
-                    (0..comm.size()).map(|r| partition_extent(&global, dims, r)).collect();
+                let extents: Vec<Extent> = (0..comm.size())
+                    .map(|r| partition_extent(&global, dims, r))
+                    .collect();
                 write_manifest(&dir_w, step, &extents).expect("manifest");
             }
         }
@@ -89,8 +98,14 @@ fn main() {
     let (posthoc_hist, report) = World::run(1, move |comm| {
         let hist = HistogramAnalysis::new("data", BINS);
         let handle = hist.results_handle();
-        let (_, report) =
-            posthoc_analysis(comm, &dir_r, STEPS as u64, RANKS, vec![Box::new(hist)], None);
+        let (_, report) = posthoc_analysis(
+            comm,
+            &dir_r,
+            STEPS as u64,
+            RANKS,
+            vec![Box::new(hist)],
+            None,
+        );
         let out = handle.lock().clone();
         (out.expect("post hoc histogram"), report)
     })
@@ -104,8 +119,12 @@ fn main() {
         insitu_hist.counts, posthoc_hist.counts,
         "both paths compute the identical histogram"
     );
-    println!("histograms identical: {} samples over [{:.3}, {:.3}]",
-        insitu_hist.counts.iter().sum::<u64>(), insitu_hist.min, insitu_hist.max);
+    println!(
+        "histograms identical: {} samples over [{:.3}, {:.3}]",
+        insitu_hist.counts.iter().sum::<u64>(),
+        insitu_hist.min,
+        insitu_hist.max
+    );
     println!("\n                    wall time");
     println!("in situ (sim+hist):   {insitu_time:8.3} s");
     println!("post hoc write:       {write_time:8.3} s");

@@ -23,7 +23,11 @@ fn main() {
             steps: 20,
             ..SimConfig::default()
         };
-        let root_deck = if comm.rank() == 0 { Some(deck.as_str()) } else { None };
+        let root_deck = if comm.rank() == 0 {
+            Some(deck.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, config, root_deck);
 
         // 2. Build the in situ bridge and enable analyses.
@@ -56,7 +60,10 @@ fn main() {
         // 4. Rank 0 reports.
         if comm.rank() == 0 {
             let hist = hist_results.lock().clone().expect("histogram result");
-            println!("histogram at step {} over [{:.3}, {:.3}]:", hist.step, hist.min, hist.max);
+            println!(
+                "histogram at step {} over [{:.3}, {:.3}]:",
+                hist.step, hist.min, hist.max
+            );
             let peak = *hist.counts.iter().max().unwrap() as f64;
             for (b, &count) in hist.counts.iter().enumerate() {
                 let bar = "#".repeat((count as f64 / peak * 50.0) as usize);
@@ -64,9 +71,16 @@ fn main() {
                 println!("  [{lo:+.2}, {hi:+.2})  {count:6}  {bar}");
             }
             let h = timings.per_step("histogram").expect("timings recorded");
-            let c = timings.per_step("catalyst-slice").expect("timings recorded");
-            println!("\nper-step cost: histogram {:.2} ms (×{}), catalyst-slice {:.2} ms (×{})",
-                h.mean() * 1e3, h.count, c.mean() * 1e3, c.count);
+            let c = timings
+                .per_step("catalyst-slice")
+                .expect("timings recorded");
+            println!(
+                "\nper-step cost: histogram {:.2} ms (×{}), catalyst-slice {:.2} ms (×{})",
+                h.mean() * 1e3,
+                h.count,
+                c.mean() * 1e3,
+                c.count
+            );
             println!("slice images written under results/ (slice_*.png)");
         }
     });

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the multi-producer multi-consumer channels the workspace
+//! uses (`unbounded` and `bounded`), built on `Mutex` + `Condvar`.
+//! Semantics match crossbeam where this workspace relies on them:
+//! cloneable senders *and* receivers, FIFO delivery, and disconnect
+//! errors once the opposite side has fully hung up.
+
+pub mod channel;

@@ -1,0 +1,352 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset this workspace's property tests use: primitive
+//! range and `any::<T>()` strategies, `collection::vec`, fixed-size
+//! arrays, tuple composition, the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Cases are generated from a seed derived from the test function's
+//! name, so failures reproduce exactly run to run. There is no
+//! shrinking: a failing case panics with the standard assertion message
+//! and the deterministic stream makes it reproducible under a debugger.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// Per-test configuration; only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator threaded through strategies.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test-identifying string (typically the fn name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a: stable across platforms and toolchains.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn gen_usize(&mut self, range: Range<usize>) -> usize {
+        if range.start >= range.end {
+            return range.start;
+        }
+        self.rng.gen_range(range)
+    }
+}
+
+/// A source of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = rng.next_u64() as u128;
+                (self.start as i128 + ((r * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                if v as $t >= self.end { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+/// Marker for types `any::<T>()` can produce.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: `size` lengths, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_usize(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `[T; 3]` from one element strategy.
+    pub struct Uniform3<S> {
+        element: S,
+    }
+
+    /// Three independent draws from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+        Uniform3 { element }
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn sample(&self, rng: &mut TestRng) -> [S::Value; 3] {
+            [
+                self.element.sample(rng),
+                self.element.sample(rng),
+                self.element.sample(rng),
+            ]
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Everything a test module normally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property; accepts an optional format message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Skip the current case when a precondition fails.
+///
+/// Only valid inside a [`proptest!`] body (the body runs in a closure;
+/// `return` abandons the case, not the whole test).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running the body over deterministically generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                // Immediately-invoked closure so prop_assume! can abandon
+                // one case without ending the whole test.
+                (move || { $body })();
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_respected(x in 3usize..17, f in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_arrays(pair in (0usize..4, 0.0f32..1.0), triple in crate::array::uniform3(-5i64..5)) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!(triple.iter().all(|&c| (-5..5).contains(&c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(
+                crate::Strategy::sample(&s, &mut a),
+                crate::Strategy::sample(&s, &mut b)
+            );
+        }
+    }
+}

@@ -25,7 +25,11 @@ fn miniapp_with_all_direct_analyses() {
             steps: 6,
             ..SimConfig::default()
         };
-        let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+        let root = if comm.rank() == 0 {
+            Some(d.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, cfg, root);
 
         let hist = HistogramAnalysis::new("data", 32);
@@ -50,7 +54,7 @@ fn miniapp_with_all_direct_analyses() {
 
         // Statistics agree between analyses: histogram range equals
         // descriptive-stats extrema.
-        let s = stats_res.lock().clone().unwrap();
+        let s = (*stats_res.lock()).unwrap();
         if comm.rank() == 0 {
             let h = hist_res.lock().clone().unwrap();
             assert_eq!(h.min, s.min);
@@ -74,7 +78,11 @@ fn both_infrastructures_render_same_run() {
             steps: 2,
             ..SimConfig::default()
         };
-        let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+        let root = if comm.rank() == 0 {
+            Some(d.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, cfg, root);
         sim.step(comm);
 
@@ -129,7 +137,11 @@ fn config_driven_analysis_selection() {
             steps: 1,
             ..SimConfig::default()
         };
-        let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+        let root = if comm.rank() == 0 {
+            Some(d.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, sim_cfg, root);
         sim.step(comm);
         bridge.execute(&OscillatorAdaptor::new(&sim), comm);
@@ -152,7 +164,10 @@ fn three_paths_one_histogram() {
         g.add_point_array(datamodel::DataArray::owned(
             "data",
             1,
-            local.iter_points().map(|p| (p[0] * p[1] + p[2]) as f64).collect(),
+            local
+                .iter_points()
+                .map(|p| (p[0] * p[1] + p[2]) as f64)
+                .collect(),
         ));
         (local, global, g)
     };
@@ -245,7 +260,11 @@ fn glean_aggregation_end_to_end() {
             steps: 2,
             ..SimConfig::default()
         };
-        let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+        let root = if comm.rank() == 0 {
+            Some(d.as_str())
+        } else {
+            None
+        };
         let mut sim = Simulation::new(comm, cfg, root);
         let mut bridge = Bridge::new();
         bridge.add_analysis(Box::new(glean::GleanWriter::new(
@@ -262,7 +281,12 @@ fn glean_aggregation_end_to_end() {
     let f0 = glean::read_blob_file(&glean::GleanWriter::blob_path(&dir, 0)).unwrap();
     let f2 = glean::read_blob_file(&glean::GleanWriter::blob_path(&dir, 2)).unwrap();
     assert_eq!(f0.len(), 2, "two steps aggregated");
-    let ranks: Vec<usize> = f0[0].1.iter().chain(f2[0].1.iter()).map(|b| b.rank).collect();
+    let ranks: Vec<usize> = f0[0]
+        .1
+        .iter()
+        .chain(f2[0].1.iter())
+        .map(|b| b.rank)
+        .collect();
     assert_eq!(ranks.len(), 4, "all four ranks' blocks present");
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -286,7 +310,7 @@ fn science_proxies_through_one_bridge_api() {
         bridge.add_analysis(Box::new(stats));
         bridge.execute(&science::LeslieAdaptor::new(&leslie), comm);
         bridge.finalize(comm);
-        assert!(res.lock().clone().unwrap().count > 0);
+        assert!((*res.lock()).unwrap().count > 0);
 
         // Nyx.
         let mut nyx = science::Nyx::new(
@@ -325,7 +349,7 @@ fn science_proxies_through_one_bridge_api() {
         bridge.add_analysis(Box::new(stats));
         bridge.execute(&science::PhastaAdaptor::new(&phasta), comm);
         bridge.finalize(comm);
-        let s = res.lock().clone().unwrap();
+        let s = (*res.lock()).unwrap();
         assert!(s.count > 0);
         assert!(s.max > 0.0, "flow is moving");
     });

@@ -159,6 +159,150 @@ proptest! {
         prop_assert_eq!(out.max, expect_hi);
     }
 
+    /// The support-culled, slab-threaded oscillator kernel reproduces
+    /// the naive all-pairs kernel **bitwise**, for arbitrary decks,
+    /// grids, rank counts, and thread counts.
+    #[test]
+    fn culled_kernel_matches_naive_bitwise(
+        oscs in proptest::collection::vec(
+            (0usize..3, proptest::array::uniform3(-0.2f64..1.2), 0.003f64..0.4, 0.5f64..20.0, 0.0f64..0.9),
+            1..10,
+        ),
+        grid in proptest::array::uniform3(3usize..12),
+        p in 1usize..5,
+        threads in 1usize..5,
+    ) {
+        use oscillator::{format_deck, Oscillator, OscillatorKind, SimConfig, Simulation};
+        let dims = dims_create(p);
+        // The decomposition must fit the cell grid.
+        prop_assume!(dims[0] < grid[0] && dims[1] < grid[1] && dims[2] < grid[2]);
+        let deck: Vec<Oscillator> = oscs
+            .iter()
+            .map(|&(k, center, radius, omega, zeta)| Oscillator {
+                kind: match k {
+                    0 => OscillatorKind::Periodic,
+                    1 => OscillatorKind::Damped,
+                    _ => OscillatorKind::Decaying,
+                },
+                center,
+                radius,
+                omega,
+                zeta,
+            })
+            .collect();
+        let text = format_deck(&deck);
+        let fields = minimpi::World::run(p, move |comm| {
+            let cfg = SimConfig { grid, steps: 2, ..SimConfig::default() };
+            let root = if comm.rank() == 0 { Some(text.as_str()) } else { None };
+            let mut naive = Simulation::new(comm, cfg.clone(), root);
+            let root = if comm.rank() == 0 { Some(text.as_str()) } else { None };
+            let mut culled = Simulation::new(comm, cfg, root);
+            for _ in 0..2 {
+                naive.step_naive(comm);
+                culled.step_with_threads(comm, threads);
+            }
+            (naive.field().as_ref().clone(), culled.field().as_ref().clone())
+        });
+        for (naive, culled) in &fields {
+            prop_assert_eq!(naive, culled);
+        }
+    }
+
+    /// The chunk-parallel streaming histogram equals the serial one for
+    /// any field, bin count, thread count, and rank count (counts are
+    /// integer, min/max fold order-independently).
+    #[test]
+    fn histogram_parallel_matches_serial(
+        values in proptest::collection::vec(-1e3f64..1e3, 3..120),
+        bins in 1usize..24,
+        threads in 2usize..6,
+        p in 1usize..4,
+    ) {
+        use sensei::analysis::histogram::HistogramAnalysis;
+        use sensei::analysis::AnalysisAdaptor as _;
+        prop_assume!(values.len() >= p);
+        let results = minimpi::World::run(p, move |comm| {
+            let mine: Vec<f64> = values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % p == comm.rank())
+                .map(|(_, &v)| v)
+                .collect();
+            let e = Extent::whole([mine.len(), 1, 1]);
+            let mut g = datamodel::ImageData::new(e, e);
+            g.add_point_array(DataArray::owned("data", 1, mine));
+            let a = sensei::InMemoryAdaptor::new(datamodel::DataSet::Image(g), 0.0, 0);
+            let mut serial = HistogramAnalysis::new("data", bins);
+            let mut parallel = HistogramAnalysis::new("data", bins).with_threads(threads);
+            let rs = serial.results_handle();
+            let rp = parallel.results_handle();
+            serial.execute(&a, comm);
+            parallel.execute(&a, comm);
+            let out = (rs.lock().clone(), rp.lock().clone());
+            out
+        });
+        let (serial, parallel) = &results[0];
+        prop_assert!(serial.is_some());
+        prop_assert_eq!(serial, parallel);
+        for (s, q) in &results[1..] {
+            prop_assert!(s.is_none() && q.is_none(), "non-root ranks hold no result");
+        }
+    }
+
+    /// The reduce-scatter/allgather vector allreduce agrees with the
+    /// binomial-tree one under exact operators, for any size and length
+    /// (including non-power-of-two ranks and lengths not divisible by p).
+    #[test]
+    fn rsag_allreduce_matches_tree(
+        vals in proptest::collection::vec(any::<u64>(), 0..48),
+        p in 1usize..10,
+    ) {
+        let out = minimpi::World::run(p, move |comm| {
+            let mine: Vec<u64> = vals
+                .iter()
+                .map(|&v| v.wrapping_mul(comm.rank() as u64 + 1))
+                .collect();
+            let sums = (
+                comm.allreduce_vec(mine.clone(), |a, b| a.wrapping_add(*b)),
+                comm.allreduce_vec_rsag(mine.clone(), |a, b| a.wrapping_add(*b)),
+            );
+            let fine: Vec<f64> = mine.iter().map(|&v| (v % 1000) as f64 - 500.0).collect();
+            let minmax = (
+                comm.allreduce_vec(fine.clone(), |a, b| a.min(*b)),
+                comm.allreduce_vec_rsag(fine, |a, b| a.min(*b)),
+            );
+            (sums, minmax)
+        });
+        for ((tree_sum, rsag_sum), (tree_min, rsag_min)) in &out {
+            prop_assert_eq!(tree_sum, rsag_sum);
+            prop_assert_eq!(tree_min, rsag_min);
+        }
+    }
+
+    /// Arc broadcast delivers the same value as the by-value broadcast,
+    /// from any root.
+    #[test]
+    fn bcast_arc_matches_bcast(
+        data in proptest::collection::vec(any::<u64>(), 0..64),
+        p in 1usize..9,
+        root_sel in any::<u64>(),
+    ) {
+        let root = (root_sel % p as u64) as usize;
+        let expect = data.clone();
+        let out = minimpi::World::run(p, move |comm| {
+            let v1 = comm.bcast(root, (comm.rank() == root).then(|| data.clone()));
+            let v2 = comm.bcast_arc(
+                root,
+                (comm.rank() == root).then(|| std::sync::Arc::new(data.clone())),
+            );
+            (v1, v2)
+        });
+        for (plain, shared) in &out {
+            prop_assert_eq!(plain, &expect);
+            prop_assert_eq!(shared.as_ref(), &expect);
+        }
+    }
+
     /// Framebuffer depth compositing is commutative for any two pixel
     /// sets (the property binary swap relies on).
     #[test]

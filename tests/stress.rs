@@ -135,7 +135,9 @@ fn large_buffer_integrity() {
 /// the same histogram as the serial path.
 #[test]
 fn hybrid_execution_matches_serial_through_bridge() {
-    use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+    use oscillator::{
+        demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation,
+    };
     use sensei::analysis::histogram::HistogramAnalysis;
     use sensei::analysis::AnalysisAdaptor as _;
 
@@ -148,7 +150,11 @@ fn hybrid_execution_matches_serial_through_bridge() {
                 steps: 3,
                 ..SimConfig::default()
             };
-            let root = if comm.rank() == 0 { Some(d.as_str()) } else { None };
+            let root = if comm.rank() == 0 {
+                Some(d.as_str())
+            } else {
+                None
+            };
             let mut sim = Simulation::new(comm, cfg, root);
             let mut h = HistogramAnalysis::new("data", 16);
             let res = h.results_handle();
