@@ -7,11 +7,14 @@
 //! [`BpFile`] on disk.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use datamodel::ScalarType;
 use std::io::{Read, Write};
 use std::path::Path;
 
-/// Magic bytes of the framing.
-const MAGIC: &[u8; 4] = b"BPL1";
+/// Magic bytes of the framing. `BPL2` added a per-variable scalar type
+/// and leaf index, so multi-leaf ranks and non-f64 arrays (notably the
+/// `vtkGhostType` u8 array) survive a staging round trip intact.
+const MAGIC: &[u8; 4] = b"BPL2";
 
 /// Errors from decoding or file I/O.
 #[derive(Debug)]
@@ -50,12 +53,21 @@ pub struct BpVar {
     pub offset: [u64; 3],
     /// This block's local dimensions.
     pub local_dims: [u64; 3],
-    /// Row-major (k slowest) f64 payload, `local_dims` sized.
+    /// Row-major (k slowest) payload, `local_dims` sized. Values travel
+    /// widened to f64 (exact for every supported scalar type); `dtype`
+    /// records the element type to restore on reconstruction.
     pub data: Vec<f64>,
+    /// Declared element type of the source array.
+    pub dtype: ScalarType,
+    /// Which leaf of the sender's (multiblock) mesh this block belongs
+    /// to, so a rank with several leaves reconstructs into several
+    /// blocks instead of collapsing into the first leaf's extent.
+    pub leaf: u32,
 }
 
 impl BpVar {
-    /// Validate and build.
+    /// Validate and build. Defaults to an `f64` variable on leaf 0; use
+    /// [`BpVar::with_dtype`] / [`BpVar::with_leaf`] to override.
     pub fn new(
         name: impl Into<String>,
         global_dims: [u64; 3],
@@ -83,13 +95,48 @@ impl BpVar {
             offset,
             local_dims,
             data,
+            dtype: ScalarType::F64,
+            leaf: 0,
         }
+    }
+
+    /// Declare the element type of the source array.
+    pub fn with_dtype(mut self, dtype: ScalarType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+
+    /// Assign the variable to a mesh leaf.
+    pub fn with_leaf(mut self, leaf: u32) -> Self {
+        self.leaf = leaf;
+        self
     }
 
     /// Payload size in bytes.
     pub fn payload_bytes(&self) -> usize {
         self.data.len() * 8
     }
+}
+
+fn dtype_code(t: ScalarType) -> u8 {
+    match t {
+        ScalarType::F32 => 0,
+        ScalarType::F64 => 1,
+        ScalarType::I32 => 2,
+        ScalarType::I64 => 3,
+        ScalarType::U8 => 4,
+    }
+}
+
+fn dtype_from_code(code: u8) -> Option<ScalarType> {
+    Some(match code {
+        0 => ScalarType::F32,
+        1 => ScalarType::F64,
+        2 => ScalarType::I32,
+        3 => ScalarType::I64,
+        4 => ScalarType::U8,
+        _ => return None,
+    })
 }
 
 /// One timestep of self-describing data, plus scalar attributes.
@@ -159,6 +206,8 @@ impl BpStep {
         b.put_u32_le(self.vars.len() as u32);
         for v in &self.vars {
             put_string(&mut b, &v.name);
+            b.put_u8(dtype_code(v.dtype));
+            b.put_u32_le(v.leaf);
             for d in v.global_dims {
                 b.put_u64_le(d);
             }
@@ -206,9 +255,12 @@ impl BpStep {
         let mut vars = Vec::with_capacity(nvars.min(1024));
         for _ in 0..nvars {
             let name = get_string(&mut buf)?;
-            if buf.remaining() < 9 * 8 + 8 {
+            if buf.remaining() < 1 + 4 + 9 * 8 + 8 {
                 return Err(BpError::Corrupt("truncated var header"));
             }
+            let dtype =
+                dtype_from_code(buf.get_u8()).ok_or(BpError::Corrupt("unknown scalar type"))?;
+            let leaf = buf.get_u32_le();
             let mut dims = [[0u64; 3]; 3];
             for group in dims.iter_mut() {
                 for d in group.iter_mut() {
@@ -233,6 +285,8 @@ impl BpStep {
                 offset: dims[1],
                 local_dims: dims[2],
                 data,
+                dtype,
+                leaf,
             });
         }
         Ok(BpStep {
@@ -342,6 +396,26 @@ mod tests {
         assert_eq!(s.var("rho").unwrap().data, vec![9.0]);
         assert!(s.var("nope").is_none());
         assert_eq!(s.payload_bytes(), 257 * 8);
+    }
+
+    #[test]
+    fn dtype_and_leaf_survive_roundtrip() {
+        let mut s = BpStep::new(1, 0.1);
+        s.vars.push(
+            BpVar::new(
+                "vtkGhostType",
+                [4, 1, 1],
+                [0, 0, 0],
+                [4, 1, 1],
+                vec![0.0, 0.0, 1.0, 1.0],
+            )
+            .with_dtype(ScalarType::U8)
+            .with_leaf(3),
+        );
+        let back = BpStep::decode(&s.encode()).expect("decode");
+        assert_eq!(back.vars[0].dtype, ScalarType::U8);
+        assert_eq!(back.vars[0].leaf, 3);
+        assert_eq!(back, s);
     }
 
     #[test]

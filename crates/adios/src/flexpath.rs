@@ -18,6 +18,13 @@
 //!
 //! Writers may `close` at any time (FlexPath supports dynamic
 //! disconnection); endpoints drain remaining steps and observe EOF.
+//!
+//! Readers also survive writers that *die* rather than close: each
+//! per-writer receive carries a deadline, and a writer that misses it is
+//! recorded as a [`DeadWriter`] (steps and bytes received before the
+//! loss) and dropped from the stream instead of hanging the endpoint.
+
+use std::time::Duration;
 
 use minimpi::Comm;
 
@@ -25,6 +32,11 @@ use crate::bp::BpStep;
 
 const TAG_DATA: u32 = 0xAD10_0001;
 const TAG_ACK: u32 = 0xAD10_0002;
+
+/// Default per-writer receive deadline: generous enough for slow
+/// simulation steps, small enough that a dead writer is diagnosed rather
+/// than hanging the endpoint forever.
+const DEFAULT_WRITER_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Message from writer to reader.
 enum Frame {
@@ -77,10 +89,21 @@ pub fn pair(world: &Comm, n_writers: usize) -> Role {
         }
     } else {
         let e = me - n_writers;
-        let writers: Vec<usize> = (0..n_writers).filter(|w| w % n_endpoints == e).collect();
+        let links: Vec<WriterLink> = (0..n_writers)
+            .filter(|w| w % n_endpoints == e)
+            .map(|rank| WriterLink {
+                rank,
+                steps: 0,
+                bytes: 0,
+            })
+            .collect();
         Role::Endpoint {
             sub,
-            reader: FlexpathReader { writers },
+            reader: FlexpathReader {
+                links,
+                deadline: Some(DEFAULT_WRITER_DEADLINE),
+                dead: Vec::new(),
+            },
         }
     }
 }
@@ -137,39 +160,97 @@ impl FlexpathWriter {
     }
 }
 
+/// Per-writer stream accounting on the reader side.
+#[derive(Clone, Debug)]
+struct WriterLink {
+    rank: usize,
+    steps: u64,
+    bytes: usize,
+}
+
+/// A writer that stopped talking mid-stream: what was received before the
+/// loss, for the endpoint's failure report.
+#[derive(Clone, Debug)]
+pub struct DeadWriter {
+    /// World rank of the lost writer.
+    pub rank: usize,
+    /// Steps fully received before the writer went silent.
+    pub steps_received: u64,
+    /// Payload bytes received before the writer went silent.
+    pub bytes_received: usize,
+    /// How long the reader waited before declaring it dead.
+    pub waited: Duration,
+}
+
 /// Reader-side transport handle.
 pub struct FlexpathReader {
-    writers: Vec<usize>,
+    links: Vec<WriterLink>,
+    deadline: Option<Duration>,
+    dead: Vec<DeadWriter>,
 }
 
 impl FlexpathReader {
-    /// World ranks of the writers this endpoint serves.
-    pub fn writers(&self) -> &[usize] {
-        &self.writers
+    /// World ranks of the writers this endpoint still serves.
+    pub fn writers(&self) -> Vec<usize> {
+        self.links.iter().map(|l| l.rank).collect()
+    }
+
+    /// Override the per-writer receive deadline (tests use short ones).
+    pub fn set_deadline(&mut self, deadline: Duration) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Wait forever for each writer, as the pre-fail-fast transport did.
+    pub fn without_deadline(&mut self) {
+        self.deadline = None;
+    }
+
+    /// Writers lost mid-stream so far (missed their receive deadline).
+    pub fn dead_writers(&self) -> &[DeadWriter] {
+        &self.dead
     }
 
     /// Receive one step from every still-connected writer. Returns
-    /// `None` once all writers have closed. Steps arrive with their
-    /// source world rank.
+    /// `None` once all writers have closed or died. Steps arrive with
+    /// their source world rank. A writer that misses the deadline is
+    /// recorded in [`FlexpathReader::dead_writers`] and dropped; the
+    /// stream degrades to end-of-stream instead of hanging.
     pub fn begin_step(&mut self, world: &Comm) -> Option<Vec<(usize, BpStep)>> {
-        if self.writers.is_empty() {
+        if self.links.is_empty() {
             return None;
         }
-        let mut steps = Vec::with_capacity(self.writers.len());
-        let mut still_open = Vec::with_capacity(self.writers.len());
-        for &w in &self.writers {
-            let frame: (bool, Vec<u8>) = world.recv(w, TAG_DATA);
+        let mut steps = Vec::with_capacity(self.links.len());
+        let mut still_open = Vec::with_capacity(self.links.len());
+        for mut link in std::mem::take(&mut self.links) {
+            let w = link.rank;
+            let frame: (bool, Vec<u8>) = match self.deadline {
+                None => world.recv(w, TAG_DATA),
+                Some(limit) => match world.recv_deadline(w, TAG_DATA, limit) {
+                    Ok((_, frame)) => frame,
+                    Err(_) => {
+                        self.dead.push(DeadWriter {
+                            rank: w,
+                            steps_received: link.steps,
+                            bytes_received: link.bytes,
+                            waited: limit,
+                        });
+                        continue;
+                    }
+                },
+            };
             match decode_frame(frame) {
                 Frame::Close => {}
                 Frame::Step(bytes) => {
                     let step = BpStep::decode(&bytes)
                         .unwrap_or_else(|e| panic!("flexpath: bad step from rank {w}: {e}"));
+                    link.steps += 1;
+                    link.bytes += bytes.len();
                     steps.push((w, step));
-                    still_open.push(w);
+                    still_open.push(link);
                 }
             }
         }
-        self.writers = still_open;
+        self.links = still_open;
         if steps.is_empty() {
             None
         } else {
@@ -178,10 +259,11 @@ impl FlexpathReader {
     }
 
     /// Acknowledge the current step to the writers that sent it,
-    /// releasing their back-pressure.
+    /// releasing their back-pressure. Best-effort: a writer that died
+    /// after sending must not take the endpoint down with it.
     pub fn end_step(&self, world: &Comm, sources: &[(usize, BpStep)]) {
         for (w, step) in sources {
-            world.send(*w, TAG_ACK, step.step);
+            world.try_send(*w, TAG_ACK, step.step);
         }
     }
 }

@@ -4,7 +4,7 @@
 //! Libsim, histogram, or autocorrelation run at the endpoint without the
 //! simulation knowing which (Fig. 2's composability).
 
-use datamodel::{DataArray, DataSet, Extent, ImageData, MultiBlock};
+use datamodel::{DataArray, DataSet, Extent, ImageData, MultiBlock, ScalarType};
 use minimpi::Comm;
 use sensei::{AnalysisAdaptor, Association, Bridge, DataAdaptor};
 
@@ -13,11 +13,15 @@ use crate::flexpath::{FlexpathReader, FlexpathWriter};
 
 /// Convert one timestep of a (structured) data adaptor into a BP step:
 /// every 1-component point array of every image/rectilinear leaf becomes
-/// a self-describing variable.
+/// a self-describing variable, keyed by its leaf index so a rank carrying
+/// several leaves reconstructs into several blocks. Geometry attributes
+/// are likewise keyed per leaf (`leaf{i}_spacing_{a}`), and each
+/// variable's scalar type travels with it — notably keeping the
+/// `vtkGhostType` u8 array recognizable as ghosts at the endpoint.
 pub fn adaptor_to_step(data: &dyn DataAdaptor) -> BpStep {
     let mesh = data.full_mesh();
     let mut step = BpStep::new(data.step(), data.time());
-    for leaf in mesh.leaves() {
+    for (leaf_id, leaf) in mesh.leaves().enumerate() {
         let (local, global, attrs, spacing, origin) = match leaf {
             DataSet::Image(g) => (
                 g.extent,
@@ -43,8 +47,8 @@ pub fn adaptor_to_step(data: &dyn DataAdaptor) -> BpStep {
             _ => continue,
         };
         for a in 0..3 {
-            step.set_attr(format!("spacing_{a}"), spacing[a]);
-            step.set_attr(format!("origin_{a}"), origin[a]);
+            step.set_attr(format!("leaf{leaf_id}_spacing_{a}"), spacing[a]);
+            step.set_attr(format!("leaf{leaf_id}_origin_{a}"), origin[a]);
         }
         for arr in attrs.iter() {
             if arr.num_components() != 1 {
@@ -53,58 +57,106 @@ pub fn adaptor_to_step(data: &dyn DataAdaptor) -> BpStep {
             let d = local.point_dims();
             let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
             let gd = global.point_dims();
-            step.vars.push(BpVar::new(
-                arr.name(),
-                [gd[0] as u64, gd[1] as u64, gd[2] as u64],
-                [
-                    (local.lo[0] - global.lo[0]) as u64,
-                    (local.lo[1] - global.lo[1]) as u64,
-                    (local.lo[2] - global.lo[2]) as u64,
-                ],
-                [d[0] as u64, d[1] as u64, d[2] as u64],
-                values,
-            ));
+            step.vars.push(
+                BpVar::new(
+                    arr.name(),
+                    [gd[0] as u64, gd[1] as u64, gd[2] as u64],
+                    [
+                        (local.lo[0] - global.lo[0]) as u64,
+                        (local.lo[1] - global.lo[1]) as u64,
+                        (local.lo[2] - global.lo[2]) as u64,
+                    ],
+                    [d[0] as u64, d[1] as u64, d[2] as u64],
+                    values,
+                )
+                .with_dtype(arr.scalar_type())
+                .with_leaf(leaf_id as u32),
+            );
         }
     }
     step
 }
 
-/// Reconstruct an image-grid block from one BP variable set.
-fn step_to_block(step: &BpStep) -> Option<ImageData> {
-    let first = step.vars.first()?;
-    let global = Extent::new(
-        [0, 0, 0],
-        [
-            first.global_dims[0] as i64 - 1,
-            first.global_dims[1] as i64 - 1,
-            first.global_dims[2] as i64 - 1,
-        ],
-    );
-    let lo = [
-        first.offset[0] as i64,
-        first.offset[1] as i64,
-        first.offset[2] as i64,
-    ];
-    let hi = [
-        lo[0] + first.local_dims[0] as i64 - 1,
-        lo[1] + first.local_dims[1] as i64 - 1,
-        lo[2] + first.local_dims[2] as i64 - 1,
-    ];
-    let spacing = [
-        step.attr("spacing_0").unwrap_or(1.0),
-        step.attr("spacing_1").unwrap_or(1.0),
-        step.attr("spacing_2").unwrap_or(1.0),
-    ];
-    let origin = [
-        step.attr("origin_0").unwrap_or(0.0),
-        step.attr("origin_1").unwrap_or(0.0),
-        step.attr("origin_2").unwrap_or(0.0),
-    ];
-    let mut grid = ImageData::new(Extent::new(lo, hi), global).with_geometry(origin, spacing);
-    for var in &step.vars {
-        grid.add_point_array(DataArray::owned(var.name.clone(), 1, var.data.clone()));
+/// Restore a variable's payload as an array of its declared scalar type.
+/// Values travel widened to f64, which is exact for every supported type.
+fn reconstruct_array(var: &BpVar) -> DataArray {
+    let name = var.name.clone();
+    match var.dtype {
+        ScalarType::F64 => DataArray::owned(name, 1, var.data.clone()),
+        ScalarType::F32 => DataArray::owned(
+            name,
+            1,
+            var.data.iter().map(|&v| v as f32).collect::<Vec<_>>(),
+        ),
+        ScalarType::I32 => DataArray::owned(
+            name,
+            1,
+            var.data.iter().map(|&v| v as i32).collect::<Vec<_>>(),
+        ),
+        ScalarType::I64 => DataArray::owned(
+            name,
+            1,
+            var.data.iter().map(|&v| v as i64).collect::<Vec<_>>(),
+        ),
+        ScalarType::U8 => DataArray::owned(
+            name,
+            1,
+            var.data.iter().map(|&v| v as u8).collect::<Vec<_>>(),
+        ),
     }
-    Some(grid)
+}
+
+/// Reconstruct one image-grid block per mesh leaf from a BP step. Each
+/// leaf's variables carry their own extent; an unprefixed geometry
+/// attribute set is honored as a fallback for hand-built steps.
+fn step_to_blocks(step: &BpStep) -> Vec<ImageData> {
+    let mut leaf_ids: Vec<u32> = step.vars.iter().map(|v| v.leaf).collect();
+    leaf_ids.sort_unstable();
+    leaf_ids.dedup();
+    let mut blocks = Vec::with_capacity(leaf_ids.len());
+    for leaf in leaf_ids {
+        let vars: Vec<&BpVar> = step.vars.iter().filter(|v| v.leaf == leaf).collect();
+        let Some(first) = vars.first() else { continue };
+        let global = Extent::new(
+            [0, 0, 0],
+            [
+                first.global_dims[0] as i64 - 1,
+                first.global_dims[1] as i64 - 1,
+                first.global_dims[2] as i64 - 1,
+            ],
+        );
+        let lo = [
+            first.offset[0] as i64,
+            first.offset[1] as i64,
+            first.offset[2] as i64,
+        ];
+        let hi = [
+            lo[0] + first.local_dims[0] as i64 - 1,
+            lo[1] + first.local_dims[1] as i64 - 1,
+            lo[2] + first.local_dims[2] as i64 - 1,
+        ];
+        let geo = |what: &str, a: usize, default: f64| {
+            step.attr(&format!("leaf{leaf}_{what}_{a}"))
+                .or_else(|| step.attr(&format!("{what}_{a}")))
+                .unwrap_or(default)
+        };
+        let spacing = [
+            geo("spacing", 0, 1.0),
+            geo("spacing", 1, 1.0),
+            geo("spacing", 2, 1.0),
+        ];
+        let origin = [
+            geo("origin", 0, 0.0),
+            geo("origin", 1, 0.0),
+            geo("origin", 2, 0.0),
+        ];
+        let mut grid = ImageData::new(Extent::new(lo, hi), global).with_geometry(origin, spacing);
+        for var in vars {
+            grid.add_point_array(reconstruct_array(var));
+        }
+        blocks.push(grid);
+    }
+    blocks
 }
 
 /// Endpoint-side data adaptor over the steps received from the served
@@ -118,10 +170,24 @@ pub struct BpAdaptor {
 impl BpAdaptor {
     /// Build from one round of received steps.
     pub fn new(steps: &[(usize, BpStep)]) -> Self {
-        let blocks: Vec<ImageData> = steps.iter().filter_map(|(_, s)| step_to_block(s)).collect();
+        let blocks: Vec<ImageData> = steps.iter().flat_map(|(_, s)| step_to_blocks(s)).collect();
         let step = steps.first().map(|(_, s)| s.step).unwrap_or(0);
         let time = steps.first().map(|(_, s)| s.time).unwrap_or(0.0);
         BpAdaptor { blocks, step, time }
+    }
+
+    /// Agree on `(step, time)` with the other endpoints of `sub`.
+    ///
+    /// An endpoint whose writers all closed or died receives no steps in
+    /// a round and would otherwise report `step=0, time=0.0`, disagreeing
+    /// with its peers mid-run; adopt the maximum `(has-data, step)` pair
+    /// across the subgroup instead. Collective over `sub`.
+    pub fn reconcile_step_time(&mut self, sub: &Comm) {
+        let mine = (!self.blocks.is_empty(), self.step, self.time);
+        let (_, step, time) =
+            sub.allreduce_scalar(mine, |a, b| if (b.0, b.1) > (a.0, a.1) { b } else { a });
+        self.step = step;
+        self.time = time;
     }
 }
 
@@ -228,9 +294,15 @@ impl AnalysisAdaptor for AdiosWriterAnalysis {
 }
 
 /// Run the endpoint loop: receive steps until every served writer
-/// closes, driving `analyses` through a SENSEI bridge whose collective
-/// communicator is the endpoint subgroup. Returns the bridge (timings
-/// and any analysis result handles stay valid).
+/// closes or dies, driving `analyses` through a SENSEI bridge whose
+/// collective communicator is the endpoint subgroup. Returns the bridge
+/// (timings and any analysis result handles stay valid).
+///
+/// A writer lost mid-stream degrades gracefully: its stream ends (the
+/// reader's per-writer deadline fires), the loop keeps serving the
+/// surviving writers in lock-step with the other endpoints, and the
+/// bytes/steps lost are surfaced through
+/// [`Bridge::failure_reports`].
 pub fn run_endpoint(
     world: &Comm,
     sub: &Comm,
@@ -253,9 +325,17 @@ pub fn run_endpoint(
             break;
         }
         let steps = steps.unwrap_or_default();
-        let adaptor = BpAdaptor::new(&steps);
+        let mut adaptor = BpAdaptor::new(&steps);
+        adaptor.reconcile_step_time(sub);
         bridge.execute(&adaptor, sub);
         reader.end_step(world, &steps);
+    }
+    for dead in reader.dead_writers() {
+        bridge.record_failure(format!(
+            "adios::staging: writer rank {} lost in transit after {} step(s) / {} payload \
+             byte(s) received (no frame within {:?}); its stream was drained to end-of-stream",
+            dead.rank, dead.steps_received, dead.bytes_received, dead.waited
+        ));
     }
     bridge.finalize(sub);
     bridge
@@ -346,11 +426,143 @@ mod tests {
         let a = sim_adaptor(1, 2, 5);
         let step = adaptor_to_step(&a);
         assert_eq!(step.step, 5);
-        let block = step_to_block(&step).unwrap();
+        let blocks = step_to_blocks(&step);
+        assert_eq!(blocks.len(), 1);
+        let block = &blocks[0];
         assert_eq!(block.global_extent, Extent::whole([5, 3, 3]));
         assert_eq!(block.extent.lo[0], 2, "second writer's block offset");
         let arr = block.point_data.get("data").unwrap();
         assert_eq!(arr.num_tuples(), block.num_points());
+    }
+
+    /// A rank carrying two mesh leaves with distinct geometry: each leaf
+    /// must ship as its own block with its own spacing/origin (the
+    /// multi-leaf bug collapsed all leaves into one block with the last
+    /// leaf's geometry).
+    fn two_leaf_adaptor(step: u64) -> InMemoryAdaptor {
+        let global = Extent::whole([4, 1, 1]);
+        let mut mb = MultiBlock::new();
+        for (i, (lo, hi)) in [([0, 0, 0], [1, 0, 0]), ([2, 0, 0], [3, 0, 0])]
+            .into_iter()
+            .enumerate()
+        {
+            let local = Extent::new(lo, hi);
+            let mut g = ImageData::new(local, global)
+                .with_geometry([i as f64 * 10.0, 0.0, 0.0], [1.0 + i as f64, 1.0, 1.0]);
+            let vals: Vec<f64> = local
+                .iter_points()
+                .map(|p| p[0] as f64 + step as f64)
+                .collect();
+            g.add_point_array(DataArray::owned("data", 1, vals));
+            mb.push(DataSet::Image(g));
+        }
+        InMemoryAdaptor::new(DataSet::Multi(mb), step as f64, step)
+    }
+
+    #[test]
+    fn multi_leaf_rank_ships_one_block_per_leaf() {
+        let step = adaptor_to_step(&two_leaf_adaptor(2));
+        assert_eq!(step.vars.len(), 2, "one var per leaf");
+        // Full wire round-trip: leaf identity and geometry must survive
+        // serialization, not just the in-memory step.
+        let wire = crate::bp::BpStep::decode(&step.encode()).unwrap();
+        let blocks = step_to_blocks(&wire);
+        assert_eq!(blocks.len(), 2, "one block per leaf");
+        assert_eq!(blocks[0].origin, [0.0, 0.0, 0.0]);
+        assert_eq!(blocks[0].spacing, [1.0, 1.0, 1.0]);
+        assert_eq!(blocks[1].origin, [10.0, 0.0, 0.0]);
+        assert_eq!(blocks[1].spacing, [2.0, 1.0, 1.0]);
+        assert_eq!(blocks[0].extent.lo[0], 0);
+        assert_eq!(blocks[1].extent.lo[0], 2);
+        let d1 = blocks[1].point_data.get("data").unwrap();
+        assert_eq!(d1.num_tuples(), 2);
+        assert_eq!(d1.get(0, 0), 4.0, "x=2 plus step 2");
+    }
+
+    #[test]
+    fn ghost_array_dtype_survives_transit() {
+        let e = Extent::whole([3, 1, 1]);
+        let mut g = ImageData::new(e, e);
+        g.add_point_array(DataArray::owned("data", 1, vec![1.0f64, 2.0, 3.0]));
+        g.add_point_array(DataArray::owned("vtkGhostType", 1, vec![0u8, 0, 1]));
+        let a = InMemoryAdaptor::new(DataSet::Image(g), 0.0, 0);
+        let wire = crate::bp::BpStep::decode(&adaptor_to_step(&a).encode()).unwrap();
+        let blocks = step_to_blocks(&wire);
+        let ghost = blocks[0].point_data.get("vtkGhostType").unwrap();
+        assert_eq!(
+            ghost.scalar_type(),
+            ScalarType::U8,
+            "ghost markers must stay u8 so the endpoint recognizes them"
+        );
+        assert_eq!(ghost.get(2, 0), 1.0);
+        let data = blocks[0].point_data.get("data").unwrap();
+        assert_eq!(data.scalar_type(), ScalarType::F64);
+    }
+
+    #[test]
+    fn reconcile_adopts_peer_step_for_empty_round() {
+        World::run(2, |world| {
+            let steps = if world.rank() == 0 {
+                vec![(0usize, adaptor_to_step(&sim_adaptor(0, 1, 7)))]
+            } else {
+                Vec::new()
+            };
+            let mut adaptor = BpAdaptor::new(&steps);
+            adaptor.reconcile_step_time(world);
+            assert_eq!(adaptor.step(), 7, "rank {}", world.rank());
+            assert!((adaptor.time() - 7.0).abs() < 1e-12);
+        });
+    }
+
+    #[test]
+    fn dead_writer_degrades_to_end_of_stream() {
+        use std::time::Duration;
+        // Writer 0 ships 2 steps, then its third frame is lost in
+        // transit and it dies without closing. Its endpoint must drain
+        // to end-of-stream with a failure report — not hang — while the
+        // other endpoint's stream finishes all 4 steps, with both
+        // endpoints staying in lock-step.
+        let faults = minimpi::FaultHandle::new();
+        let hook = faults.clone();
+        minimpi::WorldBuilder::new(4)
+            .fault_handle(faults)
+            .run(move |world| match pair(world, 2) {
+                Role::Writer { mut writer, .. } if world.rank() == 0 => {
+                    for s in 0..2u64 {
+                        writer.advance(world);
+                        writer.write(world, &adaptor_to_step(&sim_adaptor(0, 2, s)));
+                    }
+                    writer.advance(world);
+                    hook.drop_link(0, writer.peer());
+                    writer.write(world, &adaptor_to_step(&sim_adaptor(0, 2, 2)));
+                    // Dies here: no close frame ever reaches the endpoint.
+                }
+                Role::Writer { mut writer, .. } => {
+                    for s in 0..4u64 {
+                        writer.advance(world);
+                        writer.write(world, &adaptor_to_step(&sim_adaptor(1, 2, s)));
+                    }
+                    writer.close(world);
+                }
+                Role::Endpoint { sub, mut reader } => {
+                    reader.set_deadline(Duration::from_millis(150));
+                    let bridge = run_endpoint(world, &sub, &mut reader, Vec::new());
+                    assert_eq!(bridge.steps(), 4, "endpoints stay in lock-step");
+                    if world.rank() == 2 {
+                        let reports = bridge.failure_reports();
+                        assert_eq!(reports.len(), 1, "lost writer surfaced");
+                        assert!(reports[0].contains("writer rank 0"), "{}", reports[0]);
+                        assert!(reports[0].contains("2 step(s)"), "{}", reports[0]);
+                        let dead = &reader.dead_writers()[0];
+                        assert_eq!(dead.rank, 0);
+                        assert_eq!(dead.steps_received, 2);
+                        assert!(dead.bytes_received > 0);
+                    } else {
+                        assert!(bridge.failure_reports().is_empty());
+                        assert!(reader.dead_writers().is_empty());
+                    }
+                }
+            });
     }
 
     #[test]

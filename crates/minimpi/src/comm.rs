@@ -4,11 +4,18 @@ use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
 use crate::envelope::{CollectiveKind, Envelope, Tag, ANY_SOURCE};
+use crate::fault::{FaultAction, FaultHandle};
+use crate::monitor::{BlockedInfo, Monitor};
+
+/// How often a blocked receive wakes up to poll the watchdog abort flag
+/// and (when set) its deadline. Bounds the latency between the watchdog
+/// raising an abort and every blocked rank panicking with the report.
+const POLL_TICK: Duration = Duration::from_millis(25);
 
 /// An MPI-style communicator handle owned by one rank (one thread).
 ///
@@ -26,6 +33,15 @@ pub struct Comm {
     epoch: Cell<u64>,
     /// Wall-clock origin for [`Comm::wtime`].
     t0: Instant,
+    /// This rank's slot in the *world* (stable across `split`); used to
+    /// key monitor state and fault rules.
+    slot: usize,
+    /// World slot of each rank in this communicator (`peer_slots[rank]`).
+    peer_slots: Arc<Vec<usize>>,
+    /// Shared deadlock monitor, when launched under a [`crate::World`].
+    monitor: Option<Arc<Monitor>>,
+    /// Injected transport faults, when installed for a test.
+    faults: Option<FaultHandle>,
 }
 
 impl Comm {
@@ -34,6 +50,7 @@ impl Comm {
         senders: Arc<Vec<Sender<Envelope>>>,
         receiver: Receiver<Envelope>,
     ) -> Self {
+        let size = senders.len();
         Comm {
             rank,
             senders,
@@ -41,7 +58,26 @@ impl Comm {
             pending: RefCell::new(VecDeque::new()),
             epoch: Cell::new(0),
             t0: Instant::now(),
+            slot: rank,
+            peer_slots: Arc::new((0..size).collect()),
+            monitor: None,
+            faults: None,
         }
+    }
+
+    /// Attach world identity and instrumentation (monitor, faults).
+    pub(crate) fn with_runtime(
+        mut self,
+        slot: usize,
+        peer_slots: Arc<Vec<usize>>,
+        monitor: Option<Arc<Monitor>>,
+        faults: Option<FaultHandle>,
+    ) -> Self {
+        self.slot = slot;
+        self.peer_slots = peer_slots;
+        self.monitor = monitor;
+        self.faults = faults;
+        self
     }
 
     /// This rank's index in `0..size()`.
@@ -75,18 +111,52 @@ impl Comm {
         self.send_tagged(dest, Tag::user(tag), value)
     }
 
+    /// Non-panicking send: returns `false` when the destination rank has
+    /// already exited (its channel is gone) instead of panicking, so
+    /// best-effort protocol messages (acks to a possibly-dead peer) do not
+    /// take the sender down with the failure.
+    ///
+    /// # Panics
+    /// Still panics if `dest` is out of range — that is a program bug, not
+    /// a runtime failure.
+    pub fn try_send<T: Send + 'static>(&self, dest: usize, tag: u32, value: T) -> bool {
+        self.try_send_tagged(dest, Tag::user(tag), value)
+    }
+
     pub(crate) fn send_tagged<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) {
+        if !self.try_send_tagged(dest, tag, value) {
+            panic!(
+                "send: destination rank disconnected (rank {} sending tag {tag} to rank {dest})",
+                self.rank
+            );
+        }
+    }
+
+    /// Shared send path; applies injected faults. A fault-dropped message
+    /// counts as delivered from the sender's perspective.
+    fn try_send_tagged<T: Send + 'static>(&self, dest: usize, tag: Tag, value: T) -> bool {
         let sender = self
             .senders
             .get(dest)
             .unwrap_or_else(|| panic!("send: rank {dest} out of range (size {})", self.size()));
+        if let Some(faults) = &self.faults {
+            let to_slot = self.peer_slots.get(dest).copied().unwrap_or(dest);
+            match faults.action(self.slot, to_slot) {
+                FaultAction::Deliver => {}
+                FaultAction::Drop => {
+                    faults.note_dropped();
+                    return true;
+                }
+                FaultAction::Delay(d) => std::thread::sleep(d),
+            }
+        }
         sender
             .send(Envelope {
                 src: self.rank,
                 tag,
                 payload: Box::new(value),
             })
-            .expect("send: destination rank disconnected");
+            .is_ok()
     }
 
     /// Blocking receive of a `T` from `src` with user `tag`.
@@ -104,6 +174,22 @@ impl Comm {
     /// Blocking receive matching any source; returns `(src, value)`.
     pub fn recv_any<T: Send + 'static>(&self, tag: u32) -> (usize, T) {
         self.recv_tagged(ANY_SOURCE, Tag::user(tag))
+    }
+
+    /// Receive with a deadline: like [`Comm::recv`], but gives up after
+    /// `timeout` and returns [`crate::Error::DeadlineExceeded`] carrying a
+    /// snapshot of this rank's unmatched pending queue — the raw material
+    /// for diagnosing who stopped talking.
+    pub fn recv_deadline<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u32,
+        timeout: Duration,
+    ) -> crate::Result<(usize, T)> {
+        let tag = Tag::user(tag);
+        let env = self.match_envelope_deadline(src, tag, Some(timeout))?;
+        let from = env.src;
+        Ok((from, downcast_payload(env.payload, from, tag)))
     }
 
     pub(crate) fn recv_tagged<T: Send + 'static>(&self, src: usize, tag: Tag) -> (usize, T) {
@@ -146,20 +232,61 @@ impl Comm {
     /// Block until an envelope matching `(src, tag)` is available and
     /// remove it from the pending queue.
     fn match_envelope(&self, src: usize, tag: Tag) -> Envelope {
+        self.match_envelope_deadline(src, tag, None)
+            .unwrap_or_else(|_| unreachable!("recv without a deadline cannot time out"))
+    }
+
+    /// Matching engine behind every receive. While blocked it publishes
+    /// its wait state to the watchdog monitor, polls the abort flag, and
+    /// verifies collective order on every non-matching envelope.
+    fn match_envelope_deadline(
+        &self,
+        src: usize,
+        tag: Tag,
+        deadline: Option<Duration>,
+    ) -> crate::Result<Envelope> {
         // Fast path: already pending.
         if let Some(env) = self.take_pending(src, tag) {
-            return env;
+            self.note_progress();
+            return Ok(env);
         }
-        loop {
-            let env = self
-                .receiver
-                .recv()
-                .expect("recv: all peer ranks disconnected while waiting for a message");
-            if env.tag == tag && (src == ANY_SOURCE || env.src == src) {
-                return env;
+        self.check_pending_for_mismatch(src, tag);
+        let start = Instant::now();
+        self.publish_blocked(src, tag, start);
+        let outcome = loop {
+            let wait = match deadline {
+                Some(limit) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= limit {
+                        break Err(self.deadline_error(src, tag, elapsed));
+                    }
+                    POLL_TICK.min(limit - elapsed)
+                }
+                None => POLL_TICK,
+            };
+            match self.receiver.recv_timeout(wait) {
+                Ok(env) => {
+                    if env.tag == tag && (src == ANY_SOURCE || env.src == src) {
+                        self.note_progress();
+                        break Ok(env);
+                    }
+                    self.check_envelope_for_mismatch(&env, src, tag);
+                    self.pending.borrow_mut().push_back(env);
+                    self.update_pending_snapshot();
+                }
+                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "recv: all peer ranks disconnected while rank {} waited for tag {tag}",
+                        self.rank
+                    );
+                }
             }
-            self.pending.borrow_mut().push_back(env);
+        };
+        if let Some(monitor) = &self.monitor {
+            monitor.clear_blocked(self.slot);
         }
+        outcome
     }
 
     fn take_pending(&self, src: usize, tag: Tag) -> Option<Envelope> {
@@ -168,6 +295,135 @@ impl Comm {
             .iter()
             .position(|e| e.tag == tag && (src == ANY_SOURCE || e.src == src))?;
         pending.remove(idx)
+    }
+
+    /// Collective-order verification against the pending queue: if this
+    /// rank waits for a collective message from a *specific* peer and that
+    /// peer has already sent traffic for a *different* collective, the
+    /// program violated the all-ranks-same-order rule. Sound because every
+    /// collective's sends are exactly consumed by its receives and
+    /// per-pair delivery is FIFO, so a leftover collective envelope from
+    /// the awaited peer can only mean divergent collective order.
+    fn check_pending_for_mismatch(&self, src: usize, tag: Tag) {
+        if src == ANY_SOURCE {
+            return;
+        }
+        let Some(mine) = tag.collective_parts() else {
+            return;
+        };
+        let theirs = self.pending.borrow().iter().find_map(|e| {
+            if e.src == src && e.tag != tag {
+                e.tag.collective_parts()
+            } else {
+                None
+            }
+        });
+        if let Some(theirs) = theirs {
+            self.collective_mismatch(mine, src, theirs);
+        }
+    }
+
+    /// Same check for a freshly received non-matching envelope.
+    fn check_envelope_for_mismatch(&self, env: &Envelope, src: usize, tag: Tag) {
+        if src == ANY_SOURCE || env.src != src {
+            return;
+        }
+        let (Some(mine), Some(theirs)) = (tag.collective_parts(), env.tag.collective_parts())
+        else {
+            return;
+        };
+        self.collective_mismatch(mine, src, theirs);
+    }
+
+    fn collective_mismatch(
+        &self,
+        mine: (CollectiveKind, u64),
+        src: usize,
+        theirs: (CollectiveKind, u64),
+    ) -> ! {
+        panic!(
+            "minimpi: collective mismatch on communicator of size {}: rank {} in {:?}@{}, \
+             rank {src} in {:?}@{} — every rank must issue collectives in the same order",
+            self.size(),
+            self.rank,
+            mine.0,
+            mine.1,
+            theirs.0,
+            theirs.1,
+        );
+    }
+
+    fn note_progress(&self) {
+        if let Some(monitor) = &self.monitor {
+            monitor.note_progress(self.slot);
+        }
+    }
+
+    fn publish_blocked(&self, src: usize, tag: Tag, since: Instant) {
+        let Some(monitor) = &self.monitor else {
+            return;
+        };
+        let src_slot = if src == ANY_SOURCE {
+            None
+        } else {
+            self.peer_slots.get(src).copied()
+        };
+        monitor.publish_blocked(
+            self.slot,
+            BlockedInfo {
+                comm_rank: self.rank,
+                comm_size: self.size(),
+                src,
+                src_slot,
+                tag,
+                since,
+                pending: self.pending_snapshot(),
+            },
+        );
+    }
+
+    fn update_pending_snapshot(&self) {
+        if let Some(monitor) = &self.monitor {
+            monitor.update_pending(self.slot, self.pending_snapshot());
+        }
+    }
+
+    fn pending_snapshot(&self) -> Vec<(usize, Tag)> {
+        self.pending
+            .borrow()
+            .iter()
+            .map(|e| (e.src, e.tag))
+            .collect()
+    }
+
+    /// Panic with the watchdog's deadlock report if it fired.
+    fn check_abort(&self) {
+        if let Some(monitor) = &self.monitor {
+            if monitor.aborted() {
+                panic!("{}", monitor.report());
+            }
+        }
+    }
+
+    fn deadline_error(&self, src: usize, tag: Tag, waited: Duration) -> crate::Error {
+        let snapshot = self.pending_snapshot();
+        let mut pending = String::from("[");
+        for (i, (from, tag)) in snapshot.iter().take(8).enumerate() {
+            if i > 0 {
+                pending.push_str(", ");
+            }
+            pending.push_str(&format!("from {from}: {tag}"));
+        }
+        if snapshot.len() > 8 {
+            pending.push_str(", ...");
+        }
+        pending.push(']');
+        crate::Error::DeadlineExceeded {
+            src,
+            tag: tag.to_string(),
+            waited,
+            pending,
+        }
     }
 
     /// Collectively split this communicator into disjoint subgroups.
@@ -183,6 +439,7 @@ impl Comm {
             color,
             key,
             old_rank: self.rank,
+            slot: self.slot,
             sender: tx,
         };
         let infos: Vec<SplitInfo> = crate::collectives::allgather_tagged(self, tag, mine);
@@ -193,7 +450,13 @@ impl Comm {
             .position(|i| i.old_rank == self.rank)
             .expect("split: own rank missing from its color group");
         let senders: Vec<Sender<Envelope>> = members.iter().map(|i| i.sender.clone()).collect();
-        Comm::new(new_rank, Arc::new(senders), rx)
+        let peer_slots: Arc<Vec<usize>> = Arc::new(members.iter().map(|i| i.slot).collect());
+        Comm::new(new_rank, Arc::new(senders), rx).with_runtime(
+            self.slot,
+            peer_slots,
+            self.monitor.clone(),
+            self.faults.clone(),
+        )
     }
 
     /// Collectively duplicate this communicator (cf. `MPI_Comm_dup`).
@@ -210,6 +473,7 @@ struct SplitInfo {
     color: u32,
     key: u32,
     old_rank: usize,
+    slot: usize,
     sender: Sender<Envelope>,
 }
 
@@ -217,7 +481,7 @@ fn downcast_payload<T: 'static>(payload: Box<dyn Any + Send>, src: usize, tag: T
     match payload.downcast::<T>() {
         Ok(v) => *v,
         Err(_) => panic!(
-            "recv: message from rank {src} with tag {tag:?} is not a {}",
+            "recv: message from rank {src} with tag {tag} is not a {}",
             std::any::type_name::<T>()
         ),
     }
@@ -367,5 +631,50 @@ mod tests {
                 let _: u32 = comm.recv(0, 1);
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "collective mismatch")]
+    fn collective_epoch_mismatch_detected() {
+        use crate::envelope::{CollectiveKind, Tag};
+        World::run(2, |comm| {
+            if comm.rank() == 0 {
+                // Simulate a peer one collective ahead: same kind, epoch 7.
+                comm.send_tagged(1, Tag::collective(CollectiveKind::Bcast, 7), 1u8);
+            } else {
+                let _: (usize, u8) = comm.recv_tagged(0, Tag::collective(CollectiveKind::Bcast, 9));
+            }
+        });
+    }
+
+    #[test]
+    fn split_preserves_world_slots() {
+        use std::time::Duration;
+        // Faults are keyed by world rank: cutting world link 0->2 must
+        // still drop messages on a sub-communicator where those ranks have
+        // different local numbering.
+        let faults = crate::FaultHandle::new();
+        faults.drop_link(0, 2);
+        let handle = faults.clone();
+        crate::WorldBuilder::new(4)
+            .fault_handle(handle)
+            .run(|comm| {
+                let sub = comm.split((comm.rank() % 2) as u32, 0); // {0,2} and {1,3}
+                if comm.rank() == 0 {
+                    sub.send(1, 3, 5u8); // world 0 -> world 2: dropped
+                } else if comm.rank() == 2 {
+                    let got: crate::Result<(usize, u8)> =
+                        sub.recv_deadline(0, 3, Duration::from_millis(50));
+                    assert!(got.is_err(), "fault rule did not follow the split");
+                } else if comm.rank() == 1 {
+                    sub.send(1, 3, 6u8); // world 1 -> world 3: delivered
+                } else {
+                    let (_, got): (usize, u8) = sub
+                        .recv_deadline(0, 3, Duration::from_secs(5))
+                        .expect("healthy link must deliver");
+                    assert_eq!(got, 6);
+                }
+            });
+        assert_eq!(faults.dropped(), 1);
     }
 }

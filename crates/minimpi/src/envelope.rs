@@ -36,6 +36,28 @@ impl Tag {
     pub fn is_collective(self) -> bool {
         self.0 & COLLECTIVE_BIT != 0
     }
+
+    /// Decode a collective tag into `(kind, epoch)`; `None` for user tags
+    /// or unknown kind bits.
+    pub fn collective_parts(self) -> Option<(CollectiveKind, u64)> {
+        if !self.is_collective() {
+            return None;
+        }
+        let kind = CollectiveKind::from_bits(((self.0 >> 48) & 0x7FFF) as u8)?;
+        Some((kind, self.0 & 0xFFFF_FFFF_FFFF))
+    }
+}
+
+impl std::fmt::Display for Tag {
+    /// Human-readable form used in fail-fast diagnostics: `Bcast@7` for
+    /// collectives, `user:42` for application tags.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.collective_parts() {
+            Some((kind, epoch)) => write!(f, "{kind:?}@{epoch}"),
+            None if self.is_collective() => write!(f, "collective:{:#x}", self.0),
+            None => write!(f, "user:{}", self.0),
+        }
+    }
 }
 
 /// Which collective algorithm a reserved tag belongs to.
@@ -53,6 +75,26 @@ pub enum CollectiveKind {
     Scan = 9,
     Split = 10,
     ReduceScatter = 11,
+}
+
+impl CollectiveKind {
+    /// Inverse of `kind as u8`; `None` for values outside the enum.
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        Some(match bits {
+            1 => CollectiveKind::Barrier,
+            2 => CollectiveKind::Bcast,
+            3 => CollectiveKind::Reduce,
+            4 => CollectiveKind::Allreduce,
+            5 => CollectiveKind::Gather,
+            6 => CollectiveKind::Allgather,
+            7 => CollectiveKind::Scatter,
+            8 => CollectiveKind::Alltoall,
+            9 => CollectiveKind::Scan,
+            10 => CollectiveKind::Split,
+            11 => CollectiveKind::ReduceScatter,
+            _ => return None,
+        })
+    }
 }
 
 /// A message in flight: source rank, tag, and type-erased payload.
@@ -97,6 +139,15 @@ mod tests {
         let a = Tag::collective(CollectiveKind::Bcast, 1);
         let b = Tag::collective(CollectiveKind::Bcast, 2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn collective_parts_round_trip() {
+        let t = Tag::collective(CollectiveKind::Reduce, 42);
+        assert_eq!(t.collective_parts(), Some((CollectiveKind::Reduce, 42)));
+        assert_eq!(Tag::user(42).collective_parts(), None);
+        assert_eq!(format!("{t}"), "Reduce@42");
+        assert_eq!(format!("{}", Tag::user(7)), "user:7");
     }
 
     #[test]

@@ -34,13 +34,16 @@
 
 mod comm;
 mod envelope;
+mod fault;
+mod monitor;
 mod ops;
 mod world;
 
 pub mod collectives;
 
 pub use comm::Comm;
-pub use envelope::{Envelope, Tag, ANY_SOURCE};
+pub use envelope::{CollectiveKind, Envelope, Tag, ANY_SOURCE};
+pub use fault::FaultHandle;
 pub use ops::{maxloc, minloc, MaxLoc, MinLoc};
 pub use world::{World, WorldBuilder};
 
@@ -60,6 +63,18 @@ pub enum Error {
     EmptyGroup,
     /// The remote end of a channel disconnected (peer rank panicked).
     Disconnected,
+    /// A [`Comm::recv_deadline`] gave up waiting. Carries a rendering of
+    /// the rank's unmatched pending queue for diagnosis.
+    DeadlineExceeded {
+        /// Awaited source rank ([`ANY_SOURCE`] = any).
+        src: usize,
+        /// Awaited tag, human-readable.
+        tag: String,
+        /// How long the receive waited before giving up.
+        waited: std::time::Duration,
+        /// Rendered snapshot of unmatched `(src, tag)` pairs.
+        pending: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -73,6 +88,26 @@ impl std::fmt::Display for Error {
             }
             Error::EmptyGroup => write!(f, "communicator split produced an empty group"),
             Error::Disconnected => write!(f, "peer rank disconnected (panicked?)"),
+            Error::DeadlineExceeded {
+                src,
+                tag,
+                waited,
+                pending,
+            } => {
+                if *src == ANY_SOURCE {
+                    write!(
+                        f,
+                        "recv deadline exceeded after {waited:?} waiting for tag {tag} \
+                         from any source; pending: {pending}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "recv deadline exceeded after {waited:?} waiting for tag {tag} \
+                         from rank {src}; pending: {pending}"
+                    )
+                }
+            }
         }
     }
 }

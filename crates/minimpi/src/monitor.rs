@@ -1,0 +1,216 @@
+//! Deadlock monitoring: per-rank blocked-state slots and the watchdog.
+//!
+//! Soundness rests on the eager send protocol: a send never blocks, so if
+//! every live rank sits in a blocking receive and no message has been
+//! matched for a full grace period, no rank can ever make progress again —
+//! a true deadlock, not a slow phase. The watchdog then publishes a report
+//! of every rank's wait state (who it waits for, on what tag, and what is
+//! sitting unmatched in its pending queue) and raises the abort flag;
+//! each blocked rank notices the flag on its next poll tick and panics
+//! with the report, turning a silent hang into a diagnosable failure.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::envelope::{Tag, ANY_SOURCE};
+
+/// How many pending-queue entries a blocked-state dump lists per rank.
+const PENDING_DUMP_CAP: usize = 8;
+
+/// What a rank is blocked on, published while it waits in a recv.
+#[derive(Clone)]
+pub(crate) struct BlockedInfo {
+    /// Rank within the communicator doing the recv.
+    pub comm_rank: usize,
+    /// Size of that communicator (world vs. sub context in the dump).
+    pub comm_size: usize,
+    /// Awaited source rank within the communicator ([`ANY_SOURCE`] = any).
+    pub src: usize,
+    /// World slot of the awaited source, when `src` is specific.
+    pub src_slot: Option<usize>,
+    /// Awaited tag.
+    pub tag: Tag,
+    /// When the rank started waiting.
+    pub since: Instant,
+    /// Snapshot of unmatched `(src, tag)` pairs in the pending queue.
+    pub pending: Vec<(usize, Tag)>,
+}
+
+#[derive(Default)]
+struct RankSlot {
+    blocked: Mutex<Option<BlockedInfo>>,
+    finished: AtomicBool,
+    /// Bumped every time this rank matches a message.
+    progress: AtomicU64,
+}
+
+/// World-wide monitor shared by every rank's `Comm` and the watchdog.
+pub(crate) struct Monitor {
+    slots: Vec<RankSlot>,
+    abort: AtomicBool,
+    report: Mutex<String>,
+}
+
+impl Monitor {
+    pub fn new(size: usize) -> Arc<Self> {
+        Arc::new(Monitor {
+            slots: (0..size).map(|_| RankSlot::default()).collect(),
+            abort: AtomicBool::new(false),
+            report: Mutex::new(String::new()),
+        })
+    }
+
+    pub fn note_progress(&self, slot: usize) {
+        self.slots[slot].progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn publish_blocked(&self, slot: usize, info: BlockedInfo) {
+        *self.slots[slot].blocked.lock() = Some(info);
+    }
+
+    pub fn update_pending(&self, slot: usize, pending: Vec<(usize, Tag)>) {
+        if let Some(info) = self.slots[slot].blocked.lock().as_mut() {
+            info.pending = pending;
+        }
+    }
+
+    pub fn clear_blocked(&self, slot: usize) {
+        *self.slots[slot].blocked.lock() = None;
+    }
+
+    pub fn mark_finished(&self, slot: usize) {
+        self.slots[slot].finished.store(true, Ordering::Release);
+    }
+
+    pub fn aborted(&self) -> bool {
+        self.abort.load(Ordering::Acquire)
+    }
+
+    pub fn report(&self) -> String {
+        self.report.lock().clone()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.slots
+            .iter()
+            .all(|s| s.finished.load(Ordering::Acquire))
+    }
+
+    fn total_progress(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.progress.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// True when every rank that has not finished is blocked in a recv,
+    /// and at least one such rank exists.
+    fn all_live_blocked(&self) -> (bool, usize) {
+        let mut live = 0;
+        for slot in &self.slots {
+            if slot.finished.load(Ordering::Acquire) {
+                continue;
+            }
+            live += 1;
+            if slot.blocked.lock().is_none() {
+                return (false, live);
+            }
+        }
+        (live > 0, live)
+    }
+
+    /// Compose the per-rank dump and raise the abort flag.
+    fn trigger_abort(&self, live: usize, grace: Duration) {
+        let mut report = format!(
+            "minimpi watchdog: deadlock detected — all {live} live rank(s) blocked in recv \
+             with no progress for {grace:?}:"
+        );
+        for (slot, state) in self.slots.iter().enumerate() {
+            if state.finished.load(Ordering::Acquire) {
+                continue;
+            }
+            let Some(info) = state.blocked.lock().clone() else {
+                continue;
+            };
+            let src = if info.src == ANY_SOURCE {
+                "any source".to_string()
+            } else if let Some(world) = info.src_slot.filter(|w| *w != info.src) {
+                format!("src {} (world rank {world})", info.src)
+            } else {
+                format!("src {}", info.src)
+            };
+            report.push_str(&format!(
+                "\n  world rank {slot}: rank {}/{} waiting for {src}, tag {}, blocked {:.3}s; \
+                 pending ({})",
+                info.comm_rank,
+                info.comm_size,
+                info.tag,
+                info.since.elapsed().as_secs_f64(),
+                info.pending.len(),
+            ));
+            if info.pending.is_empty() {
+                report.push_str(": []");
+            } else {
+                let shown: Vec<String> = info
+                    .pending
+                    .iter()
+                    .take(PENDING_DUMP_CAP)
+                    .map(|(src, tag)| format!("from {src}: {tag}"))
+                    .collect();
+                let ellipsis = if info.pending.len() > PENDING_DUMP_CAP {
+                    ", ..."
+                } else {
+                    ""
+                };
+                report.push_str(&format!(": [{}{ellipsis}]", shown.join(", ")));
+            }
+        }
+        *self.report.lock() = report;
+        self.abort.store(true, Ordering::Release);
+    }
+}
+
+/// Watchdog loop: runs on its own thread until the world finishes or a
+/// deadlock is detected. `grace` is how long the all-blocked/no-progress
+/// condition must hold before aborting.
+pub(crate) fn run_watchdog(monitor: Arc<Monitor>, grace: Duration) {
+    let poll = (grace / 8).clamp(Duration::from_millis(5), Duration::from_millis(250));
+    let mut stuck: Option<(Instant, u64)> = None;
+    loop {
+        std::thread::sleep(poll);
+        if monitor.all_finished() || monitor.aborted() {
+            return;
+        }
+        let (all_blocked, live) = monitor.all_live_blocked();
+        if !all_blocked {
+            stuck = None;
+            continue;
+        }
+        let progress = monitor.total_progress();
+        match stuck {
+            Some((t0, p0)) if p0 == progress => {
+                if t0.elapsed() >= grace {
+                    monitor.trigger_abort(live, grace);
+                    return;
+                }
+            }
+            _ => stuck = Some((Instant::now(), progress)),
+        }
+    }
+}
+
+/// Marks a rank finished when dropped, so the watchdog stops counting it
+/// as live even when the rank unwinds from a panic.
+pub(crate) struct FinishGuard {
+    pub monitor: Arc<Monitor>,
+    pub slot: usize,
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.monitor.mark_finished(self.slot);
+    }
+}

@@ -2,11 +2,20 @@
 
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 
 use crate::comm::Comm;
 use crate::envelope::Envelope;
+use crate::fault::FaultHandle;
+use crate::monitor::{run_watchdog, FinishGuard, Monitor};
+
+/// Default watchdog grace period: how long every live rank must sit
+/// blocked with zero matched messages before the world is declared
+/// deadlocked. Generous enough that heavyweight compute phases between
+/// receives never trip it (they leave at least one rank unblocked).
+const DEFAULT_WATCHDOG_GRACE: Duration = Duration::from_secs(10);
 
 /// Entry point for running an SPMD program across `P` thread-backed ranks.
 ///
@@ -34,10 +43,13 @@ impl World {
 ///
 /// The default stack size is raised above the OS default because science
 /// proxies place sizable scratch buffers on the stack in debug builds.
+/// A deadlock watchdog is armed by default (see [`WorldBuilder::watchdog`]).
 pub struct WorldBuilder {
     size: usize,
     stack_size: usize,
     name_prefix: String,
+    watchdog: Option<Duration>,
+    faults: Option<FaultHandle>,
 }
 
 impl WorldBuilder {
@@ -48,6 +60,8 @@ impl WorldBuilder {
             size,
             stack_size: 8 << 20,
             name_prefix: "rank".to_string(),
+            watchdog: Some(DEFAULT_WATCHDOG_GRACE),
+            faults: None,
         }
     }
 
@@ -63,6 +77,30 @@ impl WorldBuilder {
         self
     }
 
+    /// Set the watchdog grace period. When every rank that has not yet
+    /// returned sits blocked in a receive and no message is matched for
+    /// `grace`, the watchdog dumps each rank's wait state and pending
+    /// queue and aborts the world (each blocked rank panics with the
+    /// report). Sends are eager, so this condition is a true deadlock.
+    pub fn watchdog(mut self, grace: Duration) -> Self {
+        self.watchdog = Some(grace);
+        self
+    }
+
+    /// Disable deadlock detection (a deadlocked world then hangs, as a
+    /// real MPI job would).
+    pub fn without_watchdog(mut self) -> Self {
+        self.watchdog = None;
+        self
+    }
+
+    /// Install a fault-injection handle; see [`FaultHandle`]. Test-only
+    /// machinery: without a handle the transport path is unchanged.
+    pub fn fault_handle(mut self, faults: FaultHandle) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Launch the world; see [`World::run`].
     pub fn run<T, F>(self, f: F) -> Vec<T>
     where
@@ -73,6 +111,18 @@ impl WorldBuilder {
             (0..self.size).map(|_| unbounded::<Envelope>()).unzip();
         let senders = Arc::new(senders);
         let f = Arc::new(f);
+        let monitor = Monitor::new(self.size);
+        let peer_slots: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
+
+        if let Some(grace) = self.watchdog {
+            let monitor = Arc::clone(&monitor);
+            // Detached: exits on its own shortly after the last rank
+            // finishes (or after triggering an abort).
+            thread::Builder::new()
+                .name(format!("{}-watchdog", self.name_prefix))
+                .spawn(move || run_watchdog(monitor, grace))
+                .expect("failed to spawn watchdog thread");
+        }
 
         let handles: Vec<_> = receivers
             .into_iter()
@@ -80,12 +130,26 @@ impl WorldBuilder {
             .map(|(rank, rx)| {
                 let senders = Arc::clone(&senders);
                 let f = Arc::clone(&f);
+                let monitor = Arc::clone(&monitor);
+                let peer_slots = Arc::clone(&peer_slots);
+                let faults = self.faults.clone();
                 let name = format!("{}-{rank}", self.name_prefix);
                 thread::Builder::new()
                     .name(name)
                     .stack_size(self.stack_size)
                     .spawn(move || {
-                        let comm = Comm::new(rank, senders, rx);
+                        // Marks the rank finished even on unwind, so the
+                        // watchdog never waits on a dead rank.
+                        let _finish = FinishGuard {
+                            monitor: Arc::clone(&monitor),
+                            slot: rank,
+                        };
+                        let comm = Comm::new(rank, senders, rx).with_runtime(
+                            rank,
+                            peer_slots,
+                            Some(monitor),
+                            faults,
+                        );
                         f(&comm)
                     })
                     .expect("failed to spawn rank thread")
@@ -146,5 +210,20 @@ mod tests {
             names,
             vec![Some("osc-0".to_string()), Some("osc-1".to_string())]
         );
+    }
+
+    #[test]
+    fn watchdog_does_not_fire_on_healthy_runs() {
+        // A short grace with constant traffic: progress resets the timer.
+        let out = WorldBuilder::new(4)
+            .watchdog(Duration::from_millis(100))
+            .run(|comm| {
+                let mut acc = 0u64;
+                for _ in 0..20 {
+                    acc = comm.allreduce_scalar(acc + comm.rank() as u64, |a, b| a + b);
+                }
+                acc
+            });
+        assert_eq!(out.len(), 4);
     }
 }

@@ -122,36 +122,64 @@ impl DataAdaptor for InMemoryAdaptor {
     }
 
     fn array_names(&self, assoc: Association) -> Vec<String> {
-        let attrs = match assoc {
-            Association::Point => self.data.point_data(),
-            Association::Cell => self.data.cell_data(),
-        };
-        attrs
-            .map(|a| a.names().into_iter().map(String::from).collect())
-            .unwrap_or_default()
+        // Union over leaves so a multiblock adaptor (a rank carrying
+        // several mesh pieces) advertises every array any leaf holds.
+        let mut names: Vec<String> = Vec::new();
+        for leaf in self.data.leaves() {
+            let attrs = match assoc {
+                Association::Point => leaf.point_data(),
+                Association::Cell => leaf.cell_data(),
+            };
+            for n in attrs.map(|a| a.names()).unwrap_or_default() {
+                if !names.iter().any(|x| x == n) {
+                    names.push(n.to_string());
+                }
+            }
+        }
+        names
     }
 
     fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
-        let src = match assoc {
-            Association::Point => self.data.point_data(),
-            Association::Cell => self.data.cell_data(),
-        };
-        let Some(array) = src.and_then(|a| a.get(name)) else {
-            return false;
-        };
         // Clone is cheap for shared (zero-copy) buffers: it bumps a
         // refcount per buffer rather than copying elements.
-        let array = array.clone();
-        match (mesh, assoc) {
-            (DataSet::Image(g), Association::Point) => g.point_data.insert(array),
-            (DataSet::Image(g), Association::Cell) => g.cell_data.insert(array),
-            (DataSet::Rectilinear(g), Association::Point) => g.point_data.insert(array),
-            (DataSet::Rectilinear(g), Association::Cell) => g.cell_data.insert(array),
-            (DataSet::Unstructured(g), Association::Point) => g.point_data.insert(array),
-            (DataSet::Unstructured(g), Association::Cell) => g.cell_data.insert(array),
-            (DataSet::Multi(_), _) => return false,
+        fn attach(leaf: &mut DataSet, assoc: Association, array: datamodel::DataArray) -> bool {
+            match (leaf, assoc) {
+                (DataSet::Image(g), Association::Point) => g.point_data.insert(array),
+                (DataSet::Image(g), Association::Cell) => g.cell_data.insert(array),
+                (DataSet::Rectilinear(g), Association::Point) => g.point_data.insert(array),
+                (DataSet::Rectilinear(g), Association::Cell) => g.cell_data.insert(array),
+                (DataSet::Unstructured(g), Association::Point) => g.point_data.insert(array),
+                (DataSet::Unstructured(g), Association::Cell) => g.cell_data.insert(array),
+                (DataSet::Multi(_), _) => return false,
+            }
+            true
         }
-        true
+        let lookup = |leaf: &DataSet| {
+            let attrs = match assoc {
+                Association::Point => leaf.point_data(),
+                Association::Cell => leaf.cell_data(),
+            };
+            attrs.and_then(|a| a.get(name)).cloned()
+        };
+        match (&self.data, mesh) {
+            // Multiblock: attach slot-by-slot so each leaf of the target
+            // receives its own leaf's array, never a sibling's.
+            (DataSet::Multi(src), DataSet::Multi(dst)) => {
+                let mut any = false;
+                for i in 0..src.num_slots() {
+                    if let (Some(s), Some(d)) = (src.block(i), dst.block_mut(i)) {
+                        if let Some(array) = lookup(s) {
+                            any |= attach(d, assoc, array);
+                        }
+                    }
+                }
+                any
+            }
+            (src, dst) => match lookup(src) {
+                Some(array) => attach(dst, assoc, array),
+                None => false,
+            },
+        }
     }
 }
 
@@ -212,6 +240,28 @@ mod tests {
         assert_eq!(m.cell_data().unwrap().len(), 1);
         assert_eq!(a.time(), 1.5);
         assert_eq!(a.step(), 3);
+    }
+
+    #[test]
+    fn multiblock_adaptor_attaches_per_slot() {
+        // Two leaves with same-named arrays but different values: each
+        // target leaf must receive its own leaf's array, not a sibling's.
+        let e = Extent::whole([2, 1, 1]);
+        let mut mb = datamodel::MultiBlock::new();
+        for i in 0..2 {
+            let mut g = ImageData::new(e, e);
+            g.add_point_array(DataArray::owned("data", 1, vec![i as f64; 2]));
+            mb.push(DataSet::Image(g));
+        }
+        let a = InMemoryAdaptor::new(DataSet::Multi(mb), 0.0, 0);
+        assert_eq!(a.array_names(Association::Point), vec!["data".to_string()]);
+        let m = a.full_mesh();
+        let leaves: Vec<_> = m.leaves().collect();
+        assert_eq!(leaves.len(), 2);
+        for (i, leaf) in leaves.iter().enumerate() {
+            let arr = leaf.point_data().unwrap().get("data").unwrap();
+            assert_eq!(arr.get(0, 0), i as f64, "leaf {i} kept its own array");
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct Bridge {
     timings: TimingDb,
     steps: u64,
     finalized: bool,
+    failures: Vec<String>,
 }
 
 impl Default for Bridge {
@@ -36,6 +37,7 @@ impl Bridge {
             timings: TimingDb::new(),
             steps: 0,
             finalized: false,
+            failures: Vec::new(),
         }
     }
 
@@ -103,6 +105,19 @@ impl Bridge {
     /// Steps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// Record a non-fatal infrastructure failure (e.g. a writer lost in
+    /// transit whose stream degraded to end-of-stream). The run
+    /// continues; the report is surfaced so a degraded pipeline is never
+    /// mistaken for a healthy one.
+    pub fn record_failure(&mut self, report: impl Into<String>) {
+        self.failures.push(report.into());
+    }
+
+    /// Failure reports recorded during the run (empty = healthy).
+    pub fn failure_reports(&self) -> &[String] {
+        &self.failures
     }
 }
 

@@ -146,6 +146,12 @@ pub trait Buf {
     /// Copy out `dst.len()` bytes and advance.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
 
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
     /// Read a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
