@@ -6,7 +6,9 @@
 
 use datamodel::{DataArray, DataSet, Extent, ImageData, MultiBlock, ScalarType};
 use minimpi::Comm;
-use sensei::{AnalysisAdaptor, Association, Bridge, DataAdaptor};
+use sensei::{
+    AdaptorError, AnalysisAdaptor, Association, Bridge, DataAdaptor, RunReport, Steering,
+};
 
 use crate::bp::{BpStep, BpVar};
 use crate::flexpath::{FlexpathReader, FlexpathWriter};
@@ -226,12 +228,35 @@ impl DataAdaptor for BpAdaptor {
         names
     }
 
-    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
+    fn add_array(
+        &self,
+        mesh: &mut DataSet,
+        assoc: Association,
+        name: &str,
+    ) -> Result<(), AdaptorError> {
+        let known = self
+            .array_names(Association::Point)
+            .iter()
+            .any(|n| n == name);
         if assoc != Association::Point {
-            return false;
+            return Err(if known {
+                AdaptorError::WrongAssociation {
+                    name: name.to_string(),
+                    requested: assoc,
+                    available: Association::Point,
+                }
+            } else {
+                AdaptorError::UnknownArray {
+                    name: name.to_string(),
+                    assoc,
+                }
+            });
         }
         let DataSet::Multi(mb) = mesh else {
-            return false;
+            return Err(AdaptorError::LayoutUnsupported {
+                name: name.to_string(),
+                detail: "endpoint adaptor targets a multiblock mesh".to_string(),
+            });
         };
         let mut any = false;
         for (i, b) in self.blocks.iter().enumerate() {
@@ -241,7 +266,14 @@ impl DataAdaptor for BpAdaptor {
                 any = true;
             }
         }
-        any
+        if any {
+            Ok(())
+        } else {
+            Err(AdaptorError::UnknownArray {
+                name: name.to_string(),
+                assoc,
+            })
+        }
     }
 }
 
@@ -279,13 +311,22 @@ impl AnalysisAdaptor for AdiosWriterAnalysis {
         "adios-flexpath"
     }
 
-    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
-        self.advance_seconds += self.writer.advance(comm);
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
+        let probe = comm.probe();
+        let advance = self.writer.advance(comm);
+        self.advance_seconds += advance;
         let t0 = std::time::Instant::now();
         let step = adaptor_to_step(data);
-        self.bytes_shipped += self.writer.write(comm, &step);
-        self.write_seconds += t0.elapsed().as_secs_f64();
-        true
+        let shipped = self.writer.write(comm, &step);
+        self.bytes_shipped += shipped;
+        let write = t0.elapsed().as_secs_f64();
+        self.write_seconds += write;
+        // Fig. 8's decomposition as observability spans, plus the bytes
+        // this rank put on the staging wire.
+        probe.record_span("per-step/adios-flexpath/advance", advance);
+        probe.record_span("per-step/adios-flexpath/write", write);
+        probe.message("staging/on_wire", shipped as u64);
+        Steering::Continue
     }
 
     fn finalize(&mut self, comm: &Comm) {
@@ -308,10 +349,13 @@ pub fn run_endpoint(
     sub: &Comm,
     reader: &mut FlexpathReader,
     analyses: Vec<Box<dyn AnalysisAdaptor>>,
-) -> Bridge {
-    let mut bridge = Bridge::new();
+) -> (Bridge, RunReport) {
+    // Inherit whatever probe the caller attached to the endpoint
+    // subgroup, so in-transit analyses land in the same report.
+    let mut bridge = Bridge::with_probe(sub.probe());
+    let probe = sub.probe();
     for a in analyses {
-        bridge.add_analysis(a);
+        bridge.register(a);
     }
     loop {
         let steps = reader.begin_step(world);
@@ -325,6 +369,13 @@ pub fn run_endpoint(
             break;
         }
         let steps = steps.unwrap_or_default();
+        if probe.is_enabled() {
+            // Payload bytes this endpoint pulled off the staging wire.
+            for (_src, bp) in &steps {
+                let bytes: usize = bp.vars.iter().map(|v| v.data.len() * 8).sum();
+                probe.message("staging/off_wire", bytes as u64);
+            }
+        }
         let mut adaptor = BpAdaptor::new(&steps);
         adaptor.reconcile_step_time(sub);
         bridge.execute(&adaptor, sub);
@@ -337,8 +388,8 @@ pub fn run_endpoint(
             dead.rank, dead.steps_received, dead.bytes_received, dead.waited
         ));
     }
-    bridge.finalize(sub);
-    bridge
+    let report = bridge.finalize(sub);
+    (bridge, report)
 }
 
 #[cfg(test)]
@@ -378,7 +429,7 @@ mod tests {
             Role::Endpoint { sub, mut reader } => {
                 let hist = HistogramAnalysis::new("data", 8);
                 let handle = hist.results_handle();
-                let bridge = run_endpoint(world, &sub, &mut reader, vec![Box::new(hist)]);
+                let (bridge, _) = run_endpoint(world, &sub, &mut reader, vec![Box::new(hist)]);
                 assert_eq!(bridge.steps(), 4);
                 if sub.rank() == 0 {
                     let r = handle.lock().clone().expect("endpoint histogram");
@@ -398,7 +449,7 @@ mod tests {
     fn writer_analysis_reports_fig8_components() {
         World::run(2, |world| match pair(world, 1) {
             Role::Writer { .. } if false => unreachable!(),
-            Role::Writer { writer, .. } => {
+            Role::Writer { sub, writer } => {
                 let mut a = AdiosWriterAnalysis::new(writer);
                 let mut bridge = Bridge::new();
                 let sim0 = sim_adaptor(0, 1, 0);
@@ -412,10 +463,12 @@ mod tests {
                 assert!(a.write_seconds > 0.0);
                 assert!(a.advance_seconds >= 0.0);
                 let _ = (bridge.steps(), sim0.step());
-                bridge.finalize(world);
+                // finalize gathers over its communicator, so the dummy
+                // bridge must use the writer subgroup, not `world`.
+                bridge.finalize(&sub);
             }
             Role::Endpoint { sub, mut reader } => {
-                let bridge = run_endpoint(world, &sub, &mut reader, Vec::new());
+                let (bridge, _) = run_endpoint(world, &sub, &mut reader, Vec::new());
                 assert_eq!(bridge.steps(), 3);
             }
         });
@@ -546,7 +599,7 @@ mod tests {
                 }
                 Role::Endpoint { sub, mut reader } => {
                     reader.set_deadline(Duration::from_millis(150));
-                    let bridge = run_endpoint(world, &sub, &mut reader, Vec::new());
+                    let (bridge, _) = run_endpoint(world, &sub, &mut reader, Vec::new());
                     assert_eq!(bridge.steps(), 4, "endpoints stay in lock-step");
                     if world.rank() == 2 {
                         let reports = bridge.failure_reports();

@@ -96,7 +96,7 @@ fn direct_vs_bridge(c: &mut Criterion) {
                 };
                 let mut sim = Simulation::new(comm, cfg, root);
                 let mut bridge = Bridge::new();
-                bridge.add_analysis(Box::new(Autocorrelation::new("data", 4, 4)));
+                bridge.register(Box::new(Autocorrelation::new("data", 4, 4)));
                 for _ in 0..3 {
                     sim.step(comm);
                     bridge.execute(&OscillatorAdaptor::new(&sim), comm);

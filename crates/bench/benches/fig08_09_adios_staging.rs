@@ -74,7 +74,8 @@ fn in_transit_histogram(c: &mut Criterion) {
                 }
                 Role::Endpoint { sub, mut reader } => {
                     let hist = HistogramAnalysis::new("data", 32);
-                    let bridge = run_endpoint(world, &sub, &mut reader, vec![Box::new(hist)]);
+                    let (bridge, _report) =
+                        run_endpoint(world, &sub, &mut reader, vec![Box::new(hist)]);
                     bridge.steps()
                 }
             })

@@ -16,6 +16,7 @@ use oscillator::{
 };
 use sensei::analysis::histogram::HistogramAnalysis;
 use sensei::analysis::AnalysisAdaptor;
+use sensei::{Bridge, Probe, RunReport};
 
 /// A sparse deck: `n` small-radius oscillators scattered over the unit
 /// cube. Support radius ≈ 38.6 × radius, so at radius ≈ 0.005 each
@@ -74,6 +75,10 @@ pub struct HotpathReport {
     pub allreduce_ranks: usize,
     pub allreduce_elements: usize,
     pub allreduce_rounds: usize,
+    /// Cross-rank observability report of an instrumented bridge run
+    /// over the same deck: per-phase min/mean/max/stddev, collective
+    /// message/byte counters, per-rank memory high-water.
+    pub run_report: RunReport,
 }
 
 impl HotpathReport {
@@ -99,7 +104,7 @@ impl HotpathReport {
             self.histogram.speedup()
         ));
         s.push_str(&format!(
-            "  \"allreduce\": {{\"ranks\": {}, \"elements\": {}, \"rounds\": {}, \"tree_s\": {:.6}, \"rsag_s\": {:.6}, \"speedup\": {:.2}}}\n",
+            "  \"allreduce\": {{\"ranks\": {}, \"elements\": {}, \"rounds\": {}, \"tree_s\": {:.6}, \"rsag_s\": {:.6}, \"speedup\": {:.2}}},\n",
             self.allreduce_ranks,
             self.allreduce_elements,
             self.allreduce_rounds,
@@ -107,9 +112,41 @@ impl HotpathReport {
             self.allreduce.optimized_s,
             self.allreduce.speedup()
         ));
+        s.push_str(&format!(
+            "  \"run_report\": {}\n",
+            self.run_report.to_json()
+        ));
         s.push_str("}\n");
         s
     }
+}
+
+/// One probed bridge run — sim + histogram over `steps` on `ranks`
+/// thread-backed ranks — returning rank 0's aggregated `RunReport` (the
+/// per-phase breakdown embedded in `BENCH_hotpath.json`).
+pub fn probed_run(deck: &str, grid: [usize; 3], steps: usize, ranks: usize) -> RunReport {
+    let deck = deck.to_string();
+    World::run(ranks, move |comm| {
+        let cfg = SimConfig {
+            grid,
+            steps,
+            ..SimConfig::default()
+        };
+        let root_deck = if comm.rank() == 0 {
+            Some(deck.as_str())
+        } else {
+            None
+        };
+        let mut sim = Simulation::new(comm, cfg, root_deck);
+        let mut bridge = Bridge::with_probe(Probe::enabled());
+        bridge.register(Box::new(HistogramAnalysis::new("data", 64)));
+        for _ in 0..steps {
+            sim.step(comm);
+            bridge.execute(&OscillatorAdaptor::new(&sim), comm);
+        }
+        bridge.finalize(comm)
+    })
+    .remove(0)
 }
 
 /// Time `steps` simulation steps through `step_fn` on a single rank.
@@ -205,6 +242,8 @@ pub fn run(grid: [usize; 3], oscillators: usize, steps: usize, threads: usize) -
     let tree = time_allreduce(ranks, elements, rounds, false);
     let rsag = time_allreduce(ranks, elements, rounds, true);
 
+    let run_report = probed_run(&deck, grid, steps, 4);
+
     HotpathReport {
         grid,
         oscillators,
@@ -227,5 +266,6 @@ pub fn run(grid: [usize; 3], oscillators: usize, steps: usize, threads: usize) -
         allreduce_ranks: ranks,
         allreduce_elements: elements,
         allreduce_rounds: rounds,
+        run_report,
     }
 }

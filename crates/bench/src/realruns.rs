@@ -41,7 +41,7 @@ pub fn measure_sensei_overhead(ranks: usize, grid: usize, steps: usize) -> (f64,
             let t0 = Instant::now();
             if use_bridge {
                 let mut bridge = Bridge::new();
-                bridge.add_analysis(Box::new(Autocorrelation::new("data", 4, 4)));
+                bridge.register(Box::new(Autocorrelation::new("data", 4, 4)));
                 for _ in 0..steps {
                     sim.step(comm);
                     bridge.execute(&OscillatorAdaptor::new(&sim), comm);

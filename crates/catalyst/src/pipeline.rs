@@ -11,7 +11,7 @@ use render::composite::Compositor;
 use render::deflate::Mode;
 use render::pipeline::{pseudocolor_slice, SliceRender};
 use render::png::encode_framebuffer;
-use sensei::{AnalysisAdaptor, Association, DataAdaptor};
+use sensei::{AnalysisAdaptor, Association, DataAdaptor, Steering};
 
 /// Where rendered images go.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +69,8 @@ pub struct CatalystSliceAnalysis {
     pipeline: SlicePipeline,
     last_png: PngHandle,
     images_written: u64,
+    failures: Vec<String>,
+    reported_missing: bool,
 }
 
 impl CatalystSliceAnalysis {
@@ -79,6 +81,8 @@ impl CatalystSliceAnalysis {
             pipeline,
             last_png: Arc::new(Mutex::new(None)),
             images_written: 0,
+            failures: Vec::new(),
+            reported_missing: false,
         }
     }
 
@@ -95,11 +99,15 @@ impl CatalystSliceAnalysis {
     /// Pull `(local extent, global extent, values)` for a structured
     /// leaf dataset carrying the configured array.
     fn structured_field(
-        &self,
+        &mut self,
         data: &dyn DataAdaptor,
     ) -> Option<(datamodel::Extent, datamodel::Extent, Vec<f64>)> {
         let mut mesh = data.mesh();
-        if !data.add_array(&mut mesh, Association::Point, &self.pipeline.array) {
+        if let Err(err) = data.add_array(&mut mesh, Association::Point, &self.pipeline.array) {
+            if !self.reported_missing {
+                self.reported_missing = true;
+                self.failures.push(err.to_string());
+            }
             return None;
         }
         for leaf in mesh.leaves() {
@@ -123,9 +131,9 @@ impl AnalysisAdaptor for CatalystSliceAnalysis {
         "catalyst-slice"
     }
 
-    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
         if !data.step().is_multiple_of(self.pipeline.frequency) {
-            return true;
+            return Steering::Continue;
         }
         let Some((local, global, values)) = self.structured_field(data) else {
             // Still participate in the collective render with an empty
@@ -133,7 +141,7 @@ impl AnalysisAdaptor for CatalystSliceAnalysis {
             let cfg = self.render_config();
             let empty = datamodel::Extent::new([0, 0, 0], [0, 0, 0]);
             let _ = pseudocolor_slice(comm, &empty, &global_of(data), &[0.0], &cfg);
-            return true;
+            return Steering::Continue;
         };
         let cfg = self.render_config();
         if let Some(fb) = pseudocolor_slice(comm, &local, &global, &values, &cfg) {
@@ -148,7 +156,11 @@ impl AnalysisAdaptor for CatalystSliceAnalysis {
             *self.last_png.lock() = Some(png);
             self.images_written += 1;
         }
-        true
+        Steering::Continue
+    }
+
+    fn take_failures(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.failures)
     }
 }
 
@@ -202,7 +214,7 @@ mod tests {
             let analysis = CatalystSliceAnalysis::new(pipe);
             let png = analysis.png_handle();
             let mut bridge = Bridge::new();
-            bridge.add_analysis(Box::new(analysis));
+            bridge.register(Box::new(analysis));
             bridge.execute(&adaptor(comm, 0), comm);
             if comm.rank() == 0 {
                 let bytes = png.lock().clone().expect("png on root");

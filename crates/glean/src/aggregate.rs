@@ -6,7 +6,7 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Sender};
 use datamodel::DataSet;
 use minimpi::Comm;
-use sensei::{AnalysisAdaptor, Association, DataAdaptor};
+use sensei::{AnalysisAdaptor, Association, DataAdaptor, Steering};
 
 use crate::blobs::{append_step, BlockRecord};
 
@@ -66,6 +66,8 @@ pub struct GleanWriter {
     steps: u64,
     /// Bytes forwarded or aggregated by this rank so far.
     pub bytes_handled: u64,
+    failures: Vec<String>,
+    reported_missing: bool,
 }
 
 impl GleanWriter {
@@ -79,6 +81,8 @@ impl GleanWriter {
             drain: None,
             steps: 0,
             bytes_handled: 0,
+            failures: Vec::new(),
+            reported_missing: false,
         }
     }
 
@@ -92,9 +96,13 @@ impl GleanWriter {
         self.steps
     }
 
-    fn local_block(&self, data: &dyn DataAdaptor, rank: usize) -> Option<BlockRecord> {
+    fn local_block(&mut self, data: &dyn DataAdaptor, rank: usize) -> Option<BlockRecord> {
         let mut mesh = data.mesh();
-        if !data.add_array(&mut mesh, Association::Point, &self.array) {
+        if let Err(err) = data.add_array(&mut mesh, Association::Point, &self.array) {
+            if !self.reported_missing {
+                self.reported_missing = true;
+                self.failures.push(err.to_string());
+            }
             return None;
         }
         for leaf in mesh.leaves() {
@@ -152,7 +160,7 @@ impl AnalysisAdaptor for GleanWriter {
         "glean-write"
     }
 
-    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
         self.steps += 1;
         let me = comm.rank();
         let agg = self.topology.aggregator_of(me);
@@ -163,7 +171,7 @@ impl AnalysisAdaptor for GleanWriter {
         if me != agg {
             // Ownership of the buffer moves to the aggregator: no copy.
             comm.send(agg, TAG_AGG, block);
-            return true;
+            return Steering::Continue;
         }
         let members = self.topology.node_members(agg, comm.size());
         let mut blocks: Vec<BlockRecord> = Vec::with_capacity(members.len());
@@ -184,7 +192,7 @@ impl AnalysisAdaptor for GleanWriter {
         let tx = self.ensure_drain(agg);
         tx.send(DrainMsg::Step(step, blocks))
             .expect("glean drain thread died");
-        true
+        Steering::Continue
     }
 
     fn finalize(&mut self, _comm: &Comm) {
@@ -192,10 +200,14 @@ impl AnalysisAdaptor for GleanWriter {
             let _ = tx.send(DrainMsg::Close);
             match handle.join() {
                 Ok(Ok(_written)) => {}
-                Ok(Err(e)) => eprintln!("glean: drain thread I/O error: {e}"),
-                Err(_) => eprintln!("glean: drain thread panicked"),
+                Ok(Err(e)) => self.failures.push(format!("drain thread I/O error: {e}")),
+                Err(_) => self.failures.push("drain thread panicked".to_string()),
             }
         }
+    }
+
+    fn take_failures(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.failures)
     }
 }
 
@@ -236,7 +248,7 @@ mod tests {
         let d2 = dir.clone();
         World::run(4, move |comm| {
             let mut bridge = Bridge::new();
-            bridge.add_analysis(Box::new(GleanWriter::new(
+            bridge.register(Box::new(GleanWriter::new(
                 Topology::new(2),
                 "data",
                 d2.clone(),

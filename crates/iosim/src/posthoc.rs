@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 
 use datamodel::{Attributes, DataArray, DataSet, ImageData, MultiBlock};
 use minimpi::Comm;
-use sensei::{AnalysisAdaptor, Association, Bridge, DataAdaptor};
+use sensei::{AdaptorError, AnalysisAdaptor, Association, Bridge, DataAdaptor};
 
 use crate::vtkio::read_piece;
 
@@ -68,12 +68,35 @@ impl DataAdaptor for PiecesAdaptor {
         names
     }
 
-    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
+    fn add_array(
+        &self,
+        mesh: &mut DataSet,
+        assoc: Association,
+        name: &str,
+    ) -> Result<(), AdaptorError> {
+        let known = self
+            .array_names(Association::Point)
+            .iter()
+            .any(|n| n == name);
         if assoc != Association::Point {
-            return false;
+            return Err(if known {
+                AdaptorError::WrongAssociation {
+                    name: name.to_string(),
+                    requested: assoc,
+                    available: Association::Point,
+                }
+            } else {
+                AdaptorError::UnknownArray {
+                    name: name.to_string(),
+                    assoc,
+                }
+            });
         }
         let DataSet::Multi(mb) = mesh else {
-            return false;
+            return Err(AdaptorError::LayoutUnsupported {
+                name: name.to_string(),
+                detail: "pieces adaptor presents a multiblock mesh".to_string(),
+            });
         };
         let mut any = false;
         for (i, b) in self.blocks.iter().enumerate() {
@@ -83,7 +106,14 @@ impl DataAdaptor for PiecesAdaptor {
                 any = true;
             }
         }
-        any
+        if any {
+            Ok(())
+        } else {
+            Err(AdaptorError::UnknownArray {
+                name: name.to_string(),
+                assoc,
+            })
+        }
     }
 }
 
@@ -103,7 +133,7 @@ pub fn posthoc_analysis(
 ) -> (Bridge, PosthocReport) {
     let mut bridge = Bridge::new();
     for a in analyses {
-        bridge.add_analysis(a);
+        bridge.register(a);
     }
     let mut report = PosthocReport::default();
     let my_writers: Vec<usize> = (comm.rank()..writers).step_by(comm.size()).collect();

@@ -13,7 +13,7 @@ use render::deflate::Mode;
 use render::framebuffer::Framebuffer;
 use render::pipeline::{pseudocolor_slice, shaded_isosurface, IsosurfaceRender, SliceRender};
 use render::png::encode_framebuffer;
-use sensei::{AnalysisAdaptor, Association, DataAdaptor};
+use sensei::{AnalysisAdaptor, Association, DataAdaptor, Steering};
 
 use crate::session::{Plot, Session};
 
@@ -31,6 +31,9 @@ pub struct LibsimAnalysis {
     renders: u64,
     /// Measured one-time startup cost (the per-rank config check).
     startup_seconds: f64,
+    /// Pending failure reports, drained by the bridge.
+    failures: Vec<String>,
+    reported_missing: bool,
 }
 
 impl LibsimAnalysis {
@@ -48,6 +51,8 @@ impl LibsimAnalysis {
             last_png: Arc::new(Mutex::new(None)),
             renders: 0,
             startup_seconds,
+            failures: Vec::new(),
+            reported_missing: false,
         }
     }
 
@@ -76,12 +81,16 @@ impl LibsimAnalysis {
     /// point array on a structured leaf.
     #[allow(clippy::type_complexity)]
     fn structured_field(
-        &self,
+        &mut self,
         data: &dyn DataAdaptor,
         array: &str,
     ) -> Option<(Extent, Extent, Vec<f64>, [f64; 3], [f64; 3])> {
         let mut mesh = data.mesh();
-        if !data.add_array(&mut mesh, Association::Point, array) {
+        if let Err(err) = data.add_array(&mut mesh, Association::Point, array) {
+            if !self.reported_missing {
+                self.reported_missing = true;
+                self.failures.push(err.to_string());
+            }
             return None;
         }
         for leaf in mesh.leaves() {
@@ -112,7 +121,12 @@ impl LibsimAnalysis {
         None
     }
 
-    fn render_plot(&self, plot: &Plot, data: &dyn DataAdaptor, comm: &Comm) -> Option<Framebuffer> {
+    fn render_plot(
+        &mut self,
+        plot: &Plot,
+        data: &dyn DataAdaptor,
+        comm: &Comm,
+    ) -> Option<Framebuffer> {
         let (w, h) = self.session.image;
         match plot {
             Plot::Pseudocolor { array, axis, index } => {
@@ -177,9 +191,9 @@ impl AnalysisAdaptor for LibsimAnalysis {
         "libsim"
     }
 
-    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
         if !data.step().is_multiple_of(self.session.frequency) {
-            return true;
+            return Steering::Continue;
         }
         self.renders += 1;
         // Composite all plots of the session into one image (plots render
@@ -206,7 +220,11 @@ impl AnalysisAdaptor for LibsimAnalysis {
             }
             *self.last_png.lock() = Some(png);
         }
-        true
+        Steering::Continue
+    }
+
+    fn take_failures(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.failures)
     }
 }
 

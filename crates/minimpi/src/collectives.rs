@@ -19,10 +19,10 @@ impl Comm {
     /// Dissemination algorithm: ⌈log₂ p⌉ rounds of pairwise signals.
     pub fn barrier(&self) {
         let p = self.size();
+        let tag = self.collective_tag(CollectiveKind::Barrier);
         if p == 1 {
             return;
         }
-        let tag = Tag::collective(CollectiveKind::Barrier, self.next_epoch());
         let mut dist = 1;
         while dist < p {
             let to = (self.rank() + dist) % p;
@@ -46,7 +46,7 @@ impl Comm {
         } else {
             assert!(value.is_none(), "bcast: non-root rank passed Some(value)");
         }
-        let tag = Tag::collective(CollectiveKind::Bcast, self.next_epoch());
+        let tag = self.collective_tag(CollectiveKind::Bcast);
         let relative = (self.rank() + p - root) % p;
 
         // Receive from the parent (all ranks except the root).
@@ -103,7 +103,7 @@ impl Comm {
     {
         let p = self.size();
         assert!(root < p, "reduce: root {root} out of range for size {p}");
-        let tag = Tag::collective(CollectiveKind::Reduce, self.next_epoch());
+        let tag = self.collective_tag(CollectiveKind::Reduce);
         let relative = (self.rank() + p - root) % p;
         let mut acc = value;
         let mut mask = 1usize;
@@ -194,14 +194,15 @@ impl Comm {
     {
         let p = self.size();
         let n = value.len();
+        // Two tag kinds so a fast partner's allgather traffic can never
+        // be mistaken for reduce-scatter traffic from the same pair.
+        // Both phases count as entered before the single-rank fast
+        // path, keeping invocation counters size-invariant.
+        let rs_tag = self.collective_tag(CollectiveKind::ReduceScatter);
+        let ag_tag = self.collective_tag(CollectiveKind::Allgather);
         if p == 1 {
             return value;
         }
-        let epoch = self.next_epoch();
-        // Two tag kinds so a fast partner's allgather traffic can never
-        // be mistaken for reduce-scatter traffic from the same pair.
-        let rs_tag = Tag::collective(CollectiveKind::ReduceScatter, epoch);
-        let ag_tag = Tag::collective(CollectiveKind::Allgather, epoch);
         let me = self.rank();
         let p2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
         let extra = p - p2;
@@ -288,7 +289,7 @@ impl Comm {
     pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
         let p = self.size();
         assert!(root < p, "gather: root {root} out of range for size {p}");
-        let tag = Tag::collective(CollectiveKind::Gather, self.next_epoch());
+        let tag = self.collective_tag(CollectiveKind::Gather);
         if self.rank() == root {
             let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
             slots[root] = Some(value);
@@ -311,7 +312,7 @@ impl Comm {
     /// Ring allgather: every rank contributes one value and receives the
     /// full rank-ordered vector. `p - 1` neighbor exchanges.
     pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
-        let tag = Tag::collective(CollectiveKind::Allgather, self.next_epoch());
+        let tag = self.collective_tag(CollectiveKind::Allgather);
         allgather_ring(self, tag, value)
     }
 
@@ -320,7 +321,7 @@ impl Comm {
     pub fn scatter<T: Send + 'static>(&self, root: usize, values: Option<Vec<T>>) -> T {
         let p = self.size();
         assert!(root < p, "scatter: root {root} out of range for size {p}");
-        let tag = Tag::collective(CollectiveKind::Scatter, self.next_epoch());
+        let tag = self.collective_tag(CollectiveKind::Scatter);
         if self.rank() == root {
             let values = values.expect("scatter: root must supply Some(values)");
             assert_eq!(values.len(), p, "scatter: need one value per rank");
@@ -347,7 +348,7 @@ impl Comm {
     pub fn alltoall<T: Send + 'static>(&self, values: Vec<T>) -> Vec<T> {
         let p = self.size();
         assert_eq!(values.len(), p, "alltoall: need one value per rank");
-        let tag = Tag::collective(CollectiveKind::Alltoall, self.next_epoch());
+        let tag = self.collective_tag(CollectiveKind::Alltoall);
         let me = self.rank();
         let mut slots: Vec<Option<T>> = (0..p).map(|_| None).collect();
         for (dest, v) in values.into_iter().enumerate() {
@@ -376,7 +377,7 @@ impl Comm {
         F: Fn(T, T) -> T,
     {
         let p = self.size();
-        let tag = Tag::collective(CollectiveKind::Scan, self.next_epoch());
+        let tag = self.collective_tag(CollectiveKind::Scan);
         let mine = if self.rank() == 0 {
             value
         } else {
@@ -397,7 +398,7 @@ impl Comm {
     {
         let inclusive = self.scan(value.clone(), &op);
         // Shift right by one rank: send inclusive prefix to the next rank.
-        let tag = Tag::collective(CollectiveKind::Scan, self.next_epoch());
+        let tag = self.collective_tag(CollectiveKind::Scan);
         if self.rank() + 1 < self.size() {
             self.send_tagged(self.rank() + 1, tag, inclusive);
         }

@@ -42,6 +42,8 @@ pub struct Comm {
     monitor: Option<Arc<Monitor>>,
     /// Injected transport faults, when installed for a test.
     faults: Option<FaultHandle>,
+    /// Observability handle; [`probe::off`] (a no-op) by default.
+    probe: RefCell<probe::Probe>,
 }
 
 impl Comm {
@@ -62,6 +64,7 @@ impl Comm {
             peer_slots: Arc::new((0..size).collect()),
             monitor: None,
             faults: None,
+            probe: RefCell::new(probe::off()),
         }
     }
 
@@ -78,6 +81,21 @@ impl Comm {
         self.monitor = monitor;
         self.faults = faults;
         self
+    }
+
+    /// Attach an observability probe: subsequent sends count messages
+    /// and (estimated) payload bytes per collective kind, and
+    /// collective entries count invocations. Communicators derived via
+    /// [`Comm::split`] / [`Comm::dup`] inherit the probe.
+    pub fn attach_probe(&self, probe: probe::Probe) {
+        *self.probe.borrow_mut() = probe;
+    }
+
+    /// A clone of the attached probe ([`probe::off`] if none): the
+    /// channel through which analyses record sub-spans and gauges next
+    /// to the transport's own counters.
+    pub fn probe(&self) -> probe::Probe {
+        self.probe.borrow().clone()
     }
 
     /// This rank's index in `0..size()`.
@@ -100,6 +118,18 @@ impl Comm {
         let e = self.epoch.get();
         self.epoch.set(e.wrapping_add(1));
         e
+    }
+
+    /// Build the tag for one collective invocation, counting the call
+    /// on the attached probe. Called unconditionally at collective
+    /// entry (before any single-rank fast path) so invocation counts
+    /// are identical at every communicator size.
+    pub(crate) fn collective_tag(&self, kind: CollectiveKind) -> Tag {
+        let probe = self.probe.borrow();
+        if probe.is_enabled() {
+            probe.call(kind.counter_name());
+        }
+        Tag::collective(kind, self.next_epoch())
     }
 
     /// Send `value` to `dest` with a user `tag`. Sends are buffered and
@@ -139,6 +169,21 @@ impl Comm {
             .senders
             .get(dest)
             .unwrap_or_else(|| panic!("send: rank {dest} out of range (size {})", self.size()));
+        {
+            // Send-side accounting (each message counts exactly once
+            // across the job). A no-op unless a probe is attached.
+            let probe = self.probe.borrow();
+            if probe.is_enabled() {
+                let name = match tag.collective_parts() {
+                    Some((kind, _)) => kind.counter_name(),
+                    None => "minimpi/p2p",
+                };
+                if !tag.is_collective() {
+                    probe.call(name);
+                }
+                probe.message(name, payload_bytes(&value) as u64);
+            }
+        }
         if let Some(faults) = &self.faults {
             let to_slot = self.peer_slots.get(dest).copied().unwrap_or(dest);
             match faults.action(self.slot, to_slot) {
@@ -433,8 +478,7 @@ impl Comm {
     /// rank of `self` must call `split`. Analogous to `MPI_Comm_split`.
     pub fn split(&self, color: u32, key: u32) -> Comm {
         let (tx, rx) = unbounded::<Envelope>();
-        let epoch = self.next_epoch();
-        let tag = Tag::collective(CollectiveKind::Split, epoch);
+        let tag = self.collective_tag(CollectiveKind::Split);
         let mine = SplitInfo {
             color,
             key,
@@ -451,12 +495,14 @@ impl Comm {
             .expect("split: own rank missing from its color group");
         let senders: Vec<Sender<Envelope>> = members.iter().map(|i| i.sender.clone()).collect();
         let peer_slots: Arc<Vec<usize>> = Arc::new(members.iter().map(|i| i.slot).collect());
-        Comm::new(new_rank, Arc::new(senders), rx).with_runtime(
+        let sub = Comm::new(new_rank, Arc::new(senders), rx).with_runtime(
             self.slot,
             peer_slots,
             self.monitor.clone(),
             self.faults.clone(),
-        )
+        );
+        sub.attach_probe(self.probe());
+        sub
     }
 
     /// Collectively duplicate this communicator (cf. `MPI_Comm_dup`).
@@ -475,6 +521,35 @@ struct SplitInfo {
     old_rank: usize,
     slot: usize,
     sender: Sender<Envelope>,
+}
+
+/// Estimated deep size of a payload about to ship. The transport is
+/// type-erased, so deep sizing probes the concrete buffer types the
+/// workspace actually moves (element vectors, rsag segments, strings);
+/// anything else falls back to its shallow `size_of`. Only evaluated
+/// when a probe is attached.
+fn payload_bytes<T: Send + 'static>(value: &T) -> usize {
+    fn vec_bytes<E>(v: &[E]) -> usize {
+        std::mem::size_of::<Vec<E>>() + std::mem::size_of_val(v)
+    }
+    let any: &dyn Any = value;
+    macro_rules! try_vec {
+        ($($elem:ty),* $(,)?) => {
+            $(
+                if let Some(v) = any.downcast_ref::<Vec<$elem>>() {
+                    return vec_bytes(v);
+                }
+                if let Some((_, v)) = any.downcast_ref::<(usize, Vec<$elem>)>() {
+                    return std::mem::size_of::<usize>() + vec_bytes(v);
+                }
+            )*
+        };
+    }
+    try_vec!(f64, f32, u64, i64, u32, i32, u8, usize);
+    if let Some(s) = any.downcast_ref::<String>() {
+        return std::mem::size_of::<String>() + s.len();
+    }
+    std::mem::size_of::<T>()
 }
 
 fn downcast_payload<T: 'static>(payload: Box<dyn Any + Send>, src: usize, tag: Tag) -> T {
@@ -618,6 +693,57 @@ mod tests {
                 let v: u64 = comm.recv(0, 11);
                 assert_eq!(v, 42);
             }
+        });
+    }
+
+    #[test]
+    fn probe_counts_collectives_and_p2p() {
+        World::run(4, |comm| {
+            let p = probe::enabled();
+            comm.attach_probe(p.clone());
+            comm.barrier();
+            let _ = comm.allreduce_vec_rsag(vec![comm.rank() as u64; 8], |a, b| a + b);
+            if comm.rank() == 0 {
+                comm.send(1, 5, vec![1.0f64; 16]);
+            } else if comm.rank() == 1 {
+                let _: Vec<f64> = comm.recv(0, 5);
+            }
+            let snap = p.snapshot();
+            let get = |n: &str| snap.counters.iter().find(|c| c.name == n);
+            assert_eq!(get("minimpi/barrier").unwrap().calls, 1);
+            assert_eq!(get("minimpi/reduce_scatter").unwrap().calls, 1);
+            assert_eq!(get("minimpi/allgather").unwrap().calls, 1);
+            assert!(get("minimpi/barrier").unwrap().messages > 0);
+            if comm.rank() == 0 {
+                let c = get("minimpi/p2p").unwrap();
+                assert_eq!((c.calls, c.messages), (1, 1));
+                assert!(c.bytes >= 16 * 8, "deep-sized payload: {} bytes", c.bytes);
+            } else {
+                assert!(get("minimpi/p2p").is_none(), "recv side counts nothing");
+            }
+            // Derived communicators inherit the probe.
+            let sub = comm.split((comm.rank() % 2) as u32, 0);
+            assert!(sub.probe().is_enabled());
+            sub.barrier();
+            assert_eq!(
+                get("minimpi/barrier").unwrap().calls,
+                1,
+                "snapshot is a copy"
+            );
+            assert!(p
+                .snapshot()
+                .counters
+                .iter()
+                .any(|c| c.name == "minimpi/split"));
+        });
+    }
+
+    #[test]
+    fn unprobed_comm_records_nothing() {
+        World::run(2, |comm| {
+            assert!(!comm.probe().is_enabled());
+            comm.barrier();
+            assert_eq!(comm.probe().snapshot(), probe::Snapshot::default());
         });
     }
 

@@ -78,6 +78,25 @@ pub enum CollectiveKind {
 }
 
 impl CollectiveKind {
+    /// Probe counter name for this collective (messages/bytes tally up
+    /// under the algorithm that moved them: an allreduce built from
+    /// reduce + bcast reports as those two kinds).
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "minimpi/barrier",
+            CollectiveKind::Bcast => "minimpi/bcast",
+            CollectiveKind::Reduce => "minimpi/reduce",
+            CollectiveKind::Allreduce => "minimpi/allreduce",
+            CollectiveKind::Gather => "minimpi/gather",
+            CollectiveKind::Allgather => "minimpi/allgather",
+            CollectiveKind::Scatter => "minimpi/scatter",
+            CollectiveKind::Alltoall => "minimpi/alltoall",
+            CollectiveKind::Scan => "minimpi/scan",
+            CollectiveKind::Split => "minimpi/split",
+            CollectiveKind::ReduceScatter => "minimpi/reduce_scatter",
+        }
+    }
+
     /// Inverse of `kind as u8`; `None` for values outside the enum.
     pub fn from_bits(bits: u8) -> Option<Self> {
         Some(match bits {

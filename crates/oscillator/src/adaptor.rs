@@ -4,7 +4,7 @@
 use std::sync::Arc;
 
 use datamodel::{DataArray, DataSet, Extent, ImageData};
-use sensei::{Association, DataAdaptor};
+use sensei::{AdaptorError, Association, DataAdaptor};
 
 use crate::sim::Simulation;
 
@@ -60,15 +60,33 @@ impl DataAdaptor for OscillatorAdaptor {
         }
     }
 
-    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
-        if assoc != Association::Point || name != "data" {
-            return false;
+    fn add_array(
+        &self,
+        mesh: &mut DataSet,
+        assoc: Association,
+        name: &str,
+    ) -> Result<(), AdaptorError> {
+        if name != "data" {
+            return Err(AdaptorError::UnknownArray {
+                name: name.to_string(),
+                assoc,
+            });
+        }
+        if assoc != Association::Point {
+            return Err(AdaptorError::WrongAssociation {
+                name: name.to_string(),
+                requested: assoc,
+                available: Association::Point,
+            });
         }
         let DataSet::Image(g) = mesh else {
-            return false;
+            return Err(AdaptorError::LayoutUnsupported {
+                name: name.to_string(),
+                detail: "oscillator produces a single structured grid".to_string(),
+            });
         };
         g.add_point_array(DataArray::shared("data", 1, Arc::clone(&self.field)));
-        true
+        Ok(())
     }
 }
 
@@ -127,7 +145,7 @@ mod tests {
             let hist = HistogramAnalysis::new("data", 16);
             let res = hist.results_handle();
             let mut bridge = Bridge::new();
-            bridge.add_analysis(Box::new(hist));
+            bridge.register(Box::new(hist));
             bridge.execute(&OscillatorAdaptor::new(&sim), comm);
             let local_points = sim.local_extent().num_points();
             let total: usize = comm.allreduce_scalar(local_points, |a, b| a + b);
@@ -153,7 +171,7 @@ mod tests {
             let bridged = HistogramAnalysis::new("data", 8);
             let bridged_res = bridged.results_handle();
             let mut bridge = Bridge::new();
-            bridge.add_analysis(Box::new(bridged));
+            bridge.register(Box::new(bridged));
             bridge.execute(&OscillatorAdaptor::new(&sim), comm);
 
             if comm.rank() == 0 {
@@ -168,8 +186,16 @@ mod tests {
             let sim = run_sim(comm, 4);
             let a = OscillatorAdaptor::new(&sim);
             let mut mesh = a.mesh();
-            assert!(!a.add_array(&mut mesh, Association::Cell, "data"));
-            assert!(!a.add_array(&mut mesh, Association::Point, "velocity"));
+            let wrong = a.add_array(&mut mesh, Association::Cell, "data");
+            assert!(matches!(
+                wrong,
+                Err(sensei::AdaptorError::WrongAssociation { .. })
+            ));
+            let unknown = a.add_array(&mut mesh, Association::Point, "velocity");
+            assert!(matches!(
+                unknown,
+                Err(sensei::AdaptorError::UnknownArray { .. })
+            ));
         });
     }
 }

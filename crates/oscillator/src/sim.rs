@@ -133,6 +133,8 @@ impl Simulation {
     /// The communicator is only touched from the calling thread
     /// (`MPI_THREAD_FUNNELED`).
     pub fn step_with_threads(&mut self, comm: &Comm, threads: usize) {
+        let probe = comm.probe();
+        let _span = probe.span("per-step/sim/kernel");
         self.time = self.step as f64 * self.config.dt;
         let t = self.time;
         let oscillators: &[Oscillator] = &self.oscillators;
@@ -181,6 +183,8 @@ impl Simulation {
     /// culled/threaded kernel reproduces this bitwise, and the hot-path
     /// benchmark measures its speedup against it.
     pub fn step_naive(&mut self, comm: &Comm) {
+        let probe = comm.probe();
+        let _span = probe.span("per-step/sim/kernel");
         self.time = self.step as f64 * self.config.dt;
         let t = self.time;
         let oscillators: &[Oscillator] = &self.oscillators;

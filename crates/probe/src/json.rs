@@ -1,0 +1,351 @@
+//! A minimal serde-free JSON value: enough writer + parser for the
+//! [`crate::RunReport`] round trip. Numbers are `f64`; integers up to
+//! 2^53 round-trip exactly, which covers every counter this crate
+//! records in practice.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer (must be whole and in range).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document (the subset this crate writes, which is
+    /// standard JSON minus exotic number forms it never emits).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Serialize compactly (no insignificant whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_num(out, *n),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+/// Write a number; non-finite values (unrepresentable in JSON) write 0.
+fn write_num(out: &mut String, n: f64) {
+    if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        out.push('0');
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_str(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number '{text}' at byte {start}"))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        // Surrogates never appear in this crate's output.
+                        out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "-1.5", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::Num(1.0)),
+            ("b".into(), Json::Arr(vec![Json::Num(2.5), Json::Null])),
+            (
+                "c".into(),
+                Json::Obj(vec![("d".into(), Json::Str("x\"y\\z\n".into()))]),
+            ),
+        ]);
+        let text = v.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_shortest_repr_round_trips() {
+        for n in [0.1, 1e-7, 123456.789, f64::MIN_POSITIVE.sqrt()] {
+            let text = Json::Num(n).to_string();
+            assert_eq!(Json::parse(&text).unwrap().as_f64(), Some(n));
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"n": 3, "s": "x", "a": [1, 2]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("a").and_then(Json::as_arr).map(|a| a.len()), Some(2));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        let v = Json::Str("a\u{1}b".into());
+        let text = v.to_string();
+        assert_eq!(text, "\"a\\u0001b\"");
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+}

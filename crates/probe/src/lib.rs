@@ -1,0 +1,441 @@
+//! Cross-rank observability: the measurement layer behind the paper's
+//! per-rank cost decompositions and memory-overhead tables.
+//!
+//! The crate is dependency-free so every layer of the workspace (the
+//! MPI substrate included) can hold a [`Probe`] without dependency
+//! cycles. A probe is a cheap cloneable handle in one of two states:
+//!
+//! * [`off`]: a `const` no-op handle. Every recording method starts
+//!   with a branch on `None` and inlines away — the default path a
+//!   simulation pays when nobody asked for measurements.
+//! * [`enabled`]: a shared recorder of hierarchical **spans**
+//!   (`"per-step/histogram/reduce"`-style slash paths), **counters**
+//!   (calls / messages / bytes per label), and high-water **gauges**.
+//!
+//! A rank extracts its local [`Snapshot`] at finalize; snapshots
+//! gathered from every rank aggregate (min / mean / max / stddev and
+//! rank-of-extremum per label) into a [`RunReport`], which serializes
+//! to JSON without serde (see [`report`]).
+
+pub mod alloc;
+mod json;
+mod report;
+
+pub use json::Json;
+pub use report::{aggregate, Aggregates, CounterAgg, GaugeAgg, PhaseAgg, RankMemory, RunReport};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Gauge name for the per-rank allocation high-water mark (bytes).
+pub const GAUGE_ALLOC_PEAK: &str = "mem/alloc_peak_bytes";
+/// Gauge name for bytes a rank's analysis meshes own outright.
+pub const GAUGE_DATASET_OWNED: &str = "mem/dataset_owned_bytes";
+/// Gauge name for bytes a rank's analysis meshes borrow from the
+/// simulation (zero-copy shared buffers).
+pub const GAUGE_DATASET_SHARED: &str = "mem/dataset_shared_bytes";
+
+/// Online mean/variance accumulator (Welford) with range tracking.
+#[derive(Clone, Copy, Debug, Default)]
+struct Welford {
+    count: u64,
+    total: f64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    fn push(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.total += x;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Population standard deviation (0 for fewer than two samples).
+    fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).max(0.0).sqrt()
+        }
+    }
+}
+
+/// Per-label message/byte tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Counter {
+    calls: u64,
+    messages: u64,
+    bytes: u64,
+}
+
+#[derive(Default)]
+struct State {
+    spans: BTreeMap<String, Welford>,
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, u64>,
+}
+
+/// The recorder behind an enabled probe. Interior state sits behind a
+/// mutex so the handle stays `Send + Sync` (bridges and communicators
+/// holding probes cross thread-join boundaries); within a rank the
+/// lock is uncontended.
+#[derive(Default)]
+struct Inner {
+    state: Mutex<State>,
+}
+
+/// A cloneable observability handle: either a `const` no-op ([`off`])
+/// or a shared recorder ([`enabled`]).
+#[derive(Clone, Default)]
+pub struct Probe(Option<Arc<Inner>>);
+
+/// The no-op probe: every recording method is a single branch that the
+/// optimizer removes. This is the default everywhere.
+pub const fn off() -> Probe {
+    Probe(None)
+}
+
+/// A live probe that records spans, counters, and gauges.
+pub fn enabled() -> Probe {
+    Probe(Some(Arc::new(Inner::default())))
+}
+
+impl Probe {
+    /// Alias for [`off`].
+    pub const fn off() -> Self {
+        off()
+    }
+
+    /// Alias for [`enabled`].
+    pub fn enabled() -> Self {
+        enabled()
+    }
+
+    /// Is this handle recording?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Start a RAII span; its wall time records under `path` on drop.
+    /// Paths are slash-separated hierarchies such as
+    /// `"per-step/histogram/reduce"`.
+    #[inline]
+    pub fn span<'p>(&'p self, path: &'p str) -> Span<'p> {
+        Span {
+            probe: self,
+            path,
+            start: self.0.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Record one `seconds` sample under the span `path`.
+    #[inline]
+    pub fn record_span(&self, path: &str, seconds: f64) {
+        if let Some(inner) = &self.0 {
+            let mut state = inner.state.lock().unwrap();
+            match state.spans.get_mut(path) {
+                Some(w) => w.push(seconds),
+                None => {
+                    let mut w = Welford::default();
+                    w.push(seconds);
+                    state.spans.insert(path.to_string(), w);
+                }
+            }
+        }
+    }
+
+    /// Count one invocation under the counter `name` (e.g. one
+    /// collective call, independent of how many messages it moved).
+    #[inline]
+    pub fn call(&self, name: &str) {
+        if let Some(inner) = &self.0 {
+            let mut state = inner.state.lock().unwrap();
+            counter_mut(&mut state, name).calls += 1;
+        }
+    }
+
+    /// Count one message of `bytes` under the counter `name`.
+    #[inline]
+    pub fn message(&self, name: &str, bytes: u64) {
+        if let Some(inner) = &self.0 {
+            let mut state = inner.state.lock().unwrap();
+            let c = counter_mut(&mut state, name);
+            c.messages += 1;
+            c.bytes += bytes;
+        }
+    }
+
+    /// Raise the high-water gauge `name` to at least `value`.
+    #[inline]
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.0 {
+            let mut state = inner.state.lock().unwrap();
+            match state.gauges.get_mut(name) {
+                Some(g) => *g = (*g).max(value),
+                None => {
+                    state.gauges.insert(name.to_string(), value);
+                }
+            }
+        }
+    }
+
+    /// This handle's recordings as plain data (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(inner) = &self.0 else {
+            return Snapshot::default();
+        };
+        let state = inner.state.lock().unwrap();
+        Snapshot {
+            spans: state
+                .spans
+                .iter()
+                .map(|(label, w)| SpanStat {
+                    label: label.clone(),
+                    count: w.count,
+                    total: w.total,
+                    min: w.min,
+                    max: w.max,
+                    mean: w.mean,
+                    stddev: w.stddev(),
+                })
+                .collect(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(name, c)| CounterStat {
+                    name: name.clone(),
+                    calls: c.calls,
+                    messages: c.messages,
+                    bytes: c.bytes,
+                })
+                .collect(),
+            gauges: state
+                .gauges
+                .iter()
+                .map(|(name, &max)| GaugeStat {
+                    name: name.clone(),
+                    max,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn counter_mut<'s>(state: &'s mut State, name: &str) -> &'s mut Counter {
+    if !state.counters.contains_key(name) {
+        state.counters.insert(name.to_string(), Counter::default());
+    }
+    state.counters.get_mut(name).unwrap()
+}
+
+/// RAII timer returned by [`Probe::span`]; records on drop. Holds no
+/// allocation and no `Instant` when the probe is off.
+pub struct Span<'p> {
+    probe: &'p Probe,
+    path: &'p str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            self.probe
+                .record_span(self.path, t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Per-label timing statistics of one rank.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanStat {
+    /// Slash-separated span path.
+    pub label: String,
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples, seconds.
+    pub total: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Population standard deviation over samples.
+    pub stddev: f64,
+}
+
+impl SpanStat {
+    /// Build a stat from raw samples (Welford pass), e.g. when merging
+    /// an external timing table into a snapshot.
+    pub fn from_samples(label: impl Into<String>, samples: &[f64]) -> Self {
+        let mut w = Welford::default();
+        for &s in samples {
+            w.push(s);
+        }
+        SpanStat {
+            label: label.into(),
+            count: w.count,
+            total: w.total,
+            min: if w.count == 0 { 0.0 } else { w.min },
+            max: if w.count == 0 { 0.0 } else { w.max },
+            mean: w.mean,
+            stddev: w.stddev(),
+        }
+    }
+}
+
+/// Per-label counter totals of one rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CounterStat {
+    /// Counter name (e.g. `"minimpi/bcast"`).
+    pub name: String,
+    /// Operation invocations.
+    pub calls: u64,
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent (estimated for type-erased payloads).
+    pub bytes: u64,
+}
+
+/// One high-water gauge of one rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GaugeStat {
+    /// Gauge name (e.g. [`GAUGE_ALLOC_PEAK`]).
+    pub name: String,
+    /// Largest value observed.
+    pub max: u64,
+}
+
+/// Everything one rank recorded, as plain data (gatherable across
+/// ranks). Entries are sorted by label/name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Span timing stats.
+    pub spans: Vec<SpanStat>,
+    /// Counter totals.
+    pub counters: Vec<CounterStat>,
+    /// Gauge high-water marks.
+    pub gauges: Vec<GaugeStat>,
+}
+
+impl Snapshot {
+    /// Merge a span stat in, keeping label order. An existing label is
+    /// replaced (the caller owns dedup semantics).
+    pub fn upsert_span(&mut self, stat: SpanStat) {
+        match self.spans.binary_search_by(|s| s.label.cmp(&stat.label)) {
+            Ok(i) => self.spans[i] = stat,
+            Err(i) => self.spans.insert(i, stat),
+        }
+    }
+
+    /// Gauge value by name, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_probe_records_nothing() {
+        let p = off();
+        assert!(!p.is_enabled());
+        {
+            let _s = p.span("per-step/x");
+        }
+        p.call("c");
+        p.message("c", 100);
+        p.gauge_max("g", 5);
+        assert_eq!(p.snapshot(), Snapshot::default());
+    }
+
+    #[test]
+    fn enabled_probe_accumulates() {
+        let p = enabled();
+        p.record_span("per-step/a", 1.0);
+        p.record_span("per-step/a", 3.0);
+        p.call("minimpi/bcast");
+        p.message("minimpi/bcast", 64);
+        p.message("minimpi/bcast", 36);
+        p.gauge_max("mem/x", 10);
+        p.gauge_max("mem/x", 4);
+        let s = p.snapshot();
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].count, 2);
+        assert_eq!(s.spans[0].total, 4.0);
+        assert_eq!(s.spans[0].min, 1.0);
+        assert_eq!(s.spans[0].max, 3.0);
+        assert_eq!(s.spans[0].mean, 2.0);
+        assert_eq!(s.spans[0].stddev, 1.0);
+        assert_eq!(
+            s.counters,
+            vec![CounterStat {
+                name: "minimpi/bcast".into(),
+                calls: 1,
+                messages: 2,
+                bytes: 100,
+            }]
+        );
+        assert_eq!(s.gauge("mem/x"), Some(10));
+        assert_eq!(s.gauge("mem/missing"), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let p = enabled();
+        let q = p.clone();
+        q.call("c");
+        assert_eq!(p.snapshot().counters[0].calls, 1);
+    }
+
+    #[test]
+    fn span_guard_measures_elapsed() {
+        let p = enabled();
+        {
+            let _s = p.span("per-step/sleep");
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let s = p.snapshot();
+        assert_eq!(s.spans[0].label, "per-step/sleep");
+        assert!(s.spans[0].total >= 0.004);
+    }
+
+    #[test]
+    fn from_samples_matches_welford() {
+        let s = SpanStat::from_samples("x", &[2.0, 4.0, 6.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let e = SpanStat::from_samples("e", &[]);
+        assert_eq!((e.count, e.min, e.max), (0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn upsert_span_keeps_order() {
+        let mut s = Snapshot::default();
+        s.upsert_span(SpanStat::from_samples("b", &[1.0]));
+        s.upsert_span(SpanStat::from_samples("a", &[2.0]));
+        s.upsert_span(SpanStat::from_samples("b", &[9.0]));
+        let labels: Vec<&str> = s.spans.iter().map(|x| x.label.as_str()).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+        assert_eq!(s.spans[1].total, 9.0);
+    }
+}

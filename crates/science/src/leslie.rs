@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use datamodel::{DataArray, DataSet, Extent, ImageData, GHOST_ARRAY_NAME};
 use minimpi::Comm;
-use sensei::{Association, DataAdaptor};
+use sensei::{AdaptorError, Association, DataAdaptor};
 
 const TAG_HALO_UP: u32 = 0x1E51_0001;
 const TAG_HALO_DN: u32 = 0x1E51_0002;
@@ -381,12 +381,20 @@ impl DataAdaptor for LeslieAdaptor {
         }
     }
 
-    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
+    fn add_array(
+        &self,
+        mesh: &mut DataSet,
+        assoc: Association,
+        name: &str,
+    ) -> Result<(), AdaptorError> {
+        let names = ["u", "v", "w", "vorticity", GHOST_ARRAY_NAME];
+        let err =
+            || crate::point_array_error(&names, assoc, name, "LESLIE produces a structured grid");
         if assoc != Association::Point {
-            return false;
+            return Err(err());
         }
         let DataSet::Image(g) = mesh else {
-            return false;
+            return Err(err());
         };
         let array = match name {
             "u" => DataArray::shared("u", 1, Arc::clone(&self.u)),
@@ -394,10 +402,10 @@ impl DataAdaptor for LeslieAdaptor {
             "w" => DataArray::shared("w", 1, Arc::clone(&self.w)),
             "vorticity" => DataArray::owned("vorticity", 1, self.vorticity.clone()),
             GHOST_ARRAY_NAME => DataArray::owned(GHOST_ARRAY_NAME, 1, self.ghosts.clone()),
-            _ => return false,
+            _ => return Err(err()),
         };
         g.add_point_array(array);
-        true
+        Ok(())
     }
 }
 

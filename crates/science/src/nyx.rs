@@ -16,7 +16,7 @@ use datamodel::{dims_create, DataArray, DataSet, Extent, RectilinearGrid, GHOST_
 use minimpi::Comm;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sensei::{Association, DataAdaptor};
+use sensei::{AdaptorError, Association, DataAdaptor};
 
 const TAG_MIGRATE: u32 = 0x4E19_0001;
 
@@ -403,17 +403,25 @@ impl DataAdaptor for NyxAdaptor {
         }
     }
 
-    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
+    fn add_array(
+        &self,
+        mesh: &mut DataSet,
+        assoc: Association,
+        name: &str,
+    ) -> Result<(), AdaptorError> {
+        let names = ["density", GHOST_ARRAY_NAME];
+        let err =
+            || crate::point_array_error(&names, assoc, name, "Nyx produces a rectilinear grid");
         if assoc != Association::Point {
-            return false;
+            return Err(err());
         }
         let DataSet::Rectilinear(g) = mesh else {
-            return false;
+            return Err(err());
         };
         match name {
             "density" => {
                 g.add_point_array(DataArray::shared("density", 1, Arc::clone(&self.density)));
-                true
+                Ok(())
             }
             GHOST_ARRAY_NAME => {
                 let flags: Vec<u8> = self
@@ -422,9 +430,9 @@ impl DataAdaptor for NyxAdaptor {
                     .map(|p| u8::from(!self.cells.contains(p)))
                     .collect();
                 g.add_point_array(DataArray::owned(GHOST_ARRAY_NAME, 1, flags));
-                true
+                Ok(())
             }
-            _ => false,
+            _ => Err(err()),
         }
     }
 }

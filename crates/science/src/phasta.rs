@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use datamodel::{CellType, DataArray, DataSet, UnstructuredGrid};
 use minimpi::Comm;
-use sensei::{Association, DataAdaptor};
+use sensei::{AdaptorError, Association, DataAdaptor};
 
 /// Configuration of the tail-flow problem.
 #[derive(Clone, Debug)]
@@ -399,12 +399,21 @@ impl DataAdaptor for PhastaAdaptor {
         }
     }
 
-    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
+    fn add_array(
+        &self,
+        mesh: &mut DataSet,
+        assoc: Association,
+        name: &str,
+    ) -> Result<(), AdaptorError> {
+        let names = ["velocity", "velmag"];
+        let err = || {
+            crate::point_array_error(&names, assoc, name, "PHASTA produces an unstructured mesh")
+        };
         if assoc != Association::Point {
-            return false;
+            return Err(err());
         }
         let DataSet::Unstructured(g) = mesh else {
-            return false;
+            return Err(err());
         };
         match name {
             "velocity" => {
@@ -416,7 +425,7 @@ impl DataAdaptor for PhastaAdaptor {
                         datamodel::Buffer::Shared(Arc::clone(&self.velocity[2])),
                     ],
                 ));
-                true
+                Ok(())
             }
             "velmag" => {
                 let n = self.velocity[0].len();
@@ -431,9 +440,9 @@ impl DataAdaptor for PhastaAdaptor {
                     })
                     .collect();
                 g.add_point_array(DataArray::owned("velmag", 1, mags));
-                true
+                Ok(())
             }
-            _ => false,
+            _ => Err(err()),
         }
     }
 }

@@ -11,6 +11,85 @@ pub enum Association {
     Cell,
 }
 
+impl Association {
+    /// The other association.
+    pub fn other(self) -> Self {
+        match self {
+            Association::Point => Association::Cell,
+            Association::Cell => Association::Point,
+        }
+    }
+}
+
+impl std::fmt::Display for Association {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Association::Point => write!(f, "point"),
+            Association::Cell => write!(f, "cell"),
+        }
+    }
+}
+
+/// Why a data adaptor could not attach an array
+/// ([`DataAdaptor::add_array`]).
+///
+/// The variants separate "you asked for something I don't have"
+/// ([`AdaptorError::UnknownArray`]) from "you asked the wrong way"
+/// ([`AdaptorError::WrongAssociation`]) from "I have it but cannot
+/// express it on that mesh" ([`AdaptorError::LayoutUnsupported`]), so
+/// infrastructures can report *why* a field went missing instead of
+/// silently skipping it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdaptorError {
+    /// No array of this name exists under the requested association.
+    UnknownArray {
+        /// Requested array name.
+        name: String,
+        /// Requested association.
+        assoc: Association,
+    },
+    /// The array exists, but under the other association.
+    WrongAssociation {
+        /// Requested array name.
+        name: String,
+        /// Association the caller asked for.
+        requested: Association,
+        /// Association the adaptor actually provides the array under.
+        available: Association,
+    },
+    /// The adaptor cannot attach this array to the given mesh layout
+    /// (e.g. a leaf array pushed at a multiblock root).
+    LayoutUnsupported {
+        /// Requested array name.
+        name: String,
+        /// What about the layout was unsupported.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for AdaptorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptorError::UnknownArray { name, assoc } => {
+                write!(f, "unknown {assoc} array '{name}'")
+            }
+            AdaptorError::WrongAssociation {
+                name,
+                requested,
+                available,
+            } => write!(
+                f,
+                "array '{name}' requested as {requested} data but provided as {available} data"
+            ),
+            AdaptorError::LayoutUnsupported { name, detail } => {
+                write!(f, "cannot attach array '{name}': {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptorError {}
+
 /// Simulation-side adaptor: maps the simulation's native structures into
 /// the shared data model **on demand**.
 ///
@@ -33,8 +112,14 @@ pub trait DataAdaptor {
     fn array_names(&self, assoc: Association) -> Vec<String>;
 
     /// Attach the named array to `mesh` (zero-copy when layouts allow).
-    /// Returns `false` when the array is unknown.
-    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool;
+    /// A typed [`AdaptorError`] says why an array could not be attached,
+    /// so consumers can surface the cause instead of silently skipping.
+    fn add_array(
+        &self,
+        mesh: &mut DataSet,
+        assoc: Association,
+        name: &str,
+    ) -> Result<(), AdaptorError>;
 
     /// Convenience: mesh with every available point and cell array
     /// attached. Infrastructures that snapshot everything (ADIOS, I/O)
@@ -43,8 +128,10 @@ pub trait DataAdaptor {
         let mut mesh = self.mesh();
         for assoc in [Association::Point, Association::Cell] {
             for name in self.array_names(assoc) {
-                let ok = self.add_array(&mut mesh, assoc, &name);
-                debug_assert!(ok, "advertised array '{name}' was not provided");
+                if let Err(err) = self.add_array(&mut mesh, assoc, &name) {
+                    debug_assert!(false, "advertised array '{name}' was not provided: {err}");
+                    let _ = err;
+                }
             }
         }
         mesh
@@ -73,6 +160,23 @@ impl InMemoryAdaptor {
     /// Access the wrapped dataset.
     pub fn data(&self) -> &DataSet {
         &self.data
+    }
+
+    /// Classify a lookup miss: does the array live under the other
+    /// association, or not at all?
+    fn missing(&self, assoc: Association, name: &str) -> AdaptorError {
+        if self.array_names(assoc.other()).iter().any(|n| n == name) {
+            AdaptorError::WrongAssociation {
+                name: name.to_string(),
+                requested: assoc,
+                available: assoc.other(),
+            }
+        } else {
+            AdaptorError::UnknownArray {
+                name: name.to_string(),
+                assoc,
+            }
+        }
     }
 }
 
@@ -139,10 +243,20 @@ impl DataAdaptor for InMemoryAdaptor {
         names
     }
 
-    fn add_array(&self, mesh: &mut DataSet, assoc: Association, name: &str) -> bool {
+    fn add_array(
+        &self,
+        mesh: &mut DataSet,
+        assoc: Association,
+        name: &str,
+    ) -> Result<(), AdaptorError> {
         // Clone is cheap for shared (zero-copy) buffers: it bumps a
         // refcount per buffer rather than copying elements.
-        fn attach(leaf: &mut DataSet, assoc: Association, array: datamodel::DataArray) -> bool {
+        fn attach(
+            leaf: &mut DataSet,
+            assoc: Association,
+            name: &str,
+            array: datamodel::DataArray,
+        ) -> Result<(), AdaptorError> {
             match (leaf, assoc) {
                 (DataSet::Image(g), Association::Point) => g.point_data.insert(array),
                 (DataSet::Image(g), Association::Cell) => g.cell_data.insert(array),
@@ -150,9 +264,14 @@ impl DataAdaptor for InMemoryAdaptor {
                 (DataSet::Rectilinear(g), Association::Cell) => g.cell_data.insert(array),
                 (DataSet::Unstructured(g), Association::Point) => g.point_data.insert(array),
                 (DataSet::Unstructured(g), Association::Cell) => g.cell_data.insert(array),
-                (DataSet::Multi(_), _) => return false,
+                (DataSet::Multi(_), _) => {
+                    return Err(AdaptorError::LayoutUnsupported {
+                        name: name.to_string(),
+                        detail: "target leaf is a multiblock, not a grid".to_string(),
+                    })
+                }
             }
-            true
+            Ok(())
         }
         let lookup = |leaf: &DataSet| {
             let attrs = match assoc {
@@ -165,19 +284,32 @@ impl DataAdaptor for InMemoryAdaptor {
             // Multiblock: attach slot-by-slot so each leaf of the target
             // receives its own leaf's array, never a sibling's.
             (DataSet::Multi(src), DataSet::Multi(dst)) => {
-                let mut any = false;
+                let mut attached = 0usize;
+                let mut first_err = None;
                 for i in 0..src.num_slots() {
                     if let (Some(s), Some(d)) = (src.block(i), dst.block_mut(i)) {
                         if let Some(array) = lookup(s) {
-                            any |= attach(d, assoc, array);
+                            match attach(d, assoc, name, array) {
+                                Ok(()) => attached += 1,
+                                Err(e) => first_err = first_err.or(Some(e)),
+                            }
                         }
                     }
                 }
-                any
+                if attached > 0 {
+                    // A partially-present array (some leaves hold it) is
+                    // attached wherever it exists, matching multiblock
+                    // semantics where blocks differ.
+                    Ok(())
+                } else if let Some(e) = first_err {
+                    Err(e)
+                } else {
+                    Err(self.missing(assoc, name))
+                }
             }
             (src, dst) => match lookup(src) {
-                Some(array) => attach(dst, assoc, array),
-                None => false,
+                Some(array) => attach(dst, assoc, name, array),
+                None => Err(self.missing(assoc, name)),
             },
         }
     }
@@ -214,16 +346,42 @@ mod tests {
     fn lazy_array_attachment() {
         let a = sample();
         let mut mesh = a.mesh();
-        assert!(a.add_array(&mut mesh, Association::Point, "data"));
+        assert!(a.add_array(&mut mesh, Association::Point, "data").is_ok());
         assert_eq!(mesh.point_data().unwrap().len(), 1);
-        assert!(!a.add_array(&mut mesh, Association::Point, "nope"));
+        assert_eq!(
+            a.add_array(&mut mesh, Association::Point, "nope"),
+            Err(AdaptorError::UnknownArray {
+                name: "nope".into(),
+                assoc: Association::Point,
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_association_is_distinguished_from_unknown() {
+        // "rho" exists as cell data; asking for it as point data names
+        // the association the adaptor actually has.
+        let a = sample();
+        let mut mesh = a.mesh();
+        let err = a
+            .add_array(&mut mesh, Association::Point, "rho")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AdaptorError::WrongAssociation {
+                name: "rho".into(),
+                requested: Association::Point,
+                available: Association::Cell,
+            }
+        );
+        assert!(err.to_string().contains("cell data"), "{err}");
     }
 
     #[test]
     fn attached_array_stays_zero_copy() {
         let a = sample();
         let mut mesh = a.mesh();
-        a.add_array(&mut mesh, Association::Point, "data");
+        a.add_array(&mut mesh, Association::Point, "data").unwrap();
         assert!(mesh
             .point_data()
             .unwrap()

@@ -19,9 +19,13 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 use crate::adaptor::{Association, DataAdaptor};
-use crate::analysis::{ghost_at, leaf_views, AnalysisAdaptor, LeafView};
+use crate::analysis::{ghost_at, leaf_views, AnalysisAdaptor, LeafView, Steering};
 use crate::exec;
 use datamodel::DataSet;
+
+/// Gauge name for the autocorrelation history/correlation buffers
+/// (the `O(t·N³)` storage the paper's Fig. 4 studies).
+pub const GAUGE_BUFFER_BYTES: &str = "mem/autocorrelation_buffer_bytes";
 
 /// One candidate: correlation value and global cell id.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -156,11 +160,15 @@ impl AnalysisAdaptor for Autocorrelation {
         "autocorrelation"
     }
 
-    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
-        let _ = comm;
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
+        let probe = comm.probe();
+        let _update = probe.span("per-step/autocorrelation/update");
         let mut mesh = data.mesh();
-        if !data.add_array(&mut mesh, Association::Point, &self.array) {
-            return true;
+        if data
+            .add_array(&mut mesh, Association::Point, &self.array)
+            .is_err()
+        {
+            return Steering::Continue;
         }
         let _ = data.add_array(&mut mesh, Association::Point, datamodel::GHOST_ARRAY_NAME);
 
@@ -178,7 +186,7 @@ impl AnalysisAdaptor for Autocorrelation {
             })
             .sum();
         if incoming == 0 {
-            return true;
+            return Steering::Continue;
         }
         if self.cells == 0 {
             self.capture_layout(&mesh);
@@ -237,10 +245,13 @@ impl AnalysisAdaptor for Autocorrelation {
         }
         debug_assert_eq!(offset, self.cells);
         self.steps_seen += 1;
-        true
+        probe.gauge_max(GAUGE_BUFFER_BYTES, self.buffer_bytes() as u64);
+        Steering::Continue
     }
 
     fn finalize(&mut self, comm: &Comm) {
+        let probe = comm.probe();
+        let _reduce = probe.span("finalize/autocorrelation/reduce");
         // Local top-k per lag (§3.3's final global reduction)…
         let mut local: Vec<Vec<Peak>> = Vec::with_capacity(self.window);
         for lag in 0..self.window {

@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 use crate::adaptor::{Association, DataAdaptor};
-use crate::analysis::{for_each_value, AnalysisAdaptor};
+use crate::analysis::{for_each_value, AnalysisAdaptor, Steering};
 
 /// Moments and extrema of a field at one step, identical on all ranks.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -64,7 +64,7 @@ impl AnalysisAdaptor for DescriptiveStats {
         "descriptive-stats"
     }
 
-    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
         // Local partials: [count, sum, sum_sq, min, max].
         let mut count = 0.0f64;
         let mut sum = 0.0;
@@ -109,7 +109,7 @@ impl AnalysisAdaptor for DescriptiveStats {
             }
         };
         *self.results.lock() = Some(stats);
-        true
+        Steering::Continue
     }
 }
 

@@ -16,8 +16,9 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 use crate::adaptor::{Association, DataAdaptor};
-use crate::analysis::{ghost_at, leaf_views, AnalysisAdaptor, LeafView};
+use crate::analysis::{ghost_at, leaf_views, AnalysisAdaptor, LeafView, Steering};
 use crate::exec;
+use datamodel::MemoryFootprint;
 
 /// The result available on rank 0 after each execute.
 #[derive(Clone, Debug, PartialEq)]
@@ -50,6 +51,8 @@ pub struct HistogramAnalysis {
     bins: usize,
     threads: usize,
     results: ResultsHandle,
+    failures: Vec<String>,
+    reported_missing: bool,
 }
 
 impl HistogramAnalysis {
@@ -67,6 +70,8 @@ impl HistogramAnalysis {
             bins,
             threads: 1,
             results: Arc::new(Mutex::new(None)),
+            failures: Vec::new(),
+            reported_missing: false,
         }
     }
 
@@ -89,12 +94,32 @@ impl AnalysisAdaptor for HistogramAnalysis {
         "histogram"
     }
 
-    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
+        let probe = comm.probe();
         let mut mesh = data.mesh();
-        let have = data.add_array(&mut mesh, self.assoc, &self.array);
-        if have {
-            // Ghost flags, so ghost tuples can be blanked.
-            let _ = data.add_array(&mut mesh, self.assoc, datamodel::GHOST_ARRAY_NAME);
+        let have = match data.add_array(&mut mesh, self.assoc, &self.array) {
+            Ok(()) => {
+                // Ghost flags, so ghost tuples can be blanked.
+                let _ = data.add_array(&mut mesh, self.assoc, datamodel::GHOST_ARRAY_NAME);
+                true
+            }
+            Err(err) => {
+                // Report the typed cause once; re-reporting every step
+                // would only flood the failure log.
+                if !self.reported_missing {
+                    self.reported_missing = true;
+                    self.failures.push(err.to_string());
+                }
+                false
+            }
+        };
+        if probe.is_enabled() {
+            // Borrowed vs. owned bytes of this step's analysis mesh: the
+            // zero-copy story as numbers.
+            let owned = mesh.heap_bytes(false);
+            let total = mesh.heap_bytes(true);
+            probe.gauge_max(probe::GAUGE_DATASET_OWNED, owned as u64);
+            probe.gauge_max(probe::GAUGE_DATASET_SHARED, (total - owned) as u64);
         }
         let views = if have {
             leaf_views(&mesh, self.assoc, &self.array)
@@ -108,68 +133,29 @@ impl AnalysisAdaptor for HistogramAnalysis {
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         let mut local_n = 0u64;
-        for view in &views {
-            match view {
-                LeafView::Direct(vals, ghosts) => {
-                    let stats = exec::map_chunks(self.threads, vals, |_, start, chunk| {
-                        let mut lo = f64::INFINITY;
-                        let mut hi = f64::NEG_INFINITY;
-                        let mut n = 0u64;
-                        for (i, &v) in chunk.iter().enumerate() {
-                            if ghost_at(*ghosts, start + i) {
-                                continue;
-                            }
-                            lo = lo.min(v);
-                            hi = hi.max(v);
-                            n += 1;
-                        }
-                        (lo, hi, n)
-                    });
-                    for (clo, chi, cn) in stats {
-                        lo = lo.min(clo);
-                        hi = hi.max(chi);
-                        local_n += cn;
-                    }
-                }
-                LeafView::Indirect(attrs, arr) => {
-                    for t in 0..arr.num_tuples() {
-                        if attrs.is_ghost(t) {
-                            continue;
-                        }
-                        let v = arr.get(t, 0);
-                        lo = lo.min(v);
-                        hi = hi.max(v);
-                        local_n += 1;
-                    }
-                }
-            }
-        }
-        let glo = comm.allreduce_scalar(lo, f64::min);
-        let ghi = comm.allreduce_scalar(hi, f64::max);
-
-        // Pass 2: streaming local binning with per-thread bin vectors,
-        // merged by exact integer addition (thread-count invariant).
-        let mut counts = vec![0u64; self.bins];
-        if ghi > glo {
-            let inv_w = self.bins as f64 / (ghi - glo);
-            let last = self.bins - 1;
+        {
+            let _pass1 = probe.span("per-step/histogram/pass1");
             for view in &views {
                 match view {
                     LeafView::Direct(vals, ghosts) => {
-                        let partials = exec::map_chunks(self.threads, vals, |_, start, chunk| {
-                            let mut c = vec![0u64; self.bins];
+                        let stats = exec::map_chunks(self.threads, vals, |_, start, chunk| {
+                            let mut lo = f64::INFINITY;
+                            let mut hi = f64::NEG_INFINITY;
+                            let mut n = 0u64;
                             for (i, &v) in chunk.iter().enumerate() {
                                 if ghost_at(*ghosts, start + i) {
                                     continue;
                                 }
-                                c[(((v - glo) * inv_w) as usize).min(last)] += 1;
+                                lo = lo.min(v);
+                                hi = hi.max(v);
+                                n += 1;
                             }
-                            c
+                            (lo, hi, n)
                         });
-                        for part in partials {
-                            for (a, b) in counts.iter_mut().zip(part) {
-                                *a += b;
-                            }
+                        for (clo, chi, cn) in stats {
+                            lo = lo.min(clo);
+                            hi = hi.max(chi);
+                            local_n += cn;
                         }
                     }
                     LeafView::Indirect(attrs, arr) => {
@@ -178,19 +164,73 @@ impl AnalysisAdaptor for HistogramAnalysis {
                                 continue;
                             }
                             let v = arr.get(t, 0);
-                            counts[(((v - glo) * inv_w) as usize).min(last)] += 1;
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                            local_n += 1;
                         }
                     }
                 }
             }
-        } else if glo.is_finite() {
-            // Degenerate range: everything in bin 0.
-            counts[0] = local_n;
+        }
+        let (glo, ghi) = {
+            let _range = probe.span("per-step/histogram/range");
+            (
+                comm.allreduce_scalar(lo, f64::min),
+                comm.allreduce_scalar(hi, f64::max),
+            )
+        };
+
+        // Pass 2: streaming local binning with per-thread bin vectors,
+        // merged by exact integer addition (thread-count invariant).
+        let mut counts = vec![0u64; self.bins];
+        {
+            let _pass2 = probe.span("per-step/histogram/pass2");
+            if ghi > glo {
+                let inv_w = self.bins as f64 / (ghi - glo);
+                let last = self.bins - 1;
+                for view in &views {
+                    match view {
+                        LeafView::Direct(vals, ghosts) => {
+                            let partials =
+                                exec::map_chunks(self.threads, vals, |_, start, chunk| {
+                                    let mut c = vec![0u64; self.bins];
+                                    for (i, &v) in chunk.iter().enumerate() {
+                                        if ghost_at(*ghosts, start + i) {
+                                            continue;
+                                        }
+                                        c[(((v - glo) * inv_w) as usize).min(last)] += 1;
+                                    }
+                                    c
+                                });
+                            for part in partials {
+                                for (a, b) in counts.iter_mut().zip(part) {
+                                    *a += b;
+                                }
+                            }
+                        }
+                        LeafView::Indirect(attrs, arr) => {
+                            for t in 0..arr.num_tuples() {
+                                if attrs.is_ghost(t) {
+                                    continue;
+                                }
+                                let v = arr.get(t, 0);
+                                counts[(((v - glo) * inv_w) as usize).min(last)] += 1;
+                            }
+                        }
+                    }
+                }
+            } else if glo.is_finite() {
+                // Degenerate range: everything in bin 0.
+                counts[0] = local_n;
+            }
         }
 
         // Bin reduction over the large-message path; every rank pays
         // O(bins) traffic, and only root retains the result.
-        let counts = comm.allreduce_vec_rsag(counts, |a, b| a + b);
+        let counts = {
+            let _reduce = probe.span("per-step/histogram/reduce");
+            comm.allreduce_vec_rsag(counts, |a, b| a + b)
+        };
         if comm.rank() == 0 {
             *self.results.lock() = Some(HistogramResult {
                 min: glo,
@@ -199,7 +239,11 @@ impl AnalysisAdaptor for HistogramAnalysis {
                 step: data.step(),
             });
         }
-        true
+        Steering::Continue
+    }
+
+    fn take_failures(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.failures)
     }
 }
 
@@ -226,7 +270,7 @@ mod tests {
             let mut h = HistogramAnalysis::new("data", 4);
             let res = h.results_handle();
             let a = adaptor_with(comm.rank(), vals);
-            assert!(h.execute(&a, comm));
+            assert!(h.execute(&a, comm).should_continue());
             if comm.rank() == 0 {
                 let r = res.lock().clone().unwrap();
                 assert_eq!(r.min, 0.0);
@@ -276,11 +320,21 @@ mod tests {
         World::run(2, |comm| {
             let mut h = HistogramAnalysis::new("missing", 4);
             let a = adaptor_with(comm.rank(), vec![1.0]);
-            assert!(h.execute(&a, comm));
+            assert!(h.execute(&a, comm).should_continue());
+            assert!(h.execute(&a, comm).should_continue());
             if comm.rank() == 0 {
                 let r = h.results_handle().lock().clone().unwrap();
                 assert_eq!(r.counts.iter().sum::<u64>(), 0);
             }
+            // The missing array surfaces as one typed failure report,
+            // not one per step.
+            let fails = h.take_failures();
+            assert_eq!(fails.len(), 1, "{fails:?}");
+            assert!(
+                fails[0].contains("unknown point array 'missing'"),
+                "{fails:?}"
+            );
+            assert!(h.take_failures().is_empty(), "drained");
         });
     }
 

@@ -14,23 +14,60 @@ pub mod histogram;
 use crate::adaptor::DataAdaptor;
 use minimpi::Comm;
 
+/// The verdict an analysis returns from [`AnalysisAdaptor::execute`]:
+/// the computational-steering hook, now carrying *why* a stop was
+/// requested instead of a bare `false`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Steering {
+    /// Keep simulating.
+    Continue,
+    /// Request that the simulation stop.
+    Stop {
+        /// Human-readable cause ("threshold crossed at step 12", …).
+        reason: String,
+    },
+}
+
+impl Steering {
+    /// Shorthand for [`Steering::Stop`] with the given reason.
+    pub fn stop(reason: impl Into<String>) -> Self {
+        Steering::Stop {
+            reason: reason.into(),
+        }
+    }
+
+    /// `true` unless this verdict requests a stop.
+    pub fn should_continue(&self) -> bool {
+        matches!(self, Steering::Continue)
+    }
+}
+
 /// The analysis-side adaptor contract.
 pub trait AnalysisAdaptor: Send {
     /// Short identifier used in timing reports ("histogram",
     /// "catalyst-slice", …).
     fn name(&self) -> &str;
 
-    /// Consume the current step's data. Returns `false` to request that
-    /// the simulation stop (computational steering hook); analyses that
-    /// never steer return `true`.
+    /// Consume the current step's data. Returns a [`Steering`] verdict;
+    /// analyses that never steer return [`Steering::Continue`].
     ///
     /// Collective: every rank of `comm` calls `execute` each time the
     /// bridge runs.
-    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool;
+    fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering;
 
     /// One-time teardown; global reductions that produce final results
     /// (e.g. the autocorrelation top-k) happen here.
     fn finalize(&mut self, _comm: &Comm) {}
+
+    /// Drain non-fatal failure reports accumulated since the last call
+    /// (e.g. an array the adaptor could not provide, a writer lost in
+    /// transit). The bridge drains this after every `execute` and
+    /// `finalize` and folds the strings into its failure log, so
+    /// degraded pipelines surface without each analysis holding a
+    /// bridge handle. Default: no failures.
+    fn take_failures(&mut self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// A per-leaf access path to one scalar field, classified once so the
@@ -95,7 +132,7 @@ pub fn for_each_value(
     mut f: impl FnMut(f64),
 ) -> usize {
     let mut mesh = data.mesh();
-    if !data.add_array(&mut mesh, assoc, array) {
+    if data.add_array(&mut mesh, assoc, array).is_err() {
         return 0;
     }
     // Pull the ghost-marking array too (if the producer has one) so ghost

@@ -1,16 +1,33 @@
 //! The in situ bridge: the single integration point a simulation calls.
 //!
-//! A typical instrumentation (§3.2): build a bridge and register analysis
-//! adaptors during simulation initialization; call [`Bridge::execute`]
-//! once per timestep with the data adaptor; call [`Bridge::finalize`] at
-//! shutdown. The bridge times every phase, producing the one-time vs.
-//! per-step decomposition the paper's figures report.
+//! A typical instrumentation (§3.2): build a bridge and [`register`]
+//! analysis adaptors during simulation initialization; call
+//! [`Bridge::execute`] once per timestep with the data adaptor; call
+//! [`Bridge::finalize`] at shutdown. The bridge times every phase and —
+//! when given a live [`probe::Probe`] — feeds the cross-rank
+//! observability layer, producing the one-time vs. per-step
+//! decomposition and the per-rank min/mean/max/stddev breakdowns the
+//! paper's figures report.
+//!
+//! [`register`]: Bridge::register
+
+use std::collections::BTreeSet;
 
 use minimpi::Comm;
+use probe::{GaugeStat, Probe, RunReport, Snapshot, SpanStat};
 
 use crate::adaptor::DataAdaptor;
-use crate::analysis::AnalysisAdaptor;
+use crate::analysis::{AnalysisAdaptor, Steering};
 use crate::timing::{Category, TimingDb};
+
+/// Which analysis asked the simulation to stop, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StopInfo {
+    /// Name of the analysis whose verdict was [`Steering::Stop`].
+    pub analysis: String,
+    /// The reason it gave.
+    pub reason: String,
+}
 
 /// The bridge between a simulation and its enabled analyses.
 pub struct Bridge {
@@ -19,6 +36,9 @@ pub struct Bridge {
     steps: u64,
     finalized: bool,
     failures: Vec<String>,
+    seen_failures: BTreeSet<String>,
+    probe: Probe,
+    stopped: Option<StopInfo>,
 }
 
 impl Default for Bridge {
@@ -27,10 +47,48 @@ impl Default for Bridge {
     }
 }
 
+/// Pending analysis registration returned by [`Bridge::register`].
+///
+/// The registration commits when this guard drops, so the plain call
+/// `bridge.register(analysis);` registers immediately, while builder
+/// methods refine it first:
+///
+/// ```ignore
+/// bridge.register(adaptor).init_cost(measured_seconds);
+/// ```
+pub struct Registration<'b> {
+    bridge: &'b mut Bridge,
+    analysis: Option<Box<dyn AnalysisAdaptor>>,
+    init_seconds: f64,
+}
+
+impl Registration<'_> {
+    /// Record `seconds` as the analysis's one-time construction cost
+    /// (infrastructures with heavyweight startup pass their measured
+    /// init time here so Fig. 5 can report it). Default: 0.
+    pub fn init_cost(mut self, seconds: f64) -> Self {
+        self.init_seconds = seconds;
+        self
+    }
+}
+
+impl Drop for Registration<'_> {
+    fn drop(&mut self) {
+        if let Some(analysis) = self.analysis.take() {
+            let label = analysis.name().to_string();
+            self.bridge
+                .timings
+                .record(Category::Initialize(label), self.init_seconds);
+            self.bridge.analyses.push(analysis);
+        }
+    }
+}
+
 impl Bridge {
     /// An empty bridge (no analyses enabled — per-step overhead is then
     /// limited to one trivially cheap adaptor call, the paper's
-    /// "Baseline" configuration).
+    /// "Baseline" configuration). Probing starts disabled; every
+    /// instrumentation point is a no-op branch.
     pub fn new() -> Self {
         Bridge {
             analyses: Vec::new(),
@@ -38,29 +96,43 @@ impl Bridge {
             steps: 0,
             finalized: false,
             failures: Vec::new(),
+            seen_failures: BTreeSet::new(),
+            probe: Probe::off(),
+            stopped: None,
         }
     }
 
-    /// Register an analysis adaptor, timing its registration as a
-    /// one-time analysis-initialize cost.
-    pub fn add_analysis(&mut self, analysis: Box<dyn AnalysisAdaptor>) {
-        let label = analysis.name().to_string();
-        self.timings.record(Category::Initialize(label), 0.0);
-        self.analyses.push(analysis);
+    /// A bridge recording through the given probe (pass
+    /// [`probe::enabled()`] to collect spans, counters, and gauges).
+    pub fn with_probe(probe: Probe) -> Self {
+        let mut b = Self::new();
+        b.probe = probe;
+        b
     }
 
-    /// Register an analysis whose construction cost `init_seconds` was
-    /// measured by the caller (infrastructures with heavyweight startup
-    /// pass their measured init time here so Fig. 5 can report it).
-    pub fn add_analysis_with_init_cost(
-        &mut self,
-        analysis: Box<dyn AnalysisAdaptor>,
-        init_seconds: f64,
-    ) {
-        let label = analysis.name().to_string();
-        self.timings
-            .record(Category::Initialize(label), init_seconds);
-        self.analyses.push(analysis);
+    /// Swap the observability probe (typically `probe::enabled()`).
+    pub fn set_probe(&mut self, probe: Probe) {
+        self.probe = probe;
+    }
+
+    /// The bridge's probe handle (off by default).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Register an analysis adaptor. The returned guard commits on drop;
+    /// chain [`Registration::init_cost`] to attach a measured one-time
+    /// construction cost before it does.
+    ///
+    /// # Panics
+    /// Panics if called after [`Bridge::finalize`].
+    pub fn register(&mut self, analysis: Box<dyn AnalysisAdaptor>) -> Registration<'_> {
+        assert!(!self.finalized, "bridge already finalized");
+        Registration {
+            bridge: self,
+            analysis: Some(analysis),
+            init_seconds: 0.0,
+        }
     }
 
     /// Number of registered analyses.
@@ -68,33 +140,118 @@ impl Bridge {
         self.analyses.len()
     }
 
-    /// Pass the current step's data to every analysis. Returns `false`
-    /// if any analysis requested the simulation stop.
+    /// Pass the current step's data to every analysis, returning the
+    /// aggregate [`Steering`] verdict: [`Steering::Stop`] if any
+    /// analysis requested a stop (first stopper's reason wins; see
+    /// [`Bridge::stop_info`] for who it was).
     ///
     /// # Panics
     /// Panics if called after [`Bridge::finalize`].
-    pub fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> bool {
+    pub fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
         assert!(!self.finalized, "bridge already finalized");
+        // Lend the probe to the communicator so collective traffic
+        // driven by the analyses lands in the same report.
+        if self.probe.is_enabled() && !comm.probe().is_enabled() {
+            comm.attach_probe(self.probe.clone());
+        }
+        let _bridge_span = self.probe.span("per-step/bridge");
         self.steps += 1;
-        let mut keep_going = true;
+        let mut stop: Option<StopInfo> = None;
         for analysis in &mut self.analyses {
             let label = Category::PerStep(analysis.name().to_string());
-            let cont = self.timings.timed(label, || analysis.execute(data, comm));
-            keep_going &= cont;
+            let verdict = self.timings.timed(label, || analysis.execute(data, comm));
+            for failure in analysis.take_failures() {
+                let tagged = format!("{}: {failure}", analysis.name());
+                if self.seen_failures.insert(tagged.clone()) {
+                    self.failures.push(tagged);
+                }
+            }
+            if let Steering::Stop { reason } = verdict {
+                stop.get_or_insert_with(|| StopInfo {
+                    analysis: analysis.name().to_string(),
+                    reason,
+                });
+            }
         }
         data.release_data();
-        keep_going
+        match stop {
+            Some(info) => {
+                let reason = info.reason.clone();
+                self.stopped = Some(info);
+                Steering::Stop { reason }
+            }
+            None => Steering::Continue,
+        }
     }
 
-    /// Finalize every analysis and hand back the timing database.
-    pub fn finalize(&mut self, comm: &Comm) -> &TimingDb {
+    /// Who requested the most recent stop (set once any execute returns
+    /// [`Steering::Stop`]; `None` while the run is healthy).
+    pub fn stop_info(&self) -> Option<&StopInfo> {
+        self.stopped.as_ref()
+    }
+
+    /// Finalize every analysis and build the run's observability report.
+    ///
+    /// Collective: each rank folds its timing table, probe spans,
+    /// counters, and memory gauges into a local [`Snapshot`]; snapshots
+    /// gather to rank 0, which aggregates min/mean/max/stddev and
+    /// rank-of-extremum per label. Non-root ranks aggregate their own
+    /// snapshot only (their report still carries full local detail).
+    ///
+    /// # Panics
+    /// Panics if called twice.
+    pub fn finalize(&mut self, comm: &Comm) -> RunReport {
         assert!(!self.finalized, "bridge already finalized");
         self.finalized = true;
         for analysis in &mut self.analyses {
             let label = Category::Finalize(analysis.name().to_string());
             self.timings.timed(label, || analysis.finalize(comm));
+            for failure in analysis.take_failures() {
+                let tagged = format!("{}: {failure}", analysis.name());
+                if self.seen_failures.insert(tagged.clone()) {
+                    self.failures.push(tagged);
+                }
+            }
         }
-        &self.timings
+        let snap = self.local_snapshot();
+        let tagged: Vec<String> = self
+            .failures
+            .iter()
+            .map(|f| format!("rank {}: {f}", comm.rank()))
+            .collect();
+        match comm.gather(0, (snap.clone(), tagged.clone())) {
+            Some(gathered) => {
+                let mut snaps = Vec::with_capacity(gathered.len());
+                let mut failures = Vec::new();
+                for (s, f) in gathered {
+                    snaps.push(s);
+                    failures.extend(f);
+                }
+                RunReport::build(comm.size(), self.steps, failures, &snaps)
+            }
+            None => RunReport::build(comm.size(), self.steps, tagged, std::slice::from_ref(&snap)),
+        }
+    }
+
+    /// This rank's observability snapshot: the timing table rendered as
+    /// `initialize/…`, `per-step/…`, `finalize/…` spans, merged with
+    /// whatever the probe recorded, plus the allocation high-water
+    /// gauge.
+    fn local_snapshot(&self) -> Snapshot {
+        let mut snap = self.probe.snapshot();
+        for cat in self.timings.categories() {
+            let label = match cat {
+                Category::Initialize(l) => format!("initialize/{l}"),
+                Category::PerStep(l) => format!("per-step/{l}"),
+                Category::Finalize(l) => format!("finalize/{l}"),
+            };
+            snap.upsert_span(SpanStat::from_samples(label, self.timings.samples(cat)));
+        }
+        let peak = probe::alloc::peak_bytes() as u64;
+        if peak > 0 {
+            set_gauge(&mut snap, probe::GAUGE_ALLOC_PEAK, peak);
+        }
+        snap
     }
 
     /// Timing database (valid any time; complete after finalize).
@@ -110,14 +267,31 @@ impl Bridge {
     /// Record a non-fatal infrastructure failure (e.g. a writer lost in
     /// transit whose stream degraded to end-of-stream). The run
     /// continues; the report is surfaced so a degraded pipeline is never
-    /// mistaken for a healthy one.
+    /// mistaken for a healthy one. Duplicate reports collapse to one.
     pub fn record_failure(&mut self, report: impl Into<String>) {
-        self.failures.push(report.into());
+        let report = report.into();
+        if self.seen_failures.insert(report.clone()) {
+            self.failures.push(report);
+        }
     }
 
     /// Failure reports recorded during the run (empty = healthy).
     pub fn failure_reports(&self) -> &[String] {
         &self.failures
+    }
+}
+
+/// Raise (or insert) a gauge in a snapshot, keeping name order.
+fn set_gauge(snap: &mut Snapshot, name: &str, value: u64) {
+    match snap.gauges.binary_search_by(|g| g.name.as_str().cmp(name)) {
+        Ok(i) => snap.gauges[i].max = snap.gauges[i].max.max(value),
+        Err(i) => snap.gauges.insert(
+            i,
+            GaugeStat {
+                name: name.to_string(),
+                max: value,
+            },
+        ),
     }
 }
 
@@ -145,25 +319,36 @@ mod tests {
             let stats = DescriptiveStats::new("data");
             let stats_res = stats.results_handle();
             let mut bridge = Bridge::new();
-            bridge.add_analysis(Box::new(hist));
-            bridge.add_analysis(Box::new(stats));
+            bridge.register(Box::new(hist));
+            bridge.register(Box::new(stats));
             assert_eq!(bridge.num_analyses(), 2);
 
             for s in 0..3 {
-                assert!(bridge.execute(&adaptor(s), comm));
+                assert!(bridge.execute(&adaptor(s), comm).should_continue());
             }
-            bridge.finalize(comm);
+            let report = bridge.finalize(comm);
 
             assert_eq!(bridge.steps(), 3);
+            assert_eq!(report.steps, 3);
+            assert_eq!(report.ranks, 2);
             if comm.rank() == 0 {
                 assert!(hist_res.lock().is_some());
             }
             assert!(stats_res.lock().is_some());
-            // Timing database captured 3 per-step samples per analysis.
+            // Timing database captured 3 per-step samples per analysis,
+            // and the report carries them as per-step phases.
             let t = bridge.timings();
             assert_eq!(t.per_step("histogram").unwrap().count, 3);
             assert_eq!(t.per_step("descriptive-stats").unwrap().count, 3);
             assert!(t.finalize("histogram").is_some());
+            let phase = report.phase("per-step/histogram").expect("phase present");
+            let expected = if comm.rank() == 0 {
+                3 * comm.size() as u64
+            } else {
+                3 // non-root aggregates its own snapshot only
+            };
+            assert_eq!(phase.samples, expected);
+            assert!(phase.max_s >= phase.min_s);
         });
     }
 
@@ -176,28 +361,65 @@ mod tests {
                 bridge.execute(&adaptor(s), comm);
             }
             // 1000 baseline bridge calls complete in far under a second:
-            // the "almost nonexistent" instrumentation overhead claim.
+            // the "almost nonexistent" instrumentation overhead claim,
+            // with the probe layer compiled in but switched off.
             assert!(t0.elapsed().as_secs_f64() < 1.0);
         });
     }
 
     #[test]
-    fn steering_stop_propagates() {
+    fn steering_stop_propagates_with_reason() {
         struct StopAfter(u64);
         impl AnalysisAdaptor for StopAfter {
             fn name(&self) -> &str {
                 "stopper"
             }
-            fn execute(&mut self, data: &dyn DataAdaptor, _comm: &Comm) -> bool {
-                data.step() < self.0
+            fn execute(&mut self, data: &dyn DataAdaptor, _comm: &Comm) -> Steering {
+                if data.step() < self.0 {
+                    Steering::Continue
+                } else {
+                    Steering::stop(format!("step budget {} exhausted", self.0))
+                }
             }
         }
         World::run(1, |comm| {
             let mut bridge = Bridge::new();
-            bridge.add_analysis(Box::new(StopAfter(2)));
-            assert!(bridge.execute(&adaptor(0), comm));
-            assert!(bridge.execute(&adaptor(1), comm));
-            assert!(!bridge.execute(&adaptor(2), comm));
+            bridge.register(Box::new(StopAfter(2)));
+            assert!(bridge.execute(&adaptor(0), comm).should_continue());
+            assert!(bridge.stop_info().is_none());
+            assert!(bridge.execute(&adaptor(1), comm).should_continue());
+            let verdict = bridge.execute(&adaptor(2), comm);
+            assert_eq!(verdict, Steering::stop("step budget 2 exhausted"));
+            let info = bridge.stop_info().expect("stopper identified");
+            assert_eq!(info.analysis, "stopper");
+            assert_eq!(info.reason, "step budget 2 exhausted");
+        });
+    }
+
+    #[test]
+    fn analysis_failures_drain_into_the_report() {
+        struct Flaky;
+        impl AnalysisAdaptor for Flaky {
+            fn name(&self) -> &str {
+                "flaky"
+            }
+            fn execute(&mut self, _data: &dyn DataAdaptor, _comm: &Comm) -> Steering {
+                Steering::Continue
+            }
+            fn take_failures(&mut self) -> Vec<String> {
+                vec!["lost connection".to_string()]
+            }
+        }
+        World::run(1, |comm| {
+            let mut bridge = Bridge::new();
+            bridge.register(Box::new(Flaky));
+            for s in 0..3 {
+                bridge.execute(&adaptor(s), comm);
+            }
+            // The same failure every step collapses to one report.
+            assert_eq!(bridge.failure_reports(), ["flaky: lost connection"]);
+            let report = bridge.finalize(comm);
+            assert_eq!(report.failures, ["rank 0: flaky: lost connection"]);
         });
     }
 
@@ -215,15 +437,57 @@ mod tests {
     fn init_cost_recording() {
         World::run(1, |_comm| {
             let mut bridge = Bridge::new();
-            bridge.add_analysis_with_init_cost(
-                Box::new(DescriptiveStats::with_association(
+            bridge
+                .register(Box::new(DescriptiveStats::with_association(
                     "data",
                     Association::Point,
-                )),
-                1.25,
-            );
+                )))
+                .init_cost(1.25);
             let s = bridge.timings().initialize("descriptive-stats").unwrap();
             assert_eq!(s.total, 1.25);
+        });
+    }
+
+    #[test]
+    fn probed_bridge_reports_spans_and_collective_counters() {
+        World::run(4, |comm| {
+            let mut bridge = Bridge::with_probe(probe::enabled());
+            bridge.register(Box::new(DescriptiveStats::new("data")));
+            for s in 0..5 {
+                bridge.execute(&adaptor(s), comm);
+            }
+            let report = bridge.finalize(comm);
+            // The bridge span wraps every step on every rank. Rank 0
+            // aggregates the gathered snapshots; other ranks see their
+            // own snapshot only.
+            let bspan = report.phase("per-step/bridge").expect("bridge span");
+            // Descriptive stats allreduce (reduce + bcast) each step:
+            // the counters flowed from the communicator into the report.
+            let c = report.counter("minimpi/reduce").expect("reduce counted");
+            if comm.rank() == 0 {
+                assert_eq!(bspan.ranks, comm.size());
+                assert_eq!(bspan.samples, 5 * comm.size() as u64);
+                assert_eq!(c.calls, 5 * comm.size() as u64);
+                assert!(c.bytes > 0, "reduce moved bytes");
+            } else {
+                assert_eq!(bspan.ranks, 1);
+                assert_eq!(bspan.samples, 5);
+                assert_eq!(c.calls, 5);
+            }
+        });
+    }
+
+    #[test]
+    fn unprobed_finalize_still_reports_timings() {
+        World::run(2, |comm| {
+            let mut bridge = Bridge::new();
+            bridge.register(Box::new(DescriptiveStats::new("data")));
+            bridge.execute(&adaptor(0), comm);
+            let report = bridge.finalize(comm);
+            assert!(report.phase("per-step/descriptive-stats").is_some());
+            assert!(report.phase("initialize/descriptive-stats").is_some());
+            // No probe → no collective counters, but timings survive.
+            assert!(report.counter("minimpi/allreduce").is_none());
         });
     }
 }

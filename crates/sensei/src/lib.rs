@@ -38,16 +38,19 @@
 //!     let hist = HistogramAnalysis::new("data", 8);
 //!     let results = hist.results_handle();
 //!     let mut bridge = Bridge::new();
-//!     bridge.add_analysis(Box::new(hist));
+//!     bridge.register(Box::new(hist));
 //!
 //!     let adaptor = InMemoryAdaptor::new(DataSet::Image(grid), 0.0, 0);
-//!     bridge.execute(&adaptor, comm);
-//!     bridge.finalize(comm);
+//!     assert!(bridge.execute(&adaptor, comm).should_continue());
+//!     let report = bridge.finalize(comm);
+//!     assert_eq!(report.steps, 1);
 //!
 //!     if comm.rank() == 0 {
 //!         let h = results.lock().clone().expect("histogram on root");
 //!         // 4 blocks × (3×2×2 points, incl. shared planes) = 48 values.
 //!         assert_eq!(h.counts.iter().sum::<u64>(), 48);
+//!         // The run report carries the per-phase breakdown.
+//!         assert!(report.phase("per-step/histogram").is_some());
 //!     }
 //! });
 //! ```
@@ -59,7 +62,11 @@ pub mod config;
 pub mod exec;
 pub mod timing;
 
-pub use adaptor::{Association, DataAdaptor, InMemoryAdaptor};
-pub use analysis::AnalysisAdaptor;
-pub use bridge::Bridge;
+pub use adaptor::{AdaptorError, Association, DataAdaptor, InMemoryAdaptor};
+pub use analysis::{AnalysisAdaptor, Steering};
+pub use bridge::{Bridge, Registration, StopInfo};
 pub use timing::{TimingDb, TimingSummary};
+
+// Re-exported so downstream crates can consume run reports without
+// depending on `probe` directly.
+pub use probe::{Probe, RunReport, Snapshot};

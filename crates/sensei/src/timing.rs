@@ -26,6 +26,10 @@ pub struct TimingSummary {
     pub min: f64,
     /// Largest sample.
     pub max: f64,
+    /// Population standard deviation over samples (0 for fewer than
+    /// two). Consumers like `perfmodel`'s noise models read the
+    /// per-step timing spread from here.
+    pub stddev: f64,
 }
 
 impl TimingSummary {
@@ -35,6 +39,16 @@ impl TimingSummary {
             0.0
         } else {
             self.total / self.count as f64
+        }
+    }
+
+    /// Coefficient of variation (stddev / mean; 0 when the mean is 0).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m > 0.0 {
+            self.stddev / m
+        } else {
+            0.0
         }
     }
 }
@@ -74,11 +88,26 @@ impl TimingDb {
         if v.is_empty() {
             return None;
         }
+        // One Welford pass for the spread (numerically stable even when
+        // samples cluster far from zero).
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for (i, &x) in v.iter().enumerate() {
+            let d = x - mean;
+            mean += d / (i + 1) as f64;
+            m2 += d * (x - mean);
+        }
+        let stddev = if v.len() < 2 {
+            0.0
+        } else {
+            (m2 / v.len() as f64).max(0.0).sqrt()
+        };
         Some(TimingSummary {
             count: v.len(),
             total: v.iter().sum(),
             min: v.iter().cloned().fold(f64::INFINITY, f64::min),
             max: v.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            stddev,
         })
     }
 
@@ -158,6 +187,19 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 3.0);
         assert_eq!(s.mean(), 2.0);
+        // Population stddev of {1, 3} is 1.
+        assert_eq!(s.stddev, 1.0);
+        assert_eq!(s.cv(), 0.5);
+    }
+
+    #[test]
+    fn single_sample_has_zero_spread() {
+        let mut db = TimingDb::new();
+        let cat = Category::Initialize("one".into());
+        db.record(cat.clone(), 2.5);
+        let s = db.summary(&cat).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.cv(), 0.0);
     }
 
     #[test]

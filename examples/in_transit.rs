@@ -70,7 +70,7 @@ fn main() {
                 }
                 sub.barrier();
                 let catalyst_slice = catalyst::CatalystSliceAnalysis::new(pipe);
-                let bridge = run_endpoint(
+                let (bridge, _report) = run_endpoint(
                     world,
                     &sub,
                     &mut reader,

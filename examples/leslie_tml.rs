@@ -33,7 +33,7 @@ fn main() {
             libsim::LibsimAnalysis::new(session, std::path::Path::new("/nonexistent/.visitrc"))
                 .with_output_dir(std::path::PathBuf::from("results"));
         let mut bridge = Bridge::new();
-        bridge.add_analysis(Box::new(libsim_analysis));
+        bridge.register(Box::new(libsim_analysis));
 
         if comm.rank() == 0 {
             println!(

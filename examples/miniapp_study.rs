@@ -7,12 +7,17 @@
 //! ```text
 //! cargo run --release --example miniapp_study [ranks] [grid]
 //! ```
+//!
+//! Every configuration runs with the observability probe enabled; rank 0
+//! writes the cross-rank `RunReport` (per-phase min/mean/max/stddev,
+//! per-collective message/byte counters, per-rank memory high-water) to
+//! `results/run_report_<config>.json`.
 
 use minimpi::World;
 use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
 use sensei::analysis::autocorrelation::Autocorrelation;
 use sensei::analysis::histogram::HistogramAnalysis;
-use sensei::{AnalysisAdaptor, Bridge};
+use sensei::{AnalysisAdaptor, Bridge, Probe};
 
 const STEPS: usize = 10;
 
@@ -50,6 +55,8 @@ fn main() {
         "{:<16} {:>12} {:>12} {:>14} {:>12}",
         "config", "init (s)", "sim/step", "analysis/step", "finalize"
     );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let mut reports = Vec::new();
 
     for config in [
         "Baseline",
@@ -72,9 +79,12 @@ fn main() {
                 None
             };
             let mut sim = Simulation::new(comm, cfg, root_deck);
-            let mut bridge = Bridge::new();
+            let mut bridge = Bridge::with_probe(Probe::enabled());
+            // Attach the probe before the first step so the simulation
+            // kernel's own spans are captured from step 0.
+            comm.attach_probe(bridge.probe().clone());
             if let Some(a) = build_analysis(config) {
-                bridge.add_analysis(a);
+                bridge.register(a);
             }
             let init = t_init.elapsed().as_secs_f64();
 
@@ -89,9 +99,10 @@ fn main() {
                 ana_s += t.elapsed().as_secs_f64();
             }
             let t = std::time::Instant::now();
-            bridge.finalize(comm);
+            let report = bridge.finalize(comm);
             let fin = t.elapsed().as_secs_f64();
-            (init, sim_s / STEPS as f64, ana_s / STEPS as f64, fin)
+            let json = (comm.rank() == 0).then(|| report.to_json());
+            (init, sim_s / STEPS as f64, ana_s / STEPS as f64, fin, json)
         });
         // Report the max across ranks (the paper's convention: the
         // simulation advances at the slowest rank's pace).
@@ -102,7 +113,14 @@ fn main() {
             "{:<16} {:>12.4} {:>12.4} {:>14.4} {:>12.4}",
             config, agg.0, agg.1, agg.2, agg.3
         );
+        // Rank 0's cross-rank run report, as machine-readable JSON.
+        if let Some(json) = rows.into_iter().find_map(|r| r.4) {
+            let path = format!("results/run_report_{}.json", config.to_lowercase());
+            std::fs::write(&path, json).expect("write run report");
+            reports.push(path);
+        }
     }
+    println!("\nrun reports: {}", reports.join(", "));
     println!("\n(compare the shape with Figs. 5–6: analyses cost little next to the");
     println!(" simulation; rendering configurations pay extraction + compositing + PNG)");
 }

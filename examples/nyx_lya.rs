@@ -34,8 +34,8 @@ fn main() {
         pipe.frequency = 4;
         pipe.output = catalyst::SliceOutput::Directory(std::path::PathBuf::from("results"));
         let mut bridge = Bridge::new();
-        bridge.add_analysis(Box::new(hist));
-        bridge.add_analysis(Box::new(catalyst::CatalystSliceAnalysis::new(pipe)));
+        bridge.register(Box::new(hist));
+        bridge.register(Box::new(catalyst::CatalystSliceAnalysis::new(pipe)));
 
         let n0 = sim.total_particles(comm);
         if comm.rank() == 0 {

@@ -41,8 +41,8 @@ fn main() {
         let catalyst_analysis = catalyst::CatalystSliceAnalysis::new(slice);
 
         let mut bridge = Bridge::new();
-        bridge.add_analysis(Box::new(histogram));
-        bridge.add_analysis(Box::new(catalyst_analysis));
+        bridge.register(Box::new(histogram));
+        bridge.register(Box::new(catalyst_analysis));
 
         if comm.rank() == 0 {
             std::fs::create_dir_all("results").expect("create results dir");
@@ -55,7 +55,7 @@ fn main() {
             sim.step(comm);
             bridge.execute(&OscillatorAdaptor::new(&sim), comm);
         }
-        let timings = bridge.finalize(comm);
+        let report = bridge.finalize(comm);
 
         // 4. Rank 0 reports.
         if comm.rank() == 0 {
@@ -70,16 +70,16 @@ fn main() {
                 let (lo, hi) = hist.bin_range(b);
                 println!("  [{lo:+.2}, {hi:+.2})  {count:6}  {bar}");
             }
-            let h = timings.per_step("histogram").expect("timings recorded");
-            let c = timings
-                .per_step("catalyst-slice")
-                .expect("timings recorded");
+            let h = report.phase("per-step/histogram").expect("phase recorded");
+            let c = report
+                .phase("per-step/catalyst-slice")
+                .expect("phase recorded");
             println!(
-                "\nper-step cost: histogram {:.2} ms (×{}), catalyst-slice {:.2} ms (×{})",
-                h.mean() * 1e3,
-                h.count,
-                c.mean() * 1e3,
-                c.count
+                "\nper-step cost: histogram {:.2} ms/rank (×{}), catalyst-slice {:.2} ms/rank (×{})",
+                h.mean_s / report.steps as f64 * 1e3,
+                h.samples,
+                c.mean_s / report.steps as f64 * 1e3,
+                c.samples
             );
             println!("slice images written under results/ (slice_*.png)");
         }

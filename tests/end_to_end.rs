@@ -40,17 +40,30 @@ fn miniapp_with_all_direct_analyses() {
         let stats_res = stats.results_handle();
 
         let mut bridge = Bridge::new();
-        bridge.add_analysis(Box::new(hist));
-        bridge.add_analysis(Box::new(ac));
-        bridge.add_analysis(Box::new(stats));
+        bridge.register(Box::new(hist));
+        bridge.register(Box::new(ac));
+        bridge.register(Box::new(stats));
 
         for _ in 0..6 {
             sim.step(comm);
-            assert!(bridge.execute(&OscillatorAdaptor::new(&sim), comm));
+            assert!(bridge
+                .execute(&OscillatorAdaptor::new(&sim), comm)
+                .should_continue());
         }
-        let timings = bridge.finalize(comm);
-        assert_eq!(timings.per_step("histogram").unwrap().count, 6);
-        assert_eq!(timings.per_step("autocorrelation").unwrap().count, 6);
+        let report = bridge.finalize(comm);
+        assert_eq!(report.steps, 6);
+        // Rank 0 aggregates every rank's samples; other ranks see only
+        // their own.
+        let expect = if comm.rank() == 0 {
+            6 * comm.size() as u64
+        } else {
+            6
+        };
+        assert_eq!(report.phase("per-step/histogram").unwrap().samples, expect);
+        assert_eq!(
+            report.phase("per-step/autocorrelation").unwrap().samples,
+            expect
+        );
 
         // Statistics agree between analyses: histogram range equals
         // descriptive-stats extrema.
@@ -99,8 +112,8 @@ fn both_infrastructures_render_same_run() {
         let libsim_png = libsim_analysis.png_handle();
 
         let mut bridge = Bridge::new();
-        bridge.add_analysis(Box::new(catalyst_analysis));
-        bridge.add_analysis(Box::new(libsim_analysis));
+        bridge.register(Box::new(catalyst_analysis));
+        bridge.register(Box::new(libsim_analysis));
         bridge.execute(&OscillatorAdaptor::new(&sim), comm);
         bridge.finalize(comm);
 
@@ -128,7 +141,7 @@ fn config_driven_analysis_selection() {
         assert_eq!(unknown, vec!["catalyst-slice".to_string()]);
         let mut bridge = Bridge::new();
         for a in analyses {
-            bridge.add_analysis(a);
+            bridge.register(a);
         }
         assert_eq!(bridge.num_analyses(), 2);
 
@@ -267,7 +280,7 @@ fn glean_aggregation_end_to_end() {
         };
         let mut sim = Simulation::new(comm, cfg, root);
         let mut bridge = Bridge::new();
-        bridge.add_analysis(Box::new(glean::GleanWriter::new(
+        bridge.register(Box::new(glean::GleanWriter::new(
             glean::Topology::new(2),
             "data",
             dir2.clone(),
@@ -307,7 +320,7 @@ fn science_proxies_through_one_bridge_api() {
         let mut bridge = Bridge::new();
         let stats = DescriptiveStats::new("vorticity");
         let res = stats.results_handle();
-        bridge.add_analysis(Box::new(stats));
+        bridge.register(Box::new(stats));
         bridge.execute(&science::LeslieAdaptor::new(&leslie), comm);
         bridge.finalize(comm);
         assert!((*res.lock()).unwrap().count > 0);
@@ -324,7 +337,7 @@ fn science_proxies_through_one_bridge_api() {
         let mut bridge = Bridge::new();
         let h = HistogramAnalysis::new("density", 8);
         let res = h.results_handle();
-        bridge.add_analysis(Box::new(h));
+        bridge.register(Box::new(h));
         bridge.execute(&science::NyxAdaptor::new(&nyx), comm);
         bridge.finalize(comm);
         if comm.rank() == 0 {
@@ -346,7 +359,7 @@ fn science_proxies_through_one_bridge_api() {
         let mut bridge = Bridge::new();
         let stats = DescriptiveStats::new("velmag");
         let res = stats.results_handle();
-        bridge.add_analysis(Box::new(stats));
+        bridge.register(Box::new(stats));
         bridge.execute(&science::PhastaAdaptor::new(&phasta), comm);
         bridge.finalize(comm);
         let s = (*res.lock()).unwrap();

@@ -63,7 +63,7 @@ fn leslie_histogram_matches_in_situ_bitwise() {
         Role::Endpoint { sub, mut reader } => {
             let h = HistogramAnalysis::new("vorticity", BINS);
             let res = h.results_handle();
-            let bridge = run_endpoint(world, &sub, &mut reader, vec![Box::new(h)]);
+            let (bridge, _report) = run_endpoint(world, &sub, &mut reader, vec![Box::new(h)]);
             assert_eq!(bridge.steps(), STEPS);
             assert!(bridge.failure_reports().is_empty(), "healthy run");
             let out = res.lock().clone();

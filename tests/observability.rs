@@ -1,0 +1,152 @@
+//! The observability layer end to end: aggregation determinism across
+//! rank counts, bitwise non-perturbation of analysis results by the
+//! probes, and JSON round-tripping of a real bridge run's report.
+
+use minimpi::World;
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use sensei::analysis::autocorrelation::{Autocorrelation, AutocorrelationResult};
+use sensei::analysis::histogram::{HistogramAnalysis, HistogramResult};
+use sensei::{Bridge, Probe, RunReport};
+
+const STEPS: usize = 4;
+const GRID: usize = 9;
+
+/// One probed run: oscillator + histogram + autocorrelation on `ranks`
+/// thread-backed ranks, returning rank 0's aggregated report.
+fn probed_run(ranks: usize) -> RunReport {
+    let deck = format_deck(&demo_oscillators());
+    World::run(ranks, move |comm| {
+        let cfg = SimConfig {
+            grid: [GRID, GRID, GRID],
+            steps: STEPS,
+            ..SimConfig::default()
+        };
+        let root_deck = if comm.rank() == 0 {
+            Some(deck.as_str())
+        } else {
+            None
+        };
+        let mut sim = Simulation::new(comm, cfg, root_deck);
+        let mut bridge = Bridge::with_probe(Probe::enabled());
+        comm.attach_probe(bridge.probe().clone());
+        bridge.register(Box::new(HistogramAnalysis::new("data", 16)));
+        bridge.register(Box::new(Autocorrelation::new("data", 3, 4)));
+        for _ in 0..STEPS {
+            sim.step(comm);
+            bridge.execute(&OscillatorAdaptor::new(&sim), comm);
+        }
+        bridge.finalize(comm)
+    })
+    .remove(0)
+}
+
+/// The *shape* of the report — which phases exist, which counters exist
+/// — is a property of the code paths, not of the rank count. Counter
+/// names are recorded at collective entry (before any small-world fast
+/// path), so even 1 rank reports the same instrument set as 8.
+#[test]
+fn aggregation_is_deterministic_across_rank_counts() {
+    let reports: Vec<RunReport> = [1usize, 4, 8].iter().map(|&r| probed_run(r)).collect();
+
+    let labels: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| r.phases.iter().map(|p| p.label.clone()).collect())
+        .collect();
+    assert_eq!(labels[0], labels[1], "1 vs 4 ranks: same span labels");
+    assert_eq!(labels[1], labels[2], "4 vs 8 ranks: same span labels");
+
+    let counters: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| r.counters.iter().map(|c| c.name.clone()).collect())
+        .collect();
+    assert_eq!(counters[0], counters[1], "1 vs 4 ranks: same counters");
+    assert_eq!(counters[1], counters[2], "4 vs 8 ranks: same counters");
+
+    for (report, &ranks) in reports.iter().zip(&[1usize, 4, 8]) {
+        assert_eq!(report.ranks, ranks);
+        assert_eq!(report.steps, STEPS as u64);
+        assert_eq!(report.memory.len(), ranks, "one memory row per rank");
+        let hist = report.phase("per-step/histogram").expect("histogram phase");
+        assert_eq!(hist.samples, (STEPS * ranks) as u64);
+        assert!(hist.min_s <= hist.mean_s && hist.mean_s <= hist.max_s);
+    }
+}
+
+/// Run the same sim + analyses with the probe enabled and disabled; the
+/// histogram and autocorrelation outputs must match bitwise — the
+/// observability layer observes, it never perturbs.
+#[test]
+fn probes_do_not_perturb_results_bitwise() {
+    fn run(probed: bool) -> (HistogramResult, AutocorrelationResult) {
+        let deck = format_deck(&demo_oscillators());
+        World::run(4, move |comm| {
+            let cfg = SimConfig {
+                grid: [GRID, GRID, GRID],
+                steps: STEPS,
+                ..SimConfig::default()
+            };
+            let root_deck = if comm.rank() == 0 {
+                Some(deck.as_str())
+            } else {
+                None
+            };
+            let mut sim = Simulation::new(comm, cfg, root_deck);
+            let hist = HistogramAnalysis::new("data", 16);
+            let hist_res = hist.results_handle();
+            let ac = Autocorrelation::new("data", 3, 4);
+            let ac_res = ac.results_handle();
+            let mut bridge = if probed {
+                let b = Bridge::with_probe(Probe::enabled());
+                comm.attach_probe(b.probe().clone());
+                b
+            } else {
+                Bridge::new()
+            };
+            bridge.register(Box::new(hist));
+            bridge.register(Box::new(ac));
+            for _ in 0..STEPS {
+                sim.step(comm);
+                bridge.execute(&OscillatorAdaptor::new(&sim), comm);
+            }
+            bridge.finalize(comm);
+            if comm.rank() == 0 {
+                Some((
+                    hist_res.lock().clone().expect("histogram"),
+                    ac_res.lock().clone().expect("autocorrelation"),
+                ))
+            } else {
+                None
+            }
+        })
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("rank 0 results")
+    }
+
+    let (h_off, ac_off) = run(false);
+    let (h_on, ac_on) = run(true);
+
+    assert_eq!(h_off.counts, h_on.counts, "histogram bins bitwise");
+    assert_eq!(h_off.min.to_bits(), h_on.min.to_bits(), "min bitwise");
+    assert_eq!(h_off.max.to_bits(), h_on.max.to_bits(), "max bitwise");
+    assert_eq!(ac_off.len(), ac_on.len(), "one peak list per delay");
+    for (a, b) in ac_off.iter().zip(&ac_on) {
+        for (pa, pb) in a.iter().zip(b) {
+            assert_eq!(pa.cell, pb.cell, "peak cell");
+            assert_eq!(pa.value.to_bits(), pb.value.to_bits(), "peak value bitwise");
+        }
+    }
+}
+
+/// A report from a real instrumented run survives the serde-free JSON
+/// writer and parser unchanged.
+#[test]
+fn run_report_round_trips_through_json() {
+    let report = probed_run(4);
+    let json = report.to_json();
+    let back = RunReport::from_json(&json).expect("parse run report");
+    assert_eq!(report, back, "report == parse(to_json(report))");
+    // And the round trip is a fixed point.
+    assert_eq!(json, back.to_json());
+}
