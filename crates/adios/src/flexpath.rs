@@ -129,10 +129,10 @@ impl FlexpathWriter {
         if !self.outstanding {
             return 0.0;
         }
-        let t0 = std::time::Instant::now();
+        let t0 = probe::time::now_seconds();
         let _ack: u64 = world.recv(self.peer, TAG_ACK);
         self.outstanding = false;
-        t0.elapsed().as_secs_f64()
+        (probe::time::now_seconds() - t0).max(0.0)
     }
 
     /// Ship one step (serializes = the marshaling copy). Returns the

@@ -315,11 +315,11 @@ impl AnalysisAdaptor for AdiosWriterAnalysis {
         let probe = comm.probe();
         let advance = self.writer.advance(comm);
         self.advance_seconds += advance;
-        let t0 = std::time::Instant::now();
+        let t0 = probe::time::now_seconds();
         let step = adaptor_to_step(data);
         let shipped = self.writer.write(comm, &step);
         self.bytes_shipped += shipped;
-        let write = t0.elapsed().as_secs_f64();
+        let write = (probe::time::now_seconds() - t0).max(0.0);
         self.write_seconds += write;
         // Fig. 8's decomposition as observability spans, plus the bytes
         // this rank put on the staging wire.

@@ -69,6 +69,36 @@ pub fn partition_extent(global: &Extent, dims: [usize; 3], rank: usize) -> Exten
     Extent::new(lo, hi)
 }
 
+/// Ghost flags marking the point planes a block *duplicates* from its
+/// lower-axis neighbours.
+///
+/// [`partition_extent`] partitions cells, so adjacent blocks share a
+/// point plane: the plane at `local.lo[a]` is owned by the `-a`
+/// neighbour whenever the block does not touch the global lower
+/// boundary on that axis. Point-associated analyses that fold every
+/// tuple (histograms, moments) would count those planes once per
+/// adjacent block — making their results depend on the decomposition —
+/// unless the producer marks them with the VTK duplicate-ghost
+/// convention ([`crate::GHOST_ARRAY_NAME`]).
+///
+/// Returns one flag per point in `local.iter_points()` order:
+/// [`crate::GHOST_DUPLICATE`] on duplicated planes, 0 elsewhere. The
+/// non-ghost points of all blocks of a decomposition tile the global
+/// extent exactly once.
+pub fn duplicate_point_ghosts(local: &Extent, global: &Extent) -> Vec<u8> {
+    let shared: Vec<usize> = (0..3).filter(|&a| local.lo[a] > global.lo[a]).collect();
+    local
+        .iter_points()
+        .map(|p| {
+            if shared.iter().any(|&a| p[a] == local.lo[a]) {
+                crate::GHOST_DUPLICATE
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +161,49 @@ mod tests {
     fn too_many_ranks_per_axis_panics() {
         let global = Extent::whole([3, 3, 3]); // 2 cells per axis
         let _ = partition_extent(&global, [5, 1, 1], 0);
+    }
+
+    #[test]
+    fn single_block_has_no_duplicate_ghosts() {
+        let global = Extent::whole([9, 7, 5]);
+        let flags = duplicate_point_ghosts(&global, &global);
+        assert_eq!(flags.len(), global.num_points());
+        assert!(flags.iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn non_ghost_points_tile_the_global_extent_once() {
+        let global = Extent::whole([17, 13, 9]);
+        for dims in [[1, 1, 1], [4, 1, 1], [2, 2, 1], [4, 3, 2]] {
+            let p: usize = dims.iter().product();
+            let mut owner = vec![0usize; global.num_points()];
+            for rank in 0..p {
+                let local = partition_extent(&global, dims, rank);
+                let flags = duplicate_point_ghosts(&local, &global);
+                for (pt, &f) in local.iter_points().zip(&flags) {
+                    if f == 0 {
+                        owner[global.linear_index(pt)] += 1;
+                    }
+                }
+            }
+            assert!(
+                owner.iter().all(|&c| c == 1),
+                "dims {dims:?}: every point owned exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_planes_are_marked_on_the_low_side() {
+        let global = Extent::whole([11, 11, 11]);
+        let b = partition_extent(&global, [2, 1, 1], 1);
+        let flags = duplicate_point_ghosts(&b, &global);
+        for (pt, &f) in b.iter_points().zip(&flags) {
+            assert_eq!(
+                f != 0,
+                pt[0] == b.lo[0],
+                "only the shared lo-x plane is a ghost"
+            );
+        }
     }
 }

@@ -41,10 +41,10 @@ impl LibsimAnalysis {
     /// configuration check — a real filesystem metadata operation, the
     /// behavior whose aggregate cost Fig. 5 reports at 45K ranks.
     pub fn new(session: Session, config_path: &Path) -> Self {
-        let t0 = std::time::Instant::now();
+        let t0 = probe::time::now_seconds();
         // VisIt checks for a .visitrc / runtime config per rank.
         let _ = std::fs::metadata(config_path);
-        let startup_seconds = t0.elapsed().as_secs_f64();
+        let startup_seconds = (probe::time::now_seconds() - t0).max(0.0);
         LibsimAnalysis {
             session,
             output_dir: None,

@@ -11,6 +11,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crate::envelope::{CollectiveKind, Envelope, Tag, ANY_SOURCE};
 use crate::fault::{FaultAction, FaultHandle};
 use crate::monitor::{BlockedInfo, Monitor};
+use crate::sched::{Sched, WaitInfo, Wake};
 
 /// How often a blocked receive wakes up to poll the watchdog abort flag
 /// and (when set) its deadline. Bounds the latency between the watchdog
@@ -31,8 +32,10 @@ pub struct Comm {
     pending: RefCell<VecDeque<Envelope>>,
     /// Count of collective operations issued, used to build collective tags.
     epoch: Cell<u64>,
-    /// Wall-clock origin for [`Comm::wtime`].
-    t0: Instant,
+    /// Clock origin for [`Comm::wtime`], in [`probe::time`] seconds —
+    /// wall clock normally, deterministic virtual ticks under the
+    /// scheduler.
+    t0: f64,
     /// This rank's slot in the *world* (stable across `split`); used to
     /// key monitor state and fault rules.
     slot: usize,
@@ -42,6 +45,10 @@ pub struct Comm {
     monitor: Option<Arc<Monitor>>,
     /// Injected transport faults, when installed for a test.
     faults: Option<FaultHandle>,
+    /// Deterministic scheduler, when launched under a non-`Os`
+    /// [`crate::SchedPolicy`]. Interposes on every delivery, blocking
+    /// receive, and `ANY_SOURCE` match.
+    sched: Option<Arc<Sched>>,
     /// Observability handle; [`probe::off`] (a no-op) by default.
     probe: RefCell<probe::Probe>,
 }
@@ -59,27 +66,31 @@ impl Comm {
             receiver,
             pending: RefCell::new(VecDeque::new()),
             epoch: Cell::new(0),
-            t0: Instant::now(),
+            t0: probe::time::now_seconds(),
             slot: rank,
             peer_slots: Arc::new((0..size).collect()),
             monitor: None,
             faults: None,
+            sched: None,
             probe: RefCell::new(probe::off()),
         }
     }
 
-    /// Attach world identity and instrumentation (monitor, faults).
+    /// Attach world identity and instrumentation (monitor, faults,
+    /// deterministic scheduler).
     pub(crate) fn with_runtime(
         mut self,
         slot: usize,
         peer_slots: Arc<Vec<usize>>,
         monitor: Option<Arc<Monitor>>,
         faults: Option<FaultHandle>,
+        sched: Option<Arc<Sched>>,
     ) -> Self {
         self.slot = slot;
         self.peer_slots = peer_slots;
         self.monitor = monitor;
         self.faults = faults;
+        self.sched = sched;
         self
     }
 
@@ -109,8 +120,10 @@ impl Comm {
     }
 
     /// Seconds since this communicator was created (cf. `MPI_Wtime`).
+    /// Under the deterministic scheduler this reads the per-thread
+    /// virtual clock, so identical seeds report identical times.
     pub fn wtime(&self) -> f64 {
-        self.t0.elapsed().as_secs_f64()
+        (probe::time::now_seconds() - self.t0).max(0.0)
     }
 
     /// Advance and return the collective epoch for this communicator.
@@ -192,16 +205,29 @@ impl Comm {
                     faults.note_dropped();
                     return true;
                 }
-                FaultAction::Delay(d) => std::thread::sleep(d),
+                // Under the deterministic scheduler an injected link
+                // delay advances the virtual clock instead of sleeping,
+                // so delayed runs stay schedule-reproducible.
+                FaultAction::Delay(d) => match &self.sched {
+                    Some(sched) => sched.advance_clock(d),
+                    None => std::thread::sleep(d),
+                },
             }
         }
-        sender
+        let delivered = sender
             .send(Envelope {
                 src: self.rank,
                 tag,
                 payload: Box::new(value),
             })
-            .is_ok()
+            .is_ok();
+        if delivered {
+            if let Some(sched) = &self.sched {
+                let to_slot = self.peer_slots.get(dest).copied().unwrap_or(dest);
+                sched.on_send(self.slot, to_slot, tag);
+            }
+        }
+        delivered
     }
 
     /// Blocking receive of a `T` from `src` with user `tag`.
@@ -290,6 +316,9 @@ impl Comm {
         tag: Tag,
         deadline: Option<Duration>,
     ) -> crate::Result<Envelope> {
+        if let Some(sched) = self.sched.clone() {
+            return self.match_envelope_sched(&sched, src, tag, deadline);
+        }
         // Fast path: already pending.
         if let Some(env) = self.take_pending(src, tag) {
             self.note_progress();
@@ -332,6 +361,72 @@ impl Comm {
             monitor.clear_blocked(self.slot);
         }
         outcome
+    }
+
+    /// Matching engine under the deterministic scheduler. The rank
+    /// holds the schedule token while it runs; the only blocking point
+    /// is [`Sched::block_recv`], which hands the token to a
+    /// policy-chosen peer. `ANY_SOURCE` matches among multiple ready
+    /// senders become explicit [`Sched::choose_match`] decisions, and
+    /// deadlines resolve on the *virtual* clock at quiescence — no
+    /// wall-clock polling anywhere.
+    fn match_envelope_sched(
+        &self,
+        sched: &Arc<Sched>,
+        src: usize,
+        tag: Tag,
+        deadline: Option<Duration>,
+    ) -> crate::Result<Envelope> {
+        let deadline_nanos =
+            deadline.map(|d| sched.vclock_nanos().saturating_add(d.as_nanos() as u64));
+        loop {
+            self.drain_channel();
+            if let Some(env) = self.take_pending_sched(sched, src, tag) {
+                return Ok(env);
+            }
+            self.check_pending_for_mismatch(src, tag);
+            let info = WaitInfo {
+                comm_rank: self.rank,
+                comm_size: self.size(),
+                src,
+                tag,
+                deadline_nanos,
+                pending: self.pending_snapshot(),
+            };
+            match sched.block_recv(self.slot, info) {
+                Wake::Mail => continue,
+                Wake::Deadline => {
+                    return Err(self.deadline_error(src, tag, deadline.unwrap_or_default()))
+                }
+                Wake::Abort(msg) => panic!("{msg}"),
+            }
+        }
+    }
+
+    /// Pending-queue match under the scheduler: a specific-source
+    /// receive is FIFO as usual; an `ANY_SOURCE` receive that could
+    /// match several distinct senders asks the policy to pick one.
+    fn take_pending_sched(&self, sched: &Sched, src: usize, tag: Tag) -> Option<Envelope> {
+        if src != ANY_SOURCE {
+            return self.take_pending(src, tag);
+        }
+        let candidates: Vec<usize> = {
+            let pending = self.pending.borrow();
+            let mut distinct = Vec::new();
+            for e in pending.iter() {
+                if e.tag == tag && !distinct.contains(&e.src) {
+                    distinct.push(e.src);
+                }
+            }
+            distinct
+        };
+        if candidates.is_empty() {
+            return None;
+        }
+        // Always a recorded decision — even with one candidate — so
+        // replayed traces align event-for-event with the original run.
+        let chosen = sched.choose_match(self.slot, &candidates, tag);
+        self.take_pending(chosen, tag)
     }
 
     fn take_pending(&self, src: usize, tag: Tag) -> Option<Envelope> {
@@ -500,6 +595,7 @@ impl Comm {
             peer_slots,
             self.monitor.clone(),
             self.faults.clone(),
+            self.sched.clone(),
         );
         sub.attach_probe(self.probe());
         sub

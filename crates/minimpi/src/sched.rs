@@ -1,0 +1,786 @@
+//! Deterministic scheduling: seed-driven serialized execution, delivery
+//! traces, replay, and bounded interleaving exploration.
+//!
+//! The thread-backed substrate normally runs at the mercy of the OS
+//! scheduler: which rank runs next, and which sender an `ANY_SOURCE`
+//! receive matches first, differ run to run. That is faithful to real
+//! MPI — and useless for reproducing a bad interleaving. This module
+//! adds a cooperative scheduler that serializes rank execution around a
+//! single turn token and makes every nondeterministic decision
+//! explicitly, driven by a seeded RNG:
+//!
+//! * **run decisions** — at every scheduling point (post-send
+//!   preemption, receive blocking, rank completion) the policy picks
+//!   which runnable rank executes next;
+//! * **match decisions** — when an `ANY_SOURCE` receive could match
+//!   envelopes from several senders, the policy picks the sender;
+//! * **virtual time** — injected link delays advance a virtual clock
+//!   instead of sleeping, and `recv_deadline` times out *only at
+//!   quiescence* (no rank can run), earliest virtual deadline first,
+//!   ties broken by world slot. Rank-side span timings run on
+//!   [`probe::time`]'s per-thread virtual tick source.
+//!
+//! Every decision and delivery is recorded in a [`Trace`]. The same
+//! [`SchedPolicy::Seeded`] seed replays the identical schedule
+//! byte-for-byte; [`SchedPolicy::Replay`] forces a recorded trace and
+//! panics with a diff on the first divergence. A deadlock under the
+//! deterministic scheduler is detected *exactly* (the ready set empties
+//! with unfinished ranks) — no grace period, no wall-clock watchdog —
+//! and every blocked rank panics with a per-rank dump plus the seed.
+//!
+//! [`Explorer`] drives a bounded interleaving search: many independent
+//! seeded worlds under `catch_unwind`, returning the first failure's
+//! seed, panic message, and replayable trace.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::envelope::Tag;
+
+/// How a world schedules its ranks.
+#[derive(Clone, Debug)]
+pub enum SchedPolicy {
+    /// OS threads run freely (the default; faithful nondeterminism).
+    Os,
+    /// Serialized deterministic execution: every scheduling and
+    /// matching decision comes from an RNG seeded with this value. The
+    /// same seed reproduces the identical interleaving, delivery trace,
+    /// and (under virtual time) byte-identical observability output.
+    Seeded(u64),
+    /// Re-execute a recorded [`Trace`]: decisions are forced from the
+    /// trace and every emitted event is verified against it; the first
+    /// divergence panics with a diff.
+    Replay(Trace),
+}
+
+/// One entry of a delivery trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// The scheduler granted the turn to world slot `slot`.
+    Run {
+        /// Chosen world slot.
+        slot: usize,
+    },
+    /// World slot `from` delivered a message to world slot `to`.
+    Send {
+        /// Sending world slot.
+        from: usize,
+        /// Receiving world slot.
+        to: usize,
+        /// Raw tag bits.
+        tag: u64,
+    },
+    /// World slot `slot` matched an `ANY_SOURCE` receive against the
+    /// envelope from communicator-local rank `src`.
+    Match {
+        /// Receiving world slot.
+        slot: usize,
+        /// Chosen communicator-local source rank.
+        src: usize,
+        /// Raw tag bits.
+        tag: u64,
+    },
+}
+
+impl Event {
+    fn to_json(&self) -> probe::Json {
+        use probe::Json;
+        match self {
+            Event::Run { slot } => Json::Arr(vec![Json::Str("r".into()), Json::Num(*slot as f64)]),
+            Event::Send { from, to, tag } => Json::Arr(vec![
+                Json::Str("s".into()),
+                Json::Num(*from as f64),
+                Json::Num(*to as f64),
+                Json::Str(format!("{tag:x}")),
+            ]),
+            Event::Match { slot, src, tag } => Json::Arr(vec![
+                Json::Str("m".into()),
+                Json::Num(*slot as f64),
+                Json::Num(*src as f64),
+                Json::Str(format!("{tag:x}")),
+            ]),
+        }
+    }
+
+    fn from_json(v: &probe::Json) -> Result<Event, String> {
+        let items = v.as_arr().ok_or("event is not an array")?;
+        let kind = items
+            .first()
+            .and_then(probe::Json::as_str)
+            .ok_or("event missing kind")?;
+        let num = |i: usize| -> Result<usize, String> {
+            items
+                .get(i)
+                .and_then(probe::Json::as_u64)
+                .map(|n| n as usize)
+                .ok_or_else(|| format!("event field {i} is not an index"))
+        };
+        let tag = |i: usize| -> Result<u64, String> {
+            let s = items
+                .get(i)
+                .and_then(probe::Json::as_str)
+                .ok_or_else(|| format!("event field {i} is not a tag"))?;
+            u64::from_str_radix(s, 16).map_err(|e| format!("bad tag '{s}': {e}"))
+        };
+        match kind {
+            "r" => Ok(Event::Run { slot: num(1)? }),
+            "s" => Ok(Event::Send {
+                from: num(1)?,
+                to: num(2)?,
+                tag: tag(3)?,
+            }),
+            "m" => Ok(Event::Match {
+                slot: num(1)?,
+                src: num(2)?,
+                tag: tag(3)?,
+            }),
+            other => Err(format!("unknown event kind '{other}'")),
+        }
+    }
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Event::Run { slot } => write!(f, "run slot {slot}"),
+            Event::Send { from, to, tag } => {
+                write!(f, "send {from} -> {to} tag {}", Tag(*tag))
+            }
+            Event::Match { slot, src, tag } => {
+                write!(f, "match slot {slot} <- src {src} tag {}", Tag(*tag))
+            }
+        }
+    }
+}
+
+/// A recorded schedule: the seed it ran under and every decision and
+/// delivery, in order. Serializes to compact JSON via [`probe::Json`]
+/// so a failing run can print itself and be replayed from a log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Seed of the run that produced this trace (`None` for replays of
+    /// hand-built traces).
+    pub seed: Option<u64>,
+    /// Every decision and delivery, in schedule order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Serialize to one compact JSON line.
+    pub fn to_json(&self) -> String {
+        use probe::Json;
+        let mut members = Vec::new();
+        match self.seed {
+            Some(seed) => members.push(("seed".to_string(), Json::Num(seed as f64))),
+            None => members.push(("seed".to_string(), Json::Null)),
+        }
+        members.push((
+            "events".to_string(),
+            Json::Arr(self.events.iter().map(Event::to_json).collect()),
+        ));
+        Json::Obj(members).to_string()
+    }
+
+    /// Parse a trace previously written by [`Trace::to_json`].
+    pub fn from_json(text: &str) -> Result<Trace, String> {
+        let v = probe::Json::parse(text)?;
+        let seed = match v.get("seed") {
+            Some(probe::Json::Null) | None => None,
+            Some(s) => Some(s.as_u64().ok_or("seed is not an integer")?),
+        };
+        let events = v
+            .get("events")
+            .and_then(probe::Json::as_arr)
+            .ok_or("missing events array")?
+            .iter()
+            .map(Event::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Trace { seed, events })
+    }
+}
+
+/// Shared slot a world deposits its finished [`Trace`] into (also on
+/// panic), so tests and the [`Explorer`] can retrieve the schedule of
+/// a run that unwound. Clones share the slot.
+#[derive(Clone, Default)]
+pub struct TraceCell {
+    inner: Arc<Mutex<Option<Trace>>>,
+}
+
+impl TraceCell {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the deposited trace, leaving the cell empty.
+    pub fn take(&self) -> Option<Trace> {
+        self.inner.lock().take()
+    }
+
+    pub(crate) fn set(&self, trace: Trace) {
+        *self.inner.lock() = Some(trace);
+    }
+}
+
+/// Why a blocked receive woke up.
+pub(crate) enum Wake {
+    /// New mail may have arrived; re-check the pending queue.
+    Mail,
+    /// The receive's virtual deadline fired at quiescence.
+    Deadline,
+    /// The world is aborting (deadlock or replay divergence); panic
+    /// with this message.
+    Abort(String),
+}
+
+/// What a rank is blocked on, for exact deadlock reports and deadline
+/// arbitration.
+pub(crate) struct WaitInfo {
+    pub comm_rank: usize,
+    pub comm_size: usize,
+    /// Awaited communicator-local source ([`crate::ANY_SOURCE`] = any).
+    pub src: usize,
+    pub tag: Tag,
+    /// Absolute virtual deadline in nanoseconds, when the receive has
+    /// one.
+    pub deadline_nanos: Option<u64>,
+    /// Snapshot of unmatched `(src, tag)` pairs in the pending queue.
+    pub pending: Vec<(usize, Tag)>,
+}
+
+enum Status {
+    Runnable,
+    Blocked(WaitInfo),
+    Finished,
+}
+
+enum Mode {
+    Seeded(StdRng),
+    Replay { recorded: Vec<Event>, pos: usize },
+}
+
+struct State {
+    mode: Mode,
+    /// World slot currently holding the turn token.
+    current: Option<usize>,
+    /// Set once the first grant has been made.
+    started: bool,
+    status: Vec<Status>,
+    /// Per-slot flag: the last wake was a deadline expiry.
+    deadline_fired: Vec<bool>,
+    /// Virtual clock, nanoseconds. Advanced by injected link delays
+    /// and by deadline expiry at quiescence.
+    vclock_nanos: u64,
+    trace: Trace,
+    /// Set when the world must abort (exact deadlock or replay
+    /// divergence). Every waiting rank panics with this message.
+    abort: Option<String>,
+}
+
+/// The serialized deterministic scheduler shared by every rank of one
+/// world. At most one rank executes user code at any instant; all
+/// interleaving freedom is concentrated in the explicit decisions this
+/// type makes (and records).
+pub(crate) struct Sched {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Sched {
+    /// Build the engine for a deterministic policy.
+    ///
+    /// # Panics
+    /// Panics when handed [`SchedPolicy::Os`] — an OS-scheduled world
+    /// has no engine.
+    pub(crate) fn new(size: usize, policy: &SchedPolicy) -> Arc<Sched> {
+        let (mode, seed) = match policy {
+            SchedPolicy::Os => panic!("SchedPolicy::Os has no scheduler engine"),
+            SchedPolicy::Seeded(seed) => (Mode::Seeded(StdRng::seed_from_u64(*seed)), Some(*seed)),
+            SchedPolicy::Replay(trace) => (
+                Mode::Replay {
+                    recorded: trace.events.clone(),
+                    pos: 0,
+                },
+                trace.seed,
+            ),
+        };
+        Arc::new(Sched {
+            state: Mutex::new(State {
+                mode,
+                current: None,
+                started: false,
+                status: (0..size).map(|_| Status::Runnable).collect(),
+                deadline_fired: vec![false; size],
+                vclock_nanos: 0,
+                trace: Trace {
+                    seed,
+                    events: Vec::new(),
+                },
+                abort: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Block until this rank is granted the turn token for the first
+    /// time. Called once per rank before user code runs.
+    pub(crate) fn acquire(&self, slot: usize) {
+        let mut s = self.state.lock();
+        if !s.started {
+            s.started = true;
+            self.pick_and_grant(&mut s);
+            self.cv.notify_all();
+        }
+        while s.current != Some(slot) {
+            if let Some(msg) = &s.abort {
+                let msg = msg.clone();
+                drop(s);
+                panic!("{msg}");
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Scheduling point after a delivery: record the send, wake the
+    /// destination if it was blocked, then let the policy decide who
+    /// runs next (post-send preemption).
+    pub(crate) fn on_send(&self, from_slot: usize, to_slot: usize, tag: Tag) {
+        let mut s = self.state.lock();
+        self.emit(
+            &mut s,
+            Event::Send {
+                from: from_slot,
+                to: to_slot,
+                tag: tag.0,
+            },
+        );
+        if matches!(s.status[to_slot], Status::Blocked(_)) {
+            s.status[to_slot] = Status::Runnable;
+        }
+        self.reschedule(s, from_slot);
+    }
+
+    /// Block this rank on a receive. Returns why it woke.
+    pub(crate) fn block_recv(&self, slot: usize, info: WaitInfo) -> Wake {
+        let mut s = self.state.lock();
+        debug_assert_eq!(s.current, Some(slot), "block_recv without the token");
+        s.status[slot] = Status::Blocked(info);
+        self.pick_and_grant(&mut s);
+        self.cv.notify_all();
+        loop {
+            if let Some(msg) = &s.abort {
+                return Wake::Abort(msg.clone());
+            }
+            if s.current == Some(slot) {
+                // Granted again: either a sender woke us or our
+                // deadline fired at quiescence.
+                s.status[slot] = Status::Runnable;
+                if s.deadline_fired[slot] {
+                    s.deadline_fired[slot] = false;
+                    return Wake::Deadline;
+                }
+                return Wake::Mail;
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Choose which source an `ANY_SOURCE` receive matches, among the
+    /// communicator-local `candidates` (distinct sources with a
+    /// matching envelope, in pending-queue order).
+    pub(crate) fn choose_match(&self, slot: usize, candidates: &[usize], tag: Tag) -> usize {
+        debug_assert!(!candidates.is_empty());
+        let mut s = self.state.lock();
+        let src = match &mut s.mode {
+            Mode::Seeded(rng) => candidates[rng.gen_range(0..candidates.len())],
+            Mode::Replay { recorded, pos } => match recorded.get(*pos) {
+                Some(Event::Match {
+                    slot: r_slot,
+                    src,
+                    tag: r_tag,
+                }) if *r_slot == slot && *r_tag == tag.0 && candidates.contains(src) => *src,
+                other => {
+                    let msg = self.divergence_message(
+                        *pos,
+                        other.cloned(),
+                        format!(
+                            "match slot {slot} tag {} among candidates {candidates:?}",
+                            Tag(tag.0)
+                        ),
+                    );
+                    self.raise_abort(&mut s, msg.clone());
+                    drop(s);
+                    panic!("{msg}");
+                }
+            },
+        };
+        self.emit(
+            &mut s,
+            Event::Match {
+                slot,
+                src,
+                tag: tag.0,
+            },
+        );
+        src
+    }
+
+    /// Advance the virtual clock (injected link delay).
+    pub(crate) fn advance_clock(&self, by: Duration) {
+        let mut s = self.state.lock();
+        s.vclock_nanos = s.vclock_nanos.saturating_add(by.as_nanos() as u64);
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub(crate) fn vclock_nanos(&self) -> u64 {
+        self.state.lock().vclock_nanos
+    }
+
+    /// Mark this rank finished (normal return or unwind) and hand the
+    /// token onward.
+    pub(crate) fn finish(&self, slot: usize) {
+        let mut s = self.state.lock();
+        s.status[slot] = Status::Finished;
+        s.deadline_fired[slot] = false;
+        if s.current == Some(slot) {
+            self.pick_and_grant(&mut s);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The trace recorded so far (complete once the world joined).
+    pub(crate) fn trace(&self) -> Trace {
+        self.state.lock().trace.clone()
+    }
+
+    /// Release the token held by `slot` and wait to get it back.
+    fn reschedule(&self, mut s: parking_lot::MutexGuard<'_, State>, slot: usize) {
+        self.pick_and_grant(&mut s);
+        self.cv.notify_all();
+        while s.current != Some(slot) {
+            if let Some(msg) = &s.abort {
+                let msg = msg.clone();
+                drop(s);
+                panic!("{msg}");
+            }
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Pick the next runnable rank (policy decision) and grant it the
+    /// token; resolve quiescence (deadline expiry or exact deadlock)
+    /// when the ready set is empty.
+    fn pick_and_grant(&self, s: &mut State) {
+        let runnable: Vec<usize> = s
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| matches!(st, Status::Runnable))
+            .map(|(slot, _)| slot)
+            .collect();
+        if runnable.is_empty() {
+            self.resolve_quiescence(s);
+            return;
+        }
+        let slot = match &mut s.mode {
+            Mode::Seeded(rng) => runnable[rng.gen_range(0..runnable.len())],
+            Mode::Replay { recorded, pos } => match recorded.get(*pos) {
+                Some(Event::Run { slot }) if runnable.contains(slot) => *slot,
+                other => {
+                    let msg = self.divergence_message(
+                        *pos,
+                        other.cloned(),
+                        format!("run decision among runnable {runnable:?}"),
+                    );
+                    self.raise_abort(s, msg);
+                    return;
+                }
+            },
+        };
+        self.emit(s, Event::Run { slot });
+        s.current = Some(slot);
+    }
+
+    /// No rank can run. Fire the earliest virtual deadline (ties broken
+    /// by slot) or declare an exact deadlock.
+    fn resolve_quiescence(&self, s: &mut State) {
+        s.current = None;
+        let mut earliest: Option<(u64, usize)> = None;
+        let mut unfinished = 0usize;
+        for (slot, st) in s.status.iter().enumerate() {
+            match st {
+                Status::Finished => {}
+                Status::Runnable => unreachable!("quiescence with a runnable rank"),
+                Status::Blocked(info) => {
+                    unfinished += 1;
+                    if let Some(d) = info.deadline_nanos {
+                        if earliest.is_none_or(|(bd, bs)| (d, slot) < (bd, bs)) {
+                            earliest = Some((d, slot));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((deadline, slot)) = earliest {
+            s.vclock_nanos = s.vclock_nanos.max(deadline);
+            s.deadline_fired[slot] = true;
+            s.status[slot] = Status::Runnable;
+            self.emit(s, Event::Run { slot });
+            s.current = Some(slot);
+            return;
+        }
+        if unfinished > 0 {
+            let report = self.deadlock_report(s, unfinished);
+            self.raise_abort(s, report);
+        }
+        // All ranks finished: nothing to grant.
+    }
+
+    /// Record an event; under replay, verify it against the recording.
+    fn emit(&self, s: &mut State, event: Event) {
+        if let Mode::Replay { recorded, pos } = &mut s.mode {
+            match recorded.get(*pos) {
+                Some(expected) if *expected == event => *pos += 1,
+                other => {
+                    let msg = self.divergence_message(*pos, other.cloned(), format!("{event}"));
+                    self.raise_abort(s, msg);
+                    // Keep recording so the divergent trace is visible.
+                }
+            }
+        }
+        s.trace.events.push(event);
+    }
+
+    fn divergence_message(&self, pos: usize, expected: Option<Event>, got: String) -> String {
+        match expected {
+            Some(e) => format!(
+                "minimpi sched: replay diverged at event {pos}: trace recorded [{e}], \
+                 this execution produced [{got}] — the program or its inputs changed \
+                 since the trace was recorded"
+            ),
+            None => format!(
+                "minimpi sched: replay diverged at event {pos}: trace is exhausted but \
+                 this execution produced [{got}]"
+            ),
+        }
+    }
+
+    /// Compose the exact-deadlock report: every live rank's wait state.
+    fn deadlock_report(&self, s: &State, live: usize) -> String {
+        let seed = match s.trace.seed {
+            Some(seed) => format!(" (seed {seed})"),
+            None => String::new(),
+        };
+        let mut report = format!(
+            "minimpi sched: deterministic deadlock detected{seed} — all {live} live rank(s) \
+             blocked in recv with an empty ready set:"
+        );
+        for (slot, st) in s.status.iter().enumerate() {
+            let Status::Blocked(info) = st else { continue };
+            let src = if info.src == crate::ANY_SOURCE {
+                "any source".to_string()
+            } else {
+                format!("src {}", info.src)
+            };
+            report.push_str(&format!(
+                "\n  world rank {slot}: rank {}/{} waiting for {src}, tag {}; pending ({})",
+                info.comm_rank,
+                info.comm_size,
+                info.tag,
+                info.pending.len(),
+            ));
+            if info.pending.is_empty() {
+                report.push_str(": []");
+            } else {
+                let shown: Vec<String> = info
+                    .pending
+                    .iter()
+                    .take(8)
+                    .map(|(src, tag)| format!("from {src}: {tag}"))
+                    .collect();
+                let ellipsis = if info.pending.len() > 8 { ", ..." } else { "" };
+                report.push_str(&format!(": [{}{ellipsis}]", shown.join(", ")));
+            }
+        }
+        report
+    }
+
+    fn raise_abort(&self, s: &mut State, msg: String) {
+        if s.abort.is_none() {
+            s.abort = Some(msg);
+        }
+        s.current = None;
+        self.cv.notify_all();
+    }
+}
+
+/// Releases a rank's hold on the scheduler when its closure exits —
+/// normally or by unwind — so the remaining ranks keep scheduling.
+pub(crate) struct SchedFinishGuard {
+    pub sched: Arc<Sched>,
+    pub slot: usize,
+}
+
+impl Drop for SchedFinishGuard {
+    fn drop(&mut self) {
+        self.sched.finish(self.slot);
+    }
+}
+
+/// One failing interleaving found by an [`Explorer`].
+#[derive(Clone, Debug)]
+pub struct ExploreFailure {
+    /// The seed whose schedule failed.
+    pub seed: u64,
+    /// The recorded schedule; replay it with
+    /// [`SchedPolicy::Replay`] to reproduce the failure exactly.
+    pub trace: Trace,
+    /// The panic message of the failing run.
+    pub message: String,
+}
+
+/// Bounded interleaving search: runs the same SPMD closure under many
+/// independent seeds ([`SchedPolicy::Seeded`]), permuting run order,
+/// `ANY_SOURCE` matching, and (through post-send preemption) the
+/// ordering around fault sites — a DPOR-lite random walk over the
+/// interleaving space. Stops at the first failure and returns its seed,
+/// panic message, and replayable trace.
+pub struct Explorer {
+    base_seed: u64,
+    max_runs: usize,
+    time_budget: Option<Duration>,
+}
+
+impl Explorer {
+    /// An explorer deriving run seeds `base_seed, base_seed+1, …`.
+    pub fn new(base_seed: u64) -> Self {
+        Explorer {
+            base_seed,
+            max_runs: 64,
+            time_budget: None,
+        }
+    }
+
+    /// Cap the number of seeded runs (default 64).
+    pub fn max_runs(mut self, runs: usize) -> Self {
+        self.max_runs = runs;
+        self
+    }
+
+    /// Stop starting new runs once this much wall time has elapsed
+    /// (checked between runs; a run in flight completes).
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Search interleavings of `f` on a world of `size` ranks. Returns
+    /// the first failure, or `None` if every explored schedule passed.
+    pub fn run<F>(&self, size: usize, f: F) -> Option<ExploreFailure>
+    where
+        F: Fn(&crate::Comm) + Send + Sync + 'static,
+    {
+        self.run_with(size, |b| b, f)
+    }
+
+    /// Like [`Explorer::run`], with a hook to configure each world
+    /// (e.g. install a [`crate::FaultHandle`] so fault sites join the
+    /// permuted space).
+    pub fn run_with<C, F>(&self, size: usize, configure: C, f: F) -> Option<ExploreFailure>
+    where
+        C: Fn(crate::WorldBuilder) -> crate::WorldBuilder,
+        F: Fn(&crate::Comm) + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let t0 = std::time::Instant::now();
+        for i in 0..self.max_runs {
+            if let Some(budget) = self.time_budget {
+                if t0.elapsed() >= budget && i > 0 {
+                    return None;
+                }
+            }
+            let seed = self.base_seed.wrapping_add(i as u64);
+            let cell = TraceCell::new();
+            let g = Arc::clone(&f);
+            let builder = configure(crate::WorldBuilder::new(size))
+                .sched(SchedPolicy::Seeded(seed))
+                .trace_cell(&cell);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                builder.run(move |comm| g(comm));
+            }));
+            if let Err(payload) = outcome {
+                return Some(ExploreFailure {
+                    seed,
+                    trace: cell.take().unwrap_or_default(),
+                    message: panic_text(&*payload),
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the payload a
+/// `catch_unwind` around a world returns).
+pub fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_round_trip() {
+        let t = Trace {
+            seed: Some(42),
+            events: vec![
+                Event::Run { slot: 3 },
+                Event::Send {
+                    from: 0,
+                    to: 1,
+                    tag: Tag::collective(crate::CollectiveKind::Bcast, 7).0,
+                },
+                Event::Match {
+                    slot: 1,
+                    src: 0,
+                    tag: Tag::user(9).0,
+                },
+            ],
+        };
+        let text = t.to_json();
+        assert_eq!(Trace::from_json(&text).expect("parse"), t);
+        // High tag bits survive the hex round trip exactly.
+        let Event::Send { tag, .. } = &t.events[1] else {
+            unreachable!()
+        };
+        assert!(tag & (1 << 63) != 0);
+    }
+
+    #[test]
+    fn seedless_trace_round_trips() {
+        let t = Trace {
+            seed: None,
+            events: vec![Event::Run { slot: 0 }],
+        };
+        assert_eq!(Trace::from_json(&t.to_json()).expect("parse"), t);
+    }
+
+    #[test]
+    fn trace_rejects_garbage() {
+        assert!(Trace::from_json("{}").is_err());
+        assert!(Trace::from_json(r#"{"seed":1,"events":[["x",0]]}"#).is_err());
+        assert!(Trace::from_json(r#"{"seed":1,"events":[["s",0,1,"zz"]]}"#).is_err());
+    }
+}

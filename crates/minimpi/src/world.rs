@@ -10,6 +10,7 @@ use crate::comm::Comm;
 use crate::envelope::Envelope;
 use crate::fault::FaultHandle;
 use crate::monitor::{run_watchdog, FinishGuard, Monitor};
+use crate::sched::{Sched, SchedFinishGuard, SchedPolicy, TraceCell};
 
 /// Default watchdog grace period: how long every live rank must sit
 /// blocked with zero matched messages before the world is declared
@@ -50,6 +51,8 @@ pub struct WorldBuilder {
     name_prefix: String,
     watchdog: Option<Duration>,
     faults: Option<FaultHandle>,
+    sched_policy: SchedPolicy,
+    trace_cell: Option<TraceCell>,
 }
 
 impl WorldBuilder {
@@ -62,6 +65,8 @@ impl WorldBuilder {
             name_prefix: "rank".to_string(),
             watchdog: Some(DEFAULT_WATCHDOG_GRACE),
             faults: None,
+            sched_policy: SchedPolicy::Os,
+            trace_cell: None,
         }
     }
 
@@ -101,6 +106,27 @@ impl WorldBuilder {
         self
     }
 
+    /// Choose the scheduling policy; see [`SchedPolicy`]. Non-`Os`
+    /// policies serialize rank execution under the deterministic
+    /// scheduler: rank threads run on virtual time, the wall-clock
+    /// watchdog is replaced by *exact* deadlock detection (an empty
+    /// ready set with live ranks), and every run records a delivery
+    /// [`crate::Trace`]. On a rank panic the trace is printed to stderr
+    /// so the interleaving can be replayed with [`SchedPolicy::Replay`].
+    pub fn sched(mut self, policy: SchedPolicy) -> Self {
+        self.sched_policy = policy;
+        self
+    }
+
+    /// Deposit the run's delivery trace — also when a rank panics —
+    /// into `cell` for programmatic retrieval (the [`crate::Explorer`]
+    /// uses this). Only meaningful with a non-`Os` [`Self::sched`]
+    /// policy.
+    pub fn trace_cell(mut self, cell: &TraceCell) -> Self {
+        self.trace_cell = Some(cell.clone());
+        self
+    }
+
     /// Launch the world; see [`World::run`].
     pub fn run<T, F>(self, f: F) -> Vec<T>
     where
@@ -113,8 +139,15 @@ impl WorldBuilder {
         let f = Arc::new(f);
         let monitor = Monitor::new(self.size);
         let peer_slots: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
+        let sched = match &self.sched_policy {
+            SchedPolicy::Os => None,
+            policy => Some(Sched::new(self.size, policy)),
+        };
 
-        if let Some(grace) = self.watchdog {
+        // Under the deterministic scheduler deadlocks are detected
+        // exactly (empty ready set), so the wall-clock watchdog — which
+        // would misread serialized execution as stalling — stays off.
+        if let (Some(grace), None) = (self.watchdog, &sched) {
             let monitor = Arc::clone(&monitor);
             // Detached: exits on its own shortly after the last rank
             // finishes (or after triggering an abort).
@@ -133,22 +166,38 @@ impl WorldBuilder {
                 let monitor = Arc::clone(&monitor);
                 let peer_slots = Arc::clone(&peer_slots);
                 let faults = self.faults.clone();
+                let sched = sched.clone();
                 let name = format!("{}-{rank}", self.name_prefix);
                 thread::Builder::new()
                     .name(name)
                     .stack_size(self.stack_size)
                     .spawn(move || {
+                        // Scheduled ranks run on the deterministic
+                        // virtual clock so recorded timings are
+                        // byte-identical across same-seed runs.
+                        let _vt = sched.as_ref().map(|_| probe::time::install_virtual());
                         // Marks the rank finished even on unwind, so the
                         // watchdog never waits on a dead rank.
                         let _finish = FinishGuard {
                             monitor: Arc::clone(&monitor),
                             slot: rank,
                         };
+                        // Waits for the first turn grant; releases this
+                        // rank's scheduler slot even on unwind so the
+                        // remaining ranks keep scheduling.
+                        let _sched_finish = sched.as_ref().map(|s| {
+                            s.acquire(rank);
+                            SchedFinishGuard {
+                                sched: Arc::clone(s),
+                                slot: rank,
+                            }
+                        });
                         let comm = Comm::new(rank, senders, rx).with_runtime(
                             rank,
                             peer_slots,
-                            Some(monitor),
+                            if sched.is_some() { None } else { Some(monitor) },
                             faults,
+                            sched,
                         );
                         f(&comm)
                     })
@@ -166,6 +215,23 @@ impl WorldBuilder {
                         panic = Some(e);
                     }
                 }
+            }
+        }
+        if let Some(sched) = &sched {
+            let trace = sched.trace();
+            if panic.is_some() {
+                let seed = trace
+                    .seed
+                    .map_or_else(|| "<replay>".to_string(), |s| s.to_string());
+                eprintln!(
+                    "minimpi sched: world failed under seed {seed}; replay this exact \
+                     interleaving with WorldBuilder::sched(SchedPolicy::Replay(trace)) \
+                     where trace is parsed from:\n{}",
+                    trace.to_json()
+                );
+            }
+            if let Some(cell) = &self.trace_cell {
+                cell.set(trace);
             }
         }
         if let Some(e) = panic {

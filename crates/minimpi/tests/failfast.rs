@@ -8,6 +8,25 @@ use std::time::{Duration, Instant};
 
 use minimpi::{Error, FaultHandle, World, WorldBuilder};
 
+/// Milliseconds scaled by `MINIMPI_TEST_TIME_SCALE` (default 1).
+///
+/// Every timing in this file — watchdog grace, recv deadlines, injected
+/// delays, and the bounds asserted against them — goes through this
+/// helper, so a slow or loaded machine can export e.g.
+/// `MINIMPI_TEST_TIME_SCALE=4` and stretch all of them together: the
+/// ratios the assertions rely on are preserved, the flake window is not.
+fn scaled(ms: u64) -> Duration {
+    static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    let s = *SCALE.get_or_init(|| {
+        std::env::var("MINIMPI_TEST_TIME_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .unwrap_or(1.0)
+    });
+    Duration::from_nanos((ms as f64 * 1e6 * s) as u64)
+}
+
 /// Rank 0 enters a broadcast while rank 1 enters a scan: the scan's
 /// upstream receive sees Bcast traffic where Scan traffic is due and
 /// panics with the per-rank diagnostic instead of deadlocking.
@@ -31,23 +50,22 @@ fn recv_deadline_fires_instead_of_hanging() {
         if comm.rank() == 1 {
             // Nobody ever sends tag 9: the deadline must fire.
             let t0 = Instant::now();
-            let got: minimpi::Result<(usize, u64)> =
-                comm.recv_deadline(0, 9, Duration::from_millis(50));
+            let got: minimpi::Result<(usize, u64)> = comm.recv_deadline(0, 9, scaled(50));
             match got {
                 Err(Error::DeadlineExceeded { src, waited, .. }) => {
                     assert_eq!(src, 0);
-                    assert!(waited >= Duration::from_millis(50));
+                    assert!(waited >= scaled(50));
                 }
                 other => panic!("expected DeadlineExceeded, got {other:?}"),
             }
-            assert!(t0.elapsed() < Duration::from_secs(5), "deadline overshot");
+            assert!(t0.elapsed() < scaled(5_000), "deadline overshot");
         }
         // A message that does arrive is still delivered under a deadline.
         if comm.rank() == 0 {
             comm.send(1, 8, 42u64);
         } else {
             let (from, v): (usize, u64) = comm
-                .recv_deadline(0, 8, Duration::from_secs(5))
+                .recv_deadline(0, 8, scaled(5_000))
                 .expect("message was sent");
             assert_eq!((from, v), (0, 42));
         }
@@ -61,7 +79,7 @@ fn deadline_error_reports_pending_queue() {
             comm.send(1, 77, 1u8); // queued but never asked for
         } else {
             let err = comm
-                .recv_deadline::<u8>(0, 99, Duration::from_millis(100))
+                .recv_deadline::<u8>(0, 99, scaled(100))
                 .expect_err("tag 99 is never sent");
             let text = err.to_string();
             assert!(text.contains("user:99"), "missing awaited tag: {text}");
@@ -78,14 +96,12 @@ fn deadline_error_reports_pending_queue() {
 #[test]
 fn watchdog_aborts_deadlock_with_rank_dump() {
     let result = std::panic::catch_unwind(|| {
-        WorldBuilder::new(2)
-            .watchdog(Duration::from_millis(200))
-            .run(|comm| {
-                // Cross traffic on the wrong tags lands in pending, so the
-                // report can show what each rank *did* receive.
-                comm.send(1 - comm.rank(), 10 + comm.rank() as u32, 1u8);
-                let _: u8 = comm.recv(1 - comm.rank(), 55);
-            });
+        WorldBuilder::new(2).watchdog(scaled(200)).run(|comm| {
+            // Cross traffic on the wrong tags lands in pending, so the
+            // report can show what each rank *did* receive.
+            comm.send(1 - comm.rank(), 10 + comm.rank() as u32, 1u8);
+            let _: u8 = comm.recv(1 - comm.rank(), 55);
+        });
     });
     let payload = result.expect_err("deadlocked world must panic");
     let text = payload
@@ -113,8 +129,7 @@ fn fault_dropped_link_loses_messages_and_counts_them() {
             let v: u8 = comm.recv(0, 5);
             assert_eq!(v, 3);
         } else {
-            let got: minimpi::Result<(usize, u8)> =
-                comm.recv_deadline(0, 5, Duration::from_millis(50));
+            let got: minimpi::Result<(usize, u8)> = comm.recv_deadline(0, 5, scaled(50));
             assert!(got.is_err(), "dropped message was delivered");
         }
     });
@@ -136,8 +151,7 @@ fn fault_heal_restores_the_link() {
             let v: u8 = comm.recv(0, 2);
             assert_eq!(v, 2);
             assert!(
-                comm.recv_deadline::<u8>(0, 1, Duration::from_millis(50))
-                    .is_err(),
+                comm.recv_deadline::<u8>(0, 1, scaled(50)).is_err(),
                 "pre-heal message resurfaced"
             );
         }
@@ -148,7 +162,7 @@ fn fault_heal_restores_the_link() {
 #[test]
 fn fault_delay_link_slows_delivery() {
     let faults = FaultHandle::new();
-    faults.delay_link(0, 1, Duration::from_millis(40));
+    faults.delay_link(0, 1, scaled(40));
     WorldBuilder::new(2).fault_handle(faults).run(|comm| {
         if comm.rank() == 0 {
             comm.send(1, 3, 9u8);
@@ -157,7 +171,7 @@ fn fault_delay_link_slows_delivery() {
             let v: u8 = comm.recv(0, 3);
             assert_eq!(v, 9);
             assert!(
-                t0.elapsed() >= Duration::from_millis(25),
+                t0.elapsed() >= scaled(25),
                 "delay fault did not slow the link: {:?}",
                 t0.elapsed()
             );
@@ -181,18 +195,14 @@ fn fault_isolated_rank_goes_dark() {
                 }
                 1 => {
                     comm.send(2, 4, 3u8); // also dropped
-                    assert!(comm
-                        .recv_deadline::<u8>(0, 4, Duration::from_millis(50))
-                        .is_err());
+                    assert!(comm.recv_deadline::<u8>(0, 4, scaled(50)).is_err());
                 }
                 _ => {
                     let (from, v): (usize, u8) = comm
-                        .recv_deadline(minimpi::ANY_SOURCE, 4, Duration::from_secs(5))
+                        .recv_deadline(minimpi::ANY_SOURCE, 4, scaled(5_000))
                         .expect("healthy path delivers");
                     assert_eq!((from, v), (0, 2));
-                    assert!(comm
-                        .recv_deadline::<u8>(1, 4, Duration::from_millis(50))
-                        .is_err());
+                    assert!(comm.recv_deadline::<u8>(1, 4, scaled(50)).is_err());
                 }
             }
         });

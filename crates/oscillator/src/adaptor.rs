@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use datamodel::{DataArray, DataSet, Extent, ImageData};
+use datamodel::{duplicate_point_ghosts, DataArray, DataSet, Extent, ImageData, GHOST_ARRAY_NAME};
 use sensei::{AdaptorError, Association, DataAdaptor};
 
 use crate::sim::Simulation;
@@ -55,7 +55,7 @@ impl DataAdaptor for OscillatorAdaptor {
 
     fn array_names(&self, assoc: Association) -> Vec<String> {
         match assoc {
-            Association::Point => vec!["data".to_string()],
+            Association::Point => vec!["data".to_string(), GHOST_ARRAY_NAME.to_string()],
             Association::Cell => Vec::new(),
         }
     }
@@ -66,7 +66,7 @@ impl DataAdaptor for OscillatorAdaptor {
         assoc: Association,
         name: &str,
     ) -> Result<(), AdaptorError> {
-        if name != "data" {
+        if name != "data" && name != GHOST_ARRAY_NAME {
             return Err(AdaptorError::UnknownArray {
                 name: name.to_string(),
                 assoc,
@@ -85,7 +85,18 @@ impl DataAdaptor for OscillatorAdaptor {
                 detail: "oscillator produces a single structured grid".to_string(),
             });
         };
-        g.add_point_array(DataArray::shared("data", 1, Arc::clone(&self.field)));
+        if name == GHOST_ARRAY_NAME {
+            // Neighbouring blocks share a point plane (partition_extent
+            // splits cells); mark the duplicated planes so point
+            // analyses stay decomposition-invariant.
+            g.add_point_array(DataArray::owned(
+                GHOST_ARRAY_NAME,
+                1,
+                duplicate_point_ghosts(&self.local, &self.global),
+            ));
+        } else {
+            g.add_point_array(DataArray::shared("data", 1, Arc::clone(&self.field)));
+        }
         Ok(())
     }
 }
@@ -147,8 +158,10 @@ mod tests {
             let mut bridge = Bridge::new();
             bridge.register(Box::new(hist));
             bridge.execute(&OscillatorAdaptor::new(&sim), comm);
-            let local_points = sim.local_extent().num_points();
-            let total: usize = comm.allreduce_scalar(local_points, |a, b| a + b);
+            // Shared planes are ghost-marked, so the histogram counts
+            // each global point exactly once — independent of the
+            // decomposition.
+            let total = sim.global_extent().num_points();
             if comm.rank() == 0 {
                 let h = res.lock().clone().unwrap();
                 assert_eq!(h.counts.iter().sum::<u64>() as usize, total);

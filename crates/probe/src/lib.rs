@@ -20,13 +20,13 @@
 pub mod alloc;
 mod json;
 mod report;
+pub mod time;
 
 pub use json::Json;
 pub use report::{aggregate, Aggregates, CounterAgg, GaugeAgg, PhaseAgg, RankMemory, RunReport};
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
 /// Gauge name for the per-rank allocation high-water mark (bytes).
 pub const GAUGE_ALLOC_PEAK: &str = "mem/alloc_peak_bytes";
@@ -130,15 +130,16 @@ impl Probe {
         self.0.is_some()
     }
 
-    /// Start a RAII span; its wall time records under `path` on drop.
-    /// Paths are slash-separated hierarchies such as
+    /// Start a RAII span; its elapsed time (on the thread's active
+    /// [`time`] source) records under `path` on drop. Paths are
+    /// slash-separated hierarchies such as
     /// `"per-step/histogram/reduce"`.
     #[inline]
     pub fn span<'p>(&'p self, path: &'p str) -> Span<'p> {
         Span {
             probe: self,
             path,
-            start: self.0.as_ref().map(|_| Instant::now()),
+            start: self.0.as_ref().map(|_| time::now_seconds()),
         }
     }
 
@@ -243,18 +244,18 @@ fn counter_mut<'s>(state: &'s mut State, name: &str) -> &'s mut Counter {
 }
 
 /// RAII timer returned by [`Probe::span`]; records on drop. Holds no
-/// allocation and no `Instant` when the probe is off.
+/// allocation and reads no clock when the probe is off.
 pub struct Span<'p> {
     probe: &'p Probe,
     path: &'p str,
-    start: Option<Instant>,
+    start: Option<f64>,
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(t0) = self.start {
             self.probe
-                .record_span(self.path, t0.elapsed().as_secs_f64());
+                .record_span(self.path, (time::now_seconds() - t0).max(0.0));
         }
     }
 }

@@ -53,7 +53,11 @@ impl Default for Bridge {
 /// `bridge.register(analysis);` registers immediately, while builder
 /// methods refine it first:
 ///
-/// ```ignore
+/// ```
+/// # use sensei::analysis::histogram::HistogramAnalysis;
+/// # let mut bridge = sensei::bridge::Bridge::new();
+/// # let adaptor = Box::new(HistogramAnalysis::new("data", 8));
+/// # let measured_seconds = 0.25;
 /// bridge.register(adaptor).init_cost(measured_seconds);
 /// ```
 pub struct Registration<'b> {
@@ -247,9 +251,15 @@ impl Bridge {
             };
             snap.upsert_span(SpanStat::from_samples(label, self.timings.samples(cat)));
         }
-        let peak = probe::alloc::peak_bytes() as u64;
-        if peak > 0 {
-            set_gauge(&mut snap, probe::GAUGE_ALLOC_PEAK, peak);
+        // The allocation high-water mark is a process-global gauge;
+        // other concurrently running worlds bleed into it. Skip it on
+        // virtual-time (deterministically scheduled) ranks, where
+        // reports must be byte-identical across same-seed runs.
+        if !probe::time::is_virtual() {
+            let peak = probe::alloc::peak_bytes() as u64;
+            if peak > 0 {
+                set_gauge(&mut snap, probe::GAUGE_ALLOC_PEAK, peak);
+            }
         }
         snap
     }

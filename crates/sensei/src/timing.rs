@@ -2,7 +2,6 @@
 //! one-time vs. per-timestep cost decomposition (Figs. 5, 6, 8, 16).
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// Category of a recorded duration.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -75,10 +74,12 @@ impl TimingDb {
     }
 
     /// Time the closure and record it under `cat`, returning its value.
+    /// Reads [`probe::time`], so scheduled (virtual-time) ranks record
+    /// deterministic durations.
     pub fn timed<T>(&mut self, cat: Category, f: impl FnOnce() -> T) -> T {
-        let t0 = Instant::now();
+        let t0 = probe::time::now_seconds();
         let out = f();
-        self.record(cat, t0.elapsed().as_secs_f64());
+        self.record(cat, (probe::time::now_seconds() - t0).max(0.0));
         out
     }
 

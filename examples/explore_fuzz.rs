@@ -1,0 +1,188 @@
+//! Interleaving fuzzer for the substrate's riskiest surfaces: the
+//! collectives (mixed algorithms + `ANY_SOURCE` fan-in) and the
+//! ADIOS/FlexPath staging transport. `minimpi::Explorer` reruns each
+//! scenario under consecutive scheduler seeds until a time budget is
+//! spent; every run asserts schedule-independent invariants, so any
+//! panic is a real ordering bug.
+//!
+//! ```text
+//! EXPLORE_BUDGET_SECS=60 cargo run --release --example explore_fuzz
+//! ```
+//!
+//! On failure the offending delivery trace is written to
+//! `results/failing_trace_<seed>.json` (CI uploads it as an artifact)
+//! and the process exits nonzero. Replay it exactly with
+//! `WorldBuilder::sched(SchedPolicy::Replay(Trace::from_json(..)))` —
+//! see DESIGN.md §9.
+
+use std::time::Duration;
+
+use adios::staging::{run_endpoint, AdiosWriterAnalysis};
+use adios::{pair, Role};
+use minimpi::{Comm, ExploreFailure, Explorer};
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use sensei::analysis::histogram::HistogramAnalysis;
+use sensei::analysis::AnalysisAdaptor;
+
+const RANKS: usize = 6;
+const GRID: [usize; 3] = [9, 9, 9];
+const STEPS: usize = 2;
+const BINS: usize = 16;
+
+/// Mixed collectives with an `ANY_SOURCE` fan-in between them — the
+/// matching choice the scheduler randomizes hardest. Every invariant
+/// below must hold under *any* interleaving.
+fn collectives_scenario(comm: &Comm) {
+    let r = comm.rank();
+    let p = comm.size();
+
+    let sum = comm.allreduce_scalar(r as u64 + 1, |a, b| a + b);
+    assert_eq!(sum, (p * (p + 1) / 2) as u64, "allreduce sum");
+
+    let v = comm.allreduce_vec_rsag(vec![r as u64; 7], |a, b| a + b);
+    let expect = (p * (p - 1) / 2) as u64;
+    assert!(v.iter().all(|&x| x == expect), "rsag element sums");
+
+    // Fan-in on ANY_SOURCE: arrival order is the fuzzed dimension; the
+    // accumulated total must not depend on it.
+    if r == 0 {
+        let mut total = 0u64;
+        let mut seen = vec![false; p];
+        for _ in 1..p {
+            let (from, x) = comm.recv_any::<u64>(7);
+            assert!(!seen[from], "duplicate delivery from {from}");
+            seen[from] = true;
+            total += x;
+        }
+        assert_eq!(total, (1..p as u64).sum::<u64>(), "fan-in total");
+    } else {
+        comm.send(0, 7, r as u64);
+    }
+
+    let scan = comm.scan(1u64, |a, b| a + b);
+    assert_eq!(scan, r as u64 + 1, "inclusive scan");
+
+    // Split into odd/even halves and run a collective in each,
+    // exercising concurrent sub-communicators.
+    let sub = comm.split((r % 2) as u32, r as u32);
+    let members = comm.allreduce_scalar(1usize, |a, b| a + b);
+    assert_eq!(members, p);
+    let peak = sub.allreduce_scalar(r, usize::max);
+    let expect_peak = if r.is_multiple_of(2) {
+        ((p - 1) / 2) * 2
+    } else {
+        ((p - 2) / 2) * 2 + 1
+    };
+    assert_eq!(peak, expect_peak, "sub-communicator max");
+
+    // A late straggler message must still be matchable after the
+    // collectives completed (no cross-talk into collective tags).
+    if r == 1 {
+        comm.send(0, 99, 0xABu8);
+    }
+    if r == 0 {
+        let (from, got): (usize, u8) = comm.recv_any(99);
+        assert_eq!((from, got), (1, 0xAB));
+    }
+    comm.barrier();
+}
+
+/// FlexPath staging round trip: writers ship an oscillator deck, the
+/// endpoint group runs a histogram in transit. The handshake (advance /
+/// back-pressure / end-of-stream) is the most order-sensitive protocol
+/// in the repo; the invariant is that every grid point is counted once
+/// regardless of how the scheduler orders the two groups.
+fn staging_scenario(comm: &Comm, deck: &str) {
+    let writers = comm.size() / 2;
+    match pair(comm, writers) {
+        Role::Writer { sub, writer } => {
+            let cfg = SimConfig {
+                grid: GRID,
+                steps: STEPS,
+                ..SimConfig::default()
+            };
+            let root_deck = if sub.rank() == 0 { Some(deck) } else { None };
+            let mut sim = Simulation::new(&sub, cfg, root_deck);
+            let mut ship = AdiosWriterAnalysis::new(writer);
+            for _ in 0..STEPS {
+                sim.step(&sub);
+                ship.execute(&OscillatorAdaptor::new(&sim), comm);
+            }
+            ship.finalize(comm);
+        }
+        Role::Endpoint { sub, mut reader } => {
+            let hist = HistogramAnalysis::new("data", BINS);
+            let results = hist.results_handle();
+            let analyses: Vec<Box<dyn AnalysisAdaptor>> = vec![Box::new(hist)];
+            let (bridge, _report) = run_endpoint(comm, &sub, &mut reader, analyses);
+            assert_eq!(bridge.steps(), STEPS as u64, "endpoint saw every step");
+            if sub.rank() == 0 {
+                let r = results.lock().clone().expect("endpoint histogram");
+                let counted: u64 = r.counts.iter().sum();
+                let points = (GRID[0] * GRID[1] * GRID[2]) as u64;
+                assert_eq!(counted, points, "histogram counts every point once");
+                assert!(r.min <= r.max, "histogram range is ordered");
+            }
+        }
+    }
+}
+
+fn report(scenario: &str, failure: &ExploreFailure) {
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = format!("results/failing_trace_{}.json", failure.seed);
+    std::fs::write(&path, failure.trace.to_json()).expect("write trace");
+    eprintln!(
+        "FAIL [{scenario}] seed {}: {}",
+        failure.seed, failure.message
+    );
+    eprintln!("  delivery trace written to {path}");
+    eprintln!("  replay: WorldBuilder::sched(SchedPolicy::Replay(Trace::from_json(&json)))");
+}
+
+fn main() {
+    let budget_secs: f64 = std::env::var("EXPLORE_BUDGET_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+        .unwrap_or(60.0);
+    // Two scenarios share the budget; Explorer always runs each at
+    // least once even when the slice rounds down to nothing.
+    let slice = Duration::from_secs_f64(budget_secs / 2.0);
+    let base_seed = std::env::var("EXPLORE_BASE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1u64);
+    println!(
+        "explore_fuzz: {budget_secs:.0}s budget, base seed {base_seed}, {RANKS} ranks per world"
+    );
+
+    let mut failed = false;
+
+    let explorer = Explorer::new(base_seed)
+        .max_runs(usize::MAX)
+        .time_budget(slice);
+    match explorer.run(RANKS, collectives_scenario) {
+        None => println!("collectives scenario: clean"),
+        Some(f) => {
+            report("collectives", &f);
+            failed = true;
+        }
+    }
+
+    let deck = format_deck(&demo_oscillators());
+    let explorer = Explorer::new(base_seed)
+        .max_runs(usize::MAX)
+        .time_budget(slice);
+    match explorer.run(RANKS, move |comm| staging_scenario(comm, &deck)) {
+        None => println!("staging scenario: clean"),
+        Some(f) => {
+            report("staging", &f);
+            failed = true;
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("explore_fuzz: all scenarios clean within budget");
+}

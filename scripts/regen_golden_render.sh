@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerate the golden render digests (tests/golden/render_digests.json)
+# after an intentional rendering change. Inspect the diff, then commit
+# the new goldens together with the change that caused them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN_REGEN=1 cargo test --test golden_render --quiet
+git --no-pager diff -- tests/golden/render_digests.json

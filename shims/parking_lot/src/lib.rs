@@ -52,6 +52,53 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`]: `wait` reacquires
+/// through the same poison-transparent path as `lock`.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// A fresh condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and block until notified;
+    /// the lock is reacquired (poison ignored) before returning.
+    /// parking_lot-style in-place signature: the guard stays borrowed
+    /// by the caller across the wait.
+    ///
+    /// Each mutex must be paired with a single condvar (std
+    /// restriction; `std::sync::Condvar::wait` panics otherwise).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // SAFETY: the guard is moved out, consumed by `wait`, and the
+        // guard it returns is written back before anyone can observe
+        // the hole. `std::sync::Condvar::wait` does not unwind for a
+        // mutex paired with exactly one condvar (documented above as a
+        // usage requirement), so no path drops the moved-out guard
+        // twice.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let reacquired = self.inner.wait(owned).unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, reacquired);
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 /// A reader-writer lock whose acquisitions never return poison errors.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
@@ -105,6 +152,26 @@ mod tests {
         .join();
         *m.lock() += 1; // parking_lot semantics: no poison propagation
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
     }
 
     #[test]

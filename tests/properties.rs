@@ -107,6 +107,140 @@ proptest! {
         prop_assert_eq!(back, s);
     }
 
+    /// The BPL2 framing round-trips arbitrary multi-leaf steps — any
+    /// supported scalar type, any leaf assignment, ghost arrays riding
+    /// along — and encoding is byte-stable.
+    #[test]
+    fn bpl2_roundtrip_any_dtype_and_leaf_count(
+        step in any::<u64>(),
+        time in -1e9f64..1e9,
+        leaves in 1u32..5,
+        specs in proptest::collection::vec(
+            (0u8..5, proptest::array::uniform3(1u64..4), any::<u64>()),
+            1..8,
+        ),
+        attrs in proptest::collection::vec(-1e3f64..1e3, 0..6),
+    ) {
+        use datamodel::ScalarType;
+        let mut s = adios::BpStep::new(step, time);
+        for (i, &v) in attrs.iter().enumerate() {
+            s.set_attr(format!("attr_{i}"), v);
+        }
+        for (i, &(code, dims, seed)) in specs.iter().enumerate() {
+            let dtype = match code {
+                0 => ScalarType::F32,
+                1 => ScalarType::F64,
+                2 => ScalarType::I32,
+                3 => ScalarType::I64,
+                _ => ScalarType::U8,
+            };
+            let n = (dims[0] * dims[1] * dims[2]) as usize;
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            // Values drawn from the declared type's domain, so the
+            // widened-to-f64 payload is exact.
+            let data: Vec<f64> = (0..n)
+                .map(|_| match dtype {
+                    ScalarType::F32 => (next() as i32 % 1000) as f32 as f64,
+                    ScalarType::F64 => f64::from_bits(next() & !(0x7ffu64 << 52)),
+                    ScalarType::I32 => next() as i32 as f64,
+                    ScalarType::I64 => (next() as i64 % (1i64 << 52)) as f64,
+                    ScalarType::U8 => (next() as u8) as f64,
+                })
+                .collect();
+            let leaf = i as u32 % leaves;
+            s.vars.push(
+                adios::BpVar::new(format!("v{i}"), dims, [0, 0, 0], dims, data)
+                    .with_dtype(dtype)
+                    .with_leaf(leaf),
+            );
+            // A ghost deck: every variable travels with u8 duplicate
+            // flags on its leaf.
+            let flags: Vec<f64> = (0..n).map(|_| (next() & 1) as f64).collect();
+            s.vars.push(
+                adios::BpVar::new(datamodel::GHOST_ARRAY_NAME, dims, [0, 0, 0], dims, flags)
+                    .with_dtype(ScalarType::U8)
+                    .with_leaf(leaf),
+            );
+        }
+        let bytes = s.encode();
+        prop_assert_eq!(&s.encode()[..], &bytes[..], "encoding is byte-stable");
+        let back = adios::BpStep::decode(&bytes).expect("decode");
+        prop_assert_eq!(back, s);
+    }
+
+    /// Staging reconstruction is lossless: an arbitrary multi-leaf
+    /// ghosted deck pushed through `adaptor_to_step` and rebuilt by the
+    /// endpoint adaptor keeps every leaf extent, every f64 bit pattern,
+    /// and every u8 ghost flag.
+    #[test]
+    fn staging_reconstruction_preserves_leaves_and_ghosts(
+        leaf_specs in proptest::collection::vec(
+            (
+                proptest::array::uniform3(1i64..4),
+                proptest::array::uniform3(0i64..3),
+                any::<u64>(),
+            ),
+            1..4,
+        ),
+        time in -1e3f64..1e3,
+        stepno in any::<u64>(),
+    ) {
+        use adios::staging::{adaptor_to_step, BpAdaptor};
+        use datamodel::{DataSet, ImageData, MultiBlock, ScalarType, GHOST_ARRAY_NAME};
+        use sensei::DataAdaptor as _;
+        let mut mb = MultiBlock::new();
+        let mut expect = Vec::new();
+        for &(d, lo, seed) in &leaf_specs {
+            let local = Extent::new(lo, [lo[0] + d[0] - 1, lo[1] + d[1] - 1, lo[2] + d[2] - 1]);
+            let global = Extent::new([0, 0, 0], local.hi);
+            let mut g = ImageData::new(local, global);
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let vals: Vec<f64> = (0..local.num_points())
+                .map(|_| (next() as i64 % (1i64 << 52)) as f64)
+                .collect();
+            let ghosts: Vec<u8> = (0..local.num_points()).map(|_| (next() & 1) as u8).collect();
+            g.add_point_array(DataArray::owned("data", 1, vals.clone()));
+            g.add_point_array(DataArray::owned(GHOST_ARRAY_NAME, 1, ghosts.clone()));
+            mb.push(DataSet::Image(g));
+            expect.push((local, vals, ghosts));
+        }
+        let adaptor = sensei::InMemoryAdaptor::new(DataSet::Multi(mb), time, stepno);
+        let back = BpAdaptor::new(&[(0, adaptor_to_step(&adaptor))]);
+        prop_assert_eq!(back.step(), stepno);
+        prop_assert_eq!(back.time().to_bits(), time.to_bits());
+        let mesh = back.full_mesh();
+        let leaves: Vec<_> = mesh.leaves().collect();
+        prop_assert_eq!(leaves.len(), expect.len());
+        for (leaf, (local, vals, ghosts)) in leaves.iter().zip(&expect) {
+            let DataSet::Image(g) = leaf else {
+                panic!("leaf is not an image grid");
+            };
+            prop_assert_eq!(g.extent, *local);
+            let data = g.point_data.get("data").expect("data array survives");
+            prop_assert_eq!(data.scalar_type(), ScalarType::F64);
+            for (t, v) in vals.iter().enumerate() {
+                prop_assert_eq!(data.get(t, 0).to_bits(), v.to_bits());
+            }
+            let gh = g.point_data.get(GHOST_ARRAY_NAME).expect("ghosts survive");
+            prop_assert_eq!(gh.scalar_type(), ScalarType::U8);
+            for (t, &f) in ghosts.iter().enumerate() {
+                prop_assert_eq!(g.point_data.is_ghost(t), f != 0);
+            }
+        }
+    }
+
     /// PNG encode/decode round-trips arbitrary small RGB images.
     #[test]
     fn png_roundtrip(
