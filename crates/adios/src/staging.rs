@@ -22,6 +22,9 @@ use crate::flexpath::{FlexpathReader, FlexpathWriter};
 /// `vtkGhostType` u8 array recognizable as ghosts at the endpoint.
 pub fn adaptor_to_step(data: &dyn DataAdaptor) -> BpStep {
     let mesh = data.full_mesh();
+    // Sanitizer: marshaling a BP step reads every array zero-copy;
+    // hold a publish window across the walk.
+    let _publish = datamodel::publish_dataset(&mesh, "adios");
     let mut step = BpStep::new(data.step(), data.time());
     for (leaf_id, leaf) in mesh.leaves().enumerate() {
         let (local, global, attrs, spacing, origin) = match leaf {

@@ -8,9 +8,11 @@
 //! domain, the regime support culling exists for — and writes
 //! `BENCH_hotpath.json` with wall times and speedups.
 
-use std::time::Instant;
+use std::sync::Arc;
 
-use minimpi::World;
+use probe::time::Wall;
+
+use minimpi::{SchedPolicy, World, WorldBuilder};
 use oscillator::{
     format_deck, Oscillator, OscillatorAdaptor, OscillatorKind, SimConfig, Simulation,
 };
@@ -75,6 +77,15 @@ pub struct HotpathReport {
     pub allreduce_ranks: usize,
     pub allreduce_elements: usize,
     pub allreduce_rounds: usize,
+    /// Sanitizer overhead: the same seeded oscillator + histogram
+    /// bridge run on 8 ranks with the happens-before sanitizer off
+    /// (baseline) vs on (optimized field holds the sanitized time, so
+    /// `speedup()` < 1 reads as the overhead factor).
+    pub sanitizer: Section,
+    pub sanitizer_ranks: usize,
+    /// The disabled path is bitwise-identical: rank 0's histogram from
+    /// a sanitizer-off seeded run equals the sanitizer-on one.
+    pub sanitizer_bitwise_identical: bool,
     /// Cross-rank observability report of an instrumented bridge run
     /// over the same deck: per-phase min/mean/max/stddev, collective
     /// message/byte counters, per-rank memory high-water.
@@ -111,6 +122,14 @@ impl HotpathReport {
             self.allreduce.baseline_s,
             self.allreduce.optimized_s,
             self.allreduce.speedup()
+        ));
+        s.push_str(&format!(
+            "  \"sanitizer\": {{\"ranks\": {}, \"off_s\": {:.6}, \"on_s\": {:.6}, \"overhead_pct\": {:.2}, \"bitwise_identical\": {}}},\n",
+            self.sanitizer_ranks,
+            self.sanitizer.baseline_s,
+            self.sanitizer.optimized_s,
+            (self.sanitizer.optimized_s / self.sanitizer.baseline_s - 1.0) * 100.0,
+            self.sanitizer_bitwise_identical
         ));
         s.push_str(&format!(
             "  \"run_report\": {}\n",
@@ -164,7 +183,7 @@ fn time_steps(
             ..SimConfig::default()
         };
         let mut sim = Simulation::new(comm, cfg, Some(deck.as_str()));
-        let t0 = Instant::now();
+        let t0 = Wall::now();
         for _ in 0..steps {
             step_fn(&mut sim, comm);
         }
@@ -192,7 +211,7 @@ fn time_histogram(
         sim.step(comm);
         let mut hist = HistogramAnalysis::new("data", bins).with_threads(threads);
         let adaptor = OscillatorAdaptor::new(&sim);
-        let t0 = Instant::now();
+        let t0 = Wall::now();
         for _ in 0..executes {
             hist.execute(&adaptor, comm);
         }
@@ -207,7 +226,7 @@ fn time_allreduce(ranks: usize, elements: usize, rounds: usize, rsag: bool) -> f
         let v: Vec<f64> = (0..elements)
             .map(|i| (i * (comm.rank() + 1)) as f64)
             .collect();
-        let t0 = Instant::now();
+        let t0 = Wall::now();
         for _ in 0..rounds {
             let out = if rsag {
                 comm.allreduce_vec_rsag(v.clone(), |a, b| a + b)
@@ -219,6 +238,64 @@ fn time_allreduce(ranks: usize, elements: usize, rounds: usize, rsag: bool) -> f
         t0.elapsed().as_secs_f64()
     })
     .remove(0)
+}
+
+/// One seeded oscillator + histogram bridge run on `ranks` ranks,
+/// optionally with a happens-before sanitizer session installed
+/// (`Mode::Collect`, asserted clean). Returns the wall time and rank
+/// 0's histogram — the seeded schedule makes the histogram a bitwise
+/// witness that the sanitizer never perturbs results.
+fn time_sanitized_run(
+    deck: &str,
+    grid: [usize; 3],
+    steps: usize,
+    ranks: usize,
+    sanitize: bool,
+) -> (f64, sensei::analysis::histogram::HistogramResult) {
+    let deck = deck.to_string();
+    let mut builder = WorldBuilder::new(ranks).sched(SchedPolicy::Seeded(7));
+    let session = sanitize.then(|| sanitizer::Session::new(ranks, sanitizer::Mode::Collect));
+    if let Some(session) = &session {
+        builder = builder.sanitizer(Arc::clone(session));
+    }
+    let t0 = Wall::now();
+    let hist = builder
+        .run(move |comm| {
+            let cfg = SimConfig {
+                grid,
+                steps,
+                ..SimConfig::default()
+            };
+            let root_deck = if comm.rank() == 0 {
+                Some(deck.as_str())
+            } else {
+                None
+            };
+            let mut sim = Simulation::new(comm, cfg, root_deck);
+            let hist = HistogramAnalysis::new("data", 64);
+            let results = hist.results_handle();
+            let mut bridge = Bridge::new();
+            bridge.register(Box::new(hist));
+            for _ in 0..steps {
+                sim.step(comm);
+                bridge.execute(&OscillatorAdaptor::new(&sim), comm);
+            }
+            bridge.finalize(comm);
+            let hist = results.lock().take();
+            hist
+        })
+        .remove(0)
+        .expect("rank 0 histogram present");
+    let elapsed = t0.elapsed().as_secs_f64();
+    if let Some(session) = &session {
+        let findings = session.findings();
+        assert!(
+            findings.is_empty(),
+            "hot path must be sanitizer-clean, got: {:?}",
+            findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+        );
+    }
+    (elapsed, hist)
 }
 
 /// Run the full hot-path measurement.
@@ -241,6 +318,10 @@ pub fn run(grid: [usize; 3], oscillators: usize, steps: usize, threads: usize) -
     let (ranks, elements, rounds) = (8, 1 << 15, 16);
     let tree = time_allreduce(ranks, elements, rounds, false);
     let rsag = time_allreduce(ranks, elements, rounds, true);
+
+    let san_ranks = 8;
+    let (san_off, hist_off) = time_sanitized_run(&deck, grid, steps, san_ranks, false);
+    let (san_on, hist_on) = time_sanitized_run(&deck, grid, steps, san_ranks, true);
 
     let run_report = probed_run(&deck, grid, steps, 4);
 
@@ -266,6 +347,12 @@ pub fn run(grid: [usize; 3], oscillators: usize, steps: usize, threads: usize) -
         allreduce_ranks: ranks,
         allreduce_elements: elements,
         allreduce_rounds: rounds,
+        sanitizer: Section {
+            baseline_s: san_off,
+            optimized_s: san_on,
+        },
+        sanitizer_ranks: san_ranks,
+        sanitizer_bitwise_identical: hist_off == hist_on,
         run_report,
     }
 }

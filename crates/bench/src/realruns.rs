@@ -3,7 +3,7 @@
 //! the VTK-vs-collective ordering, the staging penalty — and are also
 //! the bodies of the criterion benches.
 
-use std::time::Instant;
+use probe::time::Wall;
 
 use datamodel::Extent;
 use minimpi::World;
@@ -14,7 +14,7 @@ use sensei::Bridge;
 
 /// Seconds of wall clock for `f`.
 pub fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
-    let t0 = Instant::now();
+    let t0 = Wall::now();
     let out = f();
     (t0.elapsed().as_secs_f64(), out)
 }
@@ -38,7 +38,7 @@ pub fn measure_sensei_overhead(ranks: usize, grid: usize, steps: usize) -> (f64,
                 None
             };
             let mut sim = Simulation::new(comm, cfg, root_deck);
-            let t0 = Instant::now();
+            let t0 = Wall::now();
             if use_bridge {
                 let mut bridge = Bridge::new();
                 bridge.register(Box::new(Autocorrelation::new("data", 4, 4)));
@@ -74,7 +74,7 @@ pub fn measure_write_paths(ranks: usize, grid: usize, dir: &std::path::Path) -> 
         let dims = datamodel::dims_create(comm.size());
         let local = datamodel::partition_extent(&global, dims, comm.rank());
         let values: Vec<f64> = local.iter_points().map(|p| p[0] as f64).collect();
-        let t0 = Instant::now();
+        let t0 = Wall::now();
         let piece = iosim::Piece {
             extent: local,
             global,
@@ -93,7 +93,7 @@ pub fn measure_write_paths(ranks: usize, grid: usize, dir: &std::path::Path) -> 
         let dims = datamodel::dims_create(comm.size());
         let local = datamodel::partition_extent(&global, dims, comm.rank());
         let values: Vec<f64> = local.iter_points().map(|p| p[0] as f64).collect();
-        let t0 = Instant::now();
+        let t0 = Wall::now();
         iosim::collective_write(comm, &dir_b.join("shared.bin"), &local, &global, &values, 2)
             .expect("collective write");
         t0.elapsed().as_secs_f64()
@@ -157,7 +157,7 @@ pub fn measure_staging_penalty(writers: usize, grid: usize, steps: usize) -> (f6
         };
         let mut sim = Simulation::new(comm, cfg, root_deck);
         let mut hist = HistogramAnalysis::new("data", 32);
-        let t0 = Instant::now();
+        let t0 = Wall::now();
         for _ in 0..steps {
             sim.step(comm);
             hist.execute(&OscillatorAdaptor::new(&sim), comm);
@@ -182,7 +182,7 @@ pub fn measure_staging_penalty(writers: usize, grid: usize, steps: usize) -> (f6
             };
             let mut sim = Simulation::new(&sub, cfg, root_deck);
             let mut ship = AdiosWriterAnalysis::new(writer);
-            let t0 = Instant::now();
+            let t0 = Wall::now();
             for _ in 0..steps {
                 sim.step(&sub);
                 ship.execute(&OscillatorAdaptor::new(&sim), world);

@@ -110,6 +110,10 @@ impl CatalystSliceAnalysis {
             }
             return None;
         }
+        // Sanitizer: the views staged below are zero-copy borrows of
+        // the simulation's arrays; hold a publish window for the
+        // duration of the marshal.
+        let _publish = datamodel::publish_dataset(&mesh, "catalyst");
         for leaf in mesh.leaves() {
             let (local, global, attrs) = match leaf {
                 DataSet::Image(g) => (g.extent, g.global_extent, &g.point_data),

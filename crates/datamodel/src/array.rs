@@ -194,6 +194,13 @@ macro_rules! dispatch {
 pub struct DataArray {
     name: String,
     storage: Storage,
+    /// Happens-before shadow ledger (see the `sanitizer` crate).
+    /// Attached only to zero-copy-capable arrays created while a
+    /// sanitizer context is active; clones share the ledger, so the
+    /// sanitizer follows the array's *lineage* — the logical array
+    /// the simulation publishes — not one particular allocation
+    /// (copy-on-write can silently fork the storage underneath).
+    shadow: Option<Arc<sanitizer::Shadow>>,
 }
 
 impl DataArray {
@@ -230,14 +237,18 @@ impl DataArray {
             "data length {} not a multiple of component count {num_components}",
             data.len()
         );
-        Self::from_components(
+        let mut a = Self::from_components(
             name,
             Components {
                 layout: Layout::AoS,
                 buffers: vec![Buffer::Shared(data)],
                 num_components,
             },
-        )
+        );
+        if sanitizer::active() {
+            a.shadow = Some(sanitizer::Shadow::new(&a.name));
+        }
+        a
     }
 
     /// Build an SoA array from one buffer per component; buffers may mix
@@ -250,14 +261,19 @@ impl DataArray {
             "all SoA component buffers must have equal length"
         );
         let num_components = components.len();
-        Self::from_components(
+        let any_shared = components.iter().any(|b| b.is_shared());
+        let mut a = Self::from_components(
             name,
             Components {
                 layout: Layout::SoA,
                 buffers: components,
                 num_components,
             },
-        )
+        );
+        if any_shared && sanitizer::active() {
+            a.shadow = Some(sanitizer::Shadow::new(&a.name));
+        }
+        a
     }
 
     fn from_components<T: Scalar>(name: impl Into<String>, c: Components<T>) -> Self {
@@ -271,6 +287,7 @@ impl DataArray {
         DataArray {
             name: name.into(),
             storage,
+            shadow: None,
         }
     }
 
@@ -282,6 +299,12 @@ impl DataArray {
     /// Rename the array.
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
+    }
+
+    /// The sanitizer's shadow ledger, when one is attached (zero-copy
+    /// arrays created under an active sanitizer context).
+    pub fn shadow(&self) -> Option<&Arc<sanitizer::Shadow>> {
+        self.shadow.as_ref()
     }
 
     /// The runtime scalar type.
@@ -323,6 +346,11 @@ impl DataArray {
     /// Generic element store, narrowed from `f64` (copy-on-write for
     /// shared buffers).
     pub fn set(&mut self, tuple: usize, comp: usize, v: f64) {
+        if let Some(shadow) = &self.shadow {
+            // Tuple-level write event: checks open publish windows and
+            // the ghost rule before the store lands.
+            shadow.on_write_tuple(tuple);
+        }
         match &mut self.storage {
             Storage::F32(c) => c.set(tuple, comp, v as f32),
             Storage::F64(c) => c.set(tuple, comp, v),
@@ -337,6 +365,9 @@ impl DataArray {
     pub fn typed_slice<T: Scalar>(&self) -> Option<&[T]> {
         let c = self.components_ref::<T>()?;
         if c.buffers.len() == 1 {
+            if let Some(shadow) = &self.shadow {
+                shadow.on_read();
+            }
             Some(c.buffers[0].as_slice())
         } else {
             None
@@ -347,6 +378,9 @@ impl DataArray {
     /// 1-component array).
     pub fn component_slice<T: Scalar>(&self, comp: usize) -> Option<&[T]> {
         let c = self.components_ref::<T>()?;
+        if let Some(shadow) = &self.shadow {
+            shadow.on_read();
+        }
         match c.layout {
             Layout::SoA => c.buffers.get(comp).map(|b| b.as_slice()),
             Layout::AoS if c.num_components == 1 && comp == 0 => Some(c.buffers[0].as_slice()),
@@ -360,8 +394,11 @@ impl DataArray {
             ($variant:ident, $ty:ty) => {
                 if let Storage::$variant(c) = &self.storage {
                     if T::TYPE == <$ty as Scalar>::TYPE {
-                        // Same concrete type; reinterpret the reference.
                         let ptr = c as *const Components<$ty> as *const Components<T>;
+                        // SAFETY: the `ScalarType` tags match, and tags
+                        // are in bijection with concrete element types,
+                        // so `T` and `$ty` are the same type and the
+                        // two `Components<_>` layouts are identical.
                         return Some(unsafe { &*ptr });
                     }
                 }
@@ -439,7 +476,9 @@ impl DataArray {
 /// every constructor.
 fn transmute_components<T: Scalar, U: Scalar>(c: Components<T>) -> Components<U> {
     assert_eq!(T::TYPE, U::TYPE);
-    // The representation is identical because T == U at runtime.
+    // SAFETY: the tag equality just asserted means `T` and `U` are the
+    // same concrete type (tags are in bijection with element types),
+    // so source and target are the *same* monomorphized layout.
     unsafe { std::mem::transmute::<Components<T>, Components<U>>(c) }
 }
 

@@ -1,5 +1,7 @@
 //! Point/cell attribute collections and the ghost-marking convention.
 
+use std::sync::Arc;
+
 use crate::array::DataArray;
 use crate::MemoryFootprint;
 
@@ -25,11 +27,39 @@ impl Attributes {
     }
 
     /// Add or replace an array by name.
+    ///
+    /// When the sanitizer is active and a ghost array is (or becomes)
+    /// present, the ghost flags are mirrored into the shadow ledgers of
+    /// the sibling arrays so tuple-level writes can be checked against
+    /// the ghost rule.
     pub fn insert(&mut self, array: DataArray) {
         if let Some(existing) = self.arrays.iter_mut().find(|a| a.name() == array.name()) {
             *existing = array;
         } else {
             self.arrays.push(array);
+        }
+        if sanitizer::active() {
+            self.rearm_ghost_shadows();
+        }
+    }
+
+    /// Copy the ghost flags into every shadowed sibling array's ledger.
+    /// No-op when there is no ghost array or no shadowed arrays.
+    fn rearm_ghost_shadows(&self) {
+        let Some(flags) = self
+            .get(GHOST_ARRAY_NAME)
+            .and_then(|g| g.typed_slice::<u8>())
+            .map(|s| Arc::new(s.to_vec()))
+        else {
+            return;
+        };
+        for a in &self.arrays {
+            if a.name() == GHOST_ARRAY_NAME {
+                continue;
+            }
+            if let Some(shadow) = a.shadow() {
+                shadow.arm_ghosts(Arc::clone(&flags));
+            }
         }
     }
 

@@ -31,15 +31,17 @@ pub mod decomp;
 pub mod extent;
 pub mod grids;
 pub mod multiblock;
+pub mod sanitize;
 pub mod unstructured;
 
 pub use array::{Buffer, DataArray, Layout, Scalar, ScalarType};
 pub use attributes::{Attributes, GHOST_ARRAY_NAME, GHOST_DUPLICATE};
 pub use dataset::DataSet;
-pub use decomp::{dims_create, duplicate_point_ghosts, partition_extent};
+pub use decomp::{dims_create, duplicate_point_ghosts, ghost_array, partition_extent};
 pub use extent::Extent;
 pub use grids::{ImageData, RectilinearGrid};
 pub use multiblock::MultiBlock;
+pub use sanitize::{publish_dataset, PublishGuard};
 pub use unstructured::{CellType, UnstructuredGrid};
 
 /// Anything that can report how many heap bytes it owns.

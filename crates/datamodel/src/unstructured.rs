@@ -75,7 +75,7 @@ impl UnstructuredGrid {
             "offsets length must be num_cells + 1"
         );
         assert_eq!(
-            *offsets.last().unwrap(),
+            offsets[cell_types.len()],
             connectivity.len(),
             "last offset must equal connectivity length"
         );

@@ -105,6 +105,9 @@ impl GleanWriter {
             }
             return None;
         }
+        // Sanitizer: hold a publish window while GLEAN drains the
+        // rank's block out of the zero-copy arrays.
+        let _publish = datamodel::publish_dataset(&mesh, "glean");
         for leaf in mesh.leaves() {
             let (extent, attrs) = match leaf {
                 DataSet::Image(g) => (g.extent, &g.point_data),

@@ -140,7 +140,7 @@ pub fn posthoc_analysis(
 
     for step in 0..steps {
         // Read phase.
-        let t0 = std::time::Instant::now();
+        let t0 = probe::time::Wall::now();
         let mut blocks = Vec::with_capacity(my_writers.len());
         for &w in &my_writers {
             let piece = read_piece(dir, step, w)
@@ -156,7 +156,7 @@ pub fn posthoc_analysis(
         report.read_seconds += t0.elapsed().as_secs_f64();
 
         // Process phase.
-        let t1 = std::time::Instant::now();
+        let t1 = probe::time::Wall::now();
         let adaptor = PiecesAdaptor { blocks, step };
         bridge.execute(&adaptor, comm);
         report.process_seconds += t1.elapsed().as_secs_f64();
@@ -167,7 +167,7 @@ pub fn posthoc_analysis(
     // Write phase: a small results artifact from rank 0.
     if comm.rank() == 0 {
         if let Some(path) = results_path {
-            let t2 = std::time::Instant::now();
+            let t2 = probe::time::Wall::now();
             let text = format!(
                 "posthoc steps={} readers={} writers={}\n",
                 steps,

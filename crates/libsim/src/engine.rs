@@ -93,6 +93,9 @@ impl LibsimAnalysis {
             }
             return None;
         }
+        // Sanitizer: hold a publish window while Libsim reads the
+        // simulation's zero-copy arrays.
+        let _publish = datamodel::publish_dataset(&mesh, "libsim");
         for leaf in mesh.leaves() {
             match leaf {
                 DataSet::Image(g) => {

@@ -1,0 +1,26 @@
+//! Fixture exercising every lint rule. Never compiled — the lint
+//! binary's integration tests point at this file and assert that each
+//! rule fires. Skipped by default workspace runs (`fixtures/` dirs are
+//! excluded unless named explicitly).
+
+use std::time::Instant; // R2: clock-discipline (import form)
+use std::sync::Mutex; // R3: lock-shims
+
+fn r1_unsafe_without_safety(p: *const u8) -> u8 {
+    unsafe { *p } // R1: safety-comment
+}
+
+fn r2_instant_use() -> f64 {
+    let t0 = std::time::Instant::now(); // R2: clock-discipline
+    t0.elapsed().as_secs_f64()
+}
+
+fn r3_lock_use() {
+    let m = std::sync::Mutex::new(0u32); // R3: lock-shims
+    let _ = m.lock();
+}
+
+fn ok_unsafe(p: *const u8) -> u8 {
+    // SAFETY: fixture-only; the caller passes a valid pointer.
+    unsafe { *p }
+}

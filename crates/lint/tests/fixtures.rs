@@ -1,0 +1,70 @@
+//! End-to-end tests for the lint binary: the workspace fixtures must
+//! trip every rule when named explicitly, stay invisible to default
+//! runs, and a clean source must pass.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lint_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_lint")
+}
+
+/// Repo root: this file lives at `crates/lint/tests/fixtures.rs`.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+#[test]
+fn violating_fixture_trips_r1_r2_r3() {
+    let out = Command::new(lint_bin())
+        .current_dir(repo_root())
+        .arg("crates/lint/fixtures/violations.rs")
+        .output()
+        .expect("lint binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "violating fixture must fail lint");
+    assert!(stdout.contains("[safety-comment]"), "R1 fires: {stdout}");
+    assert!(stdout.contains("[clock-discipline]"), "R2 fires: {stdout}");
+    assert!(stdout.contains("[lock-shims]"), "R3 fires: {stdout}");
+    // The commented `unsafe` block passes: exactly one R1 finding.
+    assert_eq!(
+        stdout.matches("[safety-comment]").count(),
+        1,
+        "SAFETY-commented unsafe must not fire: {stdout}"
+    );
+}
+
+#[test]
+fn violating_fixture_trips_r4_in_core_paths() {
+    let out = Command::new(lint_bin())
+        .current_dir(repo_root())
+        .arg("crates/lint/fixtures/minimpi/unwrap.rs")
+        .output()
+        .expect("lint binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "core-path fixture must fail lint");
+    // Two findings (unwrap + expect); the cfg(test) unwrap is exempt.
+    assert_eq!(
+        stdout.matches("[no-unwrap-core]").count(),
+        2,
+        "exactly the two non-test sites fire: {stdout}"
+    );
+}
+
+#[test]
+fn default_run_skips_fixtures_and_passes_workspace() {
+    let out = Command::new(lint_bin())
+        .current_dir(repo_root())
+        .output()
+        .expect("lint binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "workspace must be lint-clean (fixtures skipped): {stdout}"
+    );
+    assert!(stdout.contains("clean"), "summary line present: {stdout}");
+}

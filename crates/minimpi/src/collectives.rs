@@ -60,7 +60,9 @@ impl Comm {
             }
             mask <<= 1;
         }
-        let value = value.expect("bcast: internal tree error");
+        let Some(value) = value else {
+            panic!("bcast: internal tree error")
+        };
 
         // Forward to children, highest-order bit first.
         let mut mask = mask >> 1;
@@ -300,7 +302,7 @@ impl Comm {
             Some(
                 slots
                     .into_iter()
-                    .map(|s| s.expect("gather: hole"))
+                    .map(|s| s.unwrap_or_else(|| panic!("gather: hole")))
                     .collect(),
             )
         } else {
@@ -323,7 +325,9 @@ impl Comm {
         assert!(root < p, "scatter: root {root} out of range for size {p}");
         let tag = self.collective_tag(CollectiveKind::Scatter);
         if self.rank() == root {
-            let values = values.expect("scatter: root must supply Some(values)");
+            let Some(values) = values else {
+                panic!("scatter: root must supply Some(values)")
+            };
             assert_eq!(values.len(), p, "scatter: need one value per rank");
             let mut mine = None;
             for (dest, v) in values.into_iter().enumerate() {
@@ -333,7 +337,7 @@ impl Comm {
                     self.send_tagged(dest, tag, v);
                 }
             }
-            mine.expect("scatter: root element missing")
+            mine.unwrap_or_else(|| panic!("scatter: root element missing"))
         } else {
             assert!(
                 values.is_none(),
@@ -364,7 +368,7 @@ impl Comm {
         }
         slots
             .into_iter()
-            .map(|s| s.expect("alltoall: hole"))
+            .map(|s| s.unwrap_or_else(|| panic!("alltoall: hole")))
             .collect()
     }
 
@@ -431,7 +435,9 @@ fn allgather_ring<T: Clone + Send + 'static>(comm: &Comm, tag: Tag, value: T) ->
     let right = (me + 1) % p;
     let left = (me + p - 1) % p;
     // Step k forwards the block that originated k ranks to the left.
-    let mut forward: T = slots[me].clone().expect("own slot");
+    let mut forward: T = slots[me]
+        .clone()
+        .unwrap_or_else(|| panic!("allgather: own slot missing"));
     for step in 0..p - 1 {
         comm.send_tagged(right, tag, forward);
         let incoming: T = comm.recv_tagged(left, tag).1;
@@ -441,7 +447,7 @@ fn allgather_ring<T: Clone + Send + 'static>(comm: &Comm, tag: Tag, value: T) ->
     }
     slots
         .into_iter()
-        .map(|s| s.expect("allgather: hole"))
+        .map(|s| s.unwrap_or_else(|| panic!("allgather: hole")))
         .collect()
 }
 

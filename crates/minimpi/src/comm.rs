@@ -4,9 +4,10 @@ use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use probe::time::Wall;
 
 use crate::envelope::{CollectiveKind, Envelope, Tag, ANY_SOURCE};
 use crate::fault::{FaultAction, FaultHandle};
@@ -197,8 +198,14 @@ impl Comm {
                 probe.message(name, payload_bytes(&value) as u64);
             }
         }
+        // Sanitizer stamp: ticks this rank's vector clock and registers
+        // the message as in flight. Registered *before* the fault check
+        // so a fault-dropped message stays registered — exactly the
+        // leak the teardown check reports. `None` when the sanitizer
+        // is off (the common case: one thread-local read).
+        let to_slot = self.peer_slots.get(dest).copied().unwrap_or(dest);
+        let stamp = sanitizer::on_send(to_slot, || tag.to_string());
         if let Some(faults) = &self.faults {
-            let to_slot = self.peer_slots.get(dest).copied().unwrap_or(dest);
             match faults.action(self.slot, to_slot) {
                 FaultAction::Deliver => {}
                 FaultAction::Drop => {
@@ -219,13 +226,17 @@ impl Comm {
                 src: self.rank,
                 tag,
                 payload: Box::new(value),
+                stamp: stamp.clone(),
             })
             .is_ok();
         if delivered {
             if let Some(sched) = &self.sched {
-                let to_slot = self.peer_slots.get(dest).copied().unwrap_or(dest);
                 sched.on_send(self.slot, to_slot, tag);
             }
+        } else if let Some(stamp) = &stamp {
+            // The receiver's channel is gone: the message never entered
+            // flight, so it must not count as a leak.
+            sanitizer::cancel_send(stamp);
         }
         delivered
     }
@@ -322,10 +333,11 @@ impl Comm {
         // Fast path: already pending.
         if let Some(env) = self.take_pending(src, tag) {
             self.note_progress();
+            self.note_delivery(&env);
             return Ok(env);
         }
         self.check_pending_for_mismatch(src, tag);
-        let start = Instant::now();
+        let start = Wall::now();
         self.publish_blocked(src, tag, start);
         let outcome = loop {
             let wait = match deadline {
@@ -342,6 +354,7 @@ impl Comm {
                 Ok(env) => {
                     if env.tag == tag && (src == ANY_SOURCE || env.src == src) {
                         self.note_progress();
+                        self.note_delivery(&env);
                         break Ok(env);
                     }
                     self.check_envelope_for_mismatch(&env, src, tag);
@@ -382,6 +395,7 @@ impl Comm {
         loop {
             self.drain_channel();
             if let Some(env) = self.take_pending_sched(sched, src, tag) {
+                self.note_delivery(&env);
                 return Ok(env);
             }
             self.check_pending_for_mismatch(src, tag);
@@ -499,7 +513,17 @@ impl Comm {
         }
     }
 
-    fn publish_blocked(&self, src: usize, tag: Tag, since: Instant) {
+    /// Sanitizer delivery hook: merge the sender's piggybacked clock
+    /// into this rank's (the happens-before edge every safety argument
+    /// leans on) and clear the in-flight registration. A no-op when
+    /// the envelope is unstamped or the sanitizer is off.
+    fn note_delivery(&self, env: &Envelope) {
+        if let Some(stamp) = &env.stamp {
+            sanitizer::on_recv(stamp);
+        }
+    }
+
+    fn publish_blocked(&self, src: usize, tag: Tag, since: Wall) {
         let Some(monitor) = &self.monitor else {
             return;
         };
@@ -587,7 +611,7 @@ impl Comm {
         let new_rank = members
             .iter()
             .position(|i| i.old_rank == self.rank)
-            .expect("split: own rank missing from its color group");
+            .unwrap_or_else(|| panic!("split: own rank missing from its color group"));
         let senders: Vec<Sender<Envelope>> = members.iter().map(|i| i.sender.clone()).collect();
         let peer_slots: Arc<Vec<usize>> = Arc::new(members.iter().map(|i| i.slot).collect());
         let sub = Comm::new(new_rank, Arc::new(senders), rx).with_runtime(

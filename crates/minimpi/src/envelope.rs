@@ -124,6 +124,10 @@ pub struct Envelope {
     pub tag: Tag,
     /// Owned, type-erased payload. Downcast by the typed `recv`.
     pub payload: Box<dyn Any + Send>,
+    /// Happens-before metadata piggybacked by the sanitizer: the
+    /// sender's vector clock at send time, merged into the receiver's
+    /// clock on delivery. `None` whenever the sanitizer is off.
+    pub stamp: Option<sanitizer::Stamp>,
 }
 
 impl std::fmt::Debug for Envelope {

@@ -11,7 +11,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use probe::time::Wall;
 
 use parking_lot::Mutex;
 
@@ -34,7 +36,7 @@ pub(crate) struct BlockedInfo {
     /// Awaited tag.
     pub tag: Tag,
     /// When the rank started waiting.
-    pub since: Instant,
+    pub since: Wall,
     /// Snapshot of unmatched `(src, tag)` pairs in the pending queue.
     pub pending: Vec<(usize, Tag)>,
 }
@@ -178,7 +180,7 @@ impl Monitor {
 /// condition must hold before aborting.
 pub(crate) fn run_watchdog(monitor: Arc<Monitor>, grace: Duration) {
     let poll = (grace / 8).clamp(Duration::from_millis(5), Duration::from_millis(250));
-    let mut stuck: Option<(Instant, u64)> = None;
+    let mut stuck: Option<(Wall, u64)> = None;
     loop {
         std::thread::sleep(poll);
         if monitor.all_finished() || monitor.aborted() {
@@ -197,7 +199,7 @@ pub(crate) fn run_watchdog(monitor: Arc<Monitor>, grace: Duration) {
                     return;
                 }
             }
-            _ => stuck = Some((Instant::now(), progress)),
+            _ => stuck = Some((Wall::now(), progress)),
         }
     }
 }

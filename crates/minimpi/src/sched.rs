@@ -654,6 +654,7 @@ pub struct Explorer {
     base_seed: u64,
     max_runs: usize,
     time_budget: Option<Duration>,
+    sanitize: bool,
 }
 
 impl Explorer {
@@ -663,6 +664,7 @@ impl Explorer {
             base_seed,
             max_runs: 64,
             time_budget: None,
+            sanitize: false,
         }
     }
 
@@ -676,6 +678,16 @@ impl Explorer {
     /// (checked between runs; a run in flight completes).
     pub fn time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Race hunting: install a fresh happens-before sanitizer session
+    /// (`sanitizer::Mode::Collect`) on every run. A run whose schedule
+    /// passes all program asserts but trips the sanitizer still counts
+    /// as a failure — its findings become the failure message, with
+    /// the same replayable seed + trace as a panic.
+    pub fn sanitize(mut self) -> Self {
+        self.sanitize = true;
         self
     }
 
@@ -697,7 +709,7 @@ impl Explorer {
         F: Fn(&crate::Comm) + Send + Sync + 'static,
     {
         let f = Arc::new(f);
-        let t0 = std::time::Instant::now();
+        let t0 = probe::time::Wall::now();
         for i in 0..self.max_runs {
             if let Some(budget) = self.time_budget {
                 if t0.elapsed() >= budget && i > 0 {
@@ -707,9 +719,18 @@ impl Explorer {
             let seed = self.base_seed.wrapping_add(i as u64);
             let cell = TraceCell::new();
             let g = Arc::clone(&f);
-            let builder = configure(crate::WorldBuilder::new(size))
+            // Collect mode: a data race must not abort the run mid-way
+            // (the program asserts still get their chance); findings
+            // are promoted to a failure after a clean exit.
+            let session = self
+                .sanitize
+                .then(|| sanitizer::Session::new(size, sanitizer::Mode::Collect));
+            let mut builder = configure(crate::WorldBuilder::new(size))
                 .sched(SchedPolicy::Seeded(seed))
                 .trace_cell(&cell);
+            if let Some(session) = &session {
+                builder = builder.sanitizer(Arc::clone(session));
+            }
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
                 builder.run(move |comm| g(comm));
             }));
@@ -719,6 +740,21 @@ impl Explorer {
                     trace: cell.take().unwrap_or_default(),
                     message: panic_text(&*payload),
                 });
+            }
+            if let Some(session) = &session {
+                let findings = session.findings();
+                if !findings.is_empty() {
+                    let message = findings
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    return Some(ExploreFailure {
+                        seed,
+                        trace: cell.take().unwrap_or_default(),
+                        message,
+                    });
+                }
             }
         }
         None

@@ -53,6 +53,7 @@ pub struct WorldBuilder {
     faults: Option<FaultHandle>,
     sched_policy: SchedPolicy,
     trace_cell: Option<TraceCell>,
+    sanitizer: Option<Arc<sanitizer::Session>>,
 }
 
 impl WorldBuilder {
@@ -67,6 +68,7 @@ impl WorldBuilder {
             faults: None,
             sched_policy: SchedPolicy::Os,
             trace_cell: None,
+            sanitizer: None,
         }
     }
 
@@ -127,6 +129,17 @@ impl WorldBuilder {
         self
     }
 
+    /// Install a happens-before sanitizer session for this world; see
+    /// the `sanitizer` crate. Every rank thread gets a per-rank
+    /// context (vector clock + shadow-state hooks); world teardown
+    /// runs the message/view leak check. Without this call the world
+    /// still auto-installs a `Mode::Panic` session when the
+    /// `SENSEI_SANITIZER` env var is set (checked per run).
+    pub fn sanitizer(mut self, session: Arc<sanitizer::Session>) -> Self {
+        self.sanitizer = Some(session);
+        self
+    }
+
     /// Launch the world; see [`World::run`].
     pub fn run<T, F>(self, f: F) -> Vec<T>
     where
@@ -143,6 +156,20 @@ impl WorldBuilder {
             SchedPolicy::Os => None,
             policy => Some(Sched::new(self.size, policy)),
         };
+        // Sanitizer session: explicit via the builder, else env-gated
+        // (read every run so one process can toggle on/off runs).
+        let session = self.sanitizer.clone().or_else(|| {
+            sanitizer::env_enabled()
+                .then(|| sanitizer::Session::new(self.size, sanitizer::Mode::Panic))
+        });
+        if let Some(session) = &session {
+            // Stamp findings with the replay seed of this schedule.
+            session.set_seed(match &self.sched_policy {
+                SchedPolicy::Seeded(seed) => Some(*seed),
+                SchedPolicy::Replay(trace) => trace.seed,
+                SchedPolicy::Os => None,
+            });
+        }
 
         // Under the deterministic scheduler deadlocks are detected
         // exactly (empty ready set), so the wall-clock watchdog — which
@@ -154,7 +181,7 @@ impl WorldBuilder {
             thread::Builder::new()
                 .name(format!("{}-watchdog", self.name_prefix))
                 .spawn(move || run_watchdog(monitor, grace))
-                .expect("failed to spawn watchdog thread");
+                .unwrap_or_else(|e| panic!("failed to spawn watchdog thread: {e}"));
         }
 
         let handles: Vec<_> = receivers
@@ -167,6 +194,7 @@ impl WorldBuilder {
                 let peer_slots = Arc::clone(&peer_slots);
                 let faults = self.faults.clone();
                 let sched = sched.clone();
+                let session = session.clone();
                 let name = format!("{}-{rank}", self.name_prefix);
                 thread::Builder::new()
                     .name(name)
@@ -176,6 +204,12 @@ impl WorldBuilder {
                         // virtual clock so recorded timings are
                         // byte-identical across same-seed runs.
                         let _vt = sched.as_ref().map(|_| probe::time::install_virtual());
+                        // Per-rank sanitizer context: this thread's
+                        // vector clock plus the hooks the transport
+                        // and data model call into.
+                        let _san = session
+                            .as_ref()
+                            .map(|s| sanitizer::install(Arc::clone(s), rank));
                         // Marks the rank finished even on unwind, so the
                         // watchdog never waits on a dead rank.
                         let _finish = FinishGuard {
@@ -201,7 +235,7 @@ impl WorldBuilder {
                         );
                         f(&comm)
                     })
-                    .expect("failed to spawn rank thread")
+                    .unwrap_or_else(|e| panic!("failed to spawn rank thread: {e}"))
             })
             .collect();
 
@@ -214,6 +248,20 @@ impl WorldBuilder {
                     if panic.is_none() {
                         panic = Some(e);
                     }
+                }
+            }
+        }
+        // Sanitizer leak check: only when every rank returned cleanly
+        // (after a rank panic, unconsumed messages are expected
+        // fallout, not leaks). A Panic-mode finding here unwinds like
+        // a rank panic so the trace-printing path below still runs.
+        if panic.is_none() {
+            if let Some(session) = &session {
+                let check = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    session.finish_world();
+                }));
+                if let Err(e) = check {
+                    panic = Some(e);
                 }
             }
         }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use datamodel::{duplicate_point_ghosts, DataArray, DataSet, Extent, ImageData, GHOST_ARRAY_NAME};
+use datamodel::{ghost_array, DataArray, DataSet, Extent, ImageData, GHOST_ARRAY_NAME};
 use sensei::{AdaptorError, Association, DataAdaptor};
 
 use crate::sim::Simulation;
@@ -89,11 +89,7 @@ impl DataAdaptor for OscillatorAdaptor {
             // Neighbouring blocks share a point plane (partition_extent
             // splits cells); mark the duplicated planes so point
             // analyses stay decomposition-invariant.
-            g.add_point_array(DataArray::owned(
-                GHOST_ARRAY_NAME,
-                1,
-                duplicate_point_ghosts(&self.local, &self.global),
-            ));
+            g.add_point_array(ghost_array(&self.local, &self.global));
         } else {
             g.add_point_array(DataArray::shared("data", 1, Arc::clone(&self.field)));
         }

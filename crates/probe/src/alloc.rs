@@ -65,7 +65,10 @@ pub struct TrackingAllocator;
 
 unsafe impl GlobalAlloc for TrackingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
+        // SAFETY: `layout` is the caller's layout, forwarded unchanged;
+        // our caller upholds `GlobalAlloc::alloc`'s contract (non-zero
+        // size) and we add nothing that could invalidate it.
+        let p = unsafe { System.alloc(layout) };
         if !p.is_null() {
             credit(layout.size());
         }
@@ -73,7 +76,9 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc_zeroed(layout);
+        // SAFETY: same delegation as `alloc` — the caller's layout
+        // contract passes straight through to the system allocator.
+        let p = unsafe { System.alloc_zeroed(layout) };
         if !p.is_null() {
             credit(layout.size());
         }
@@ -81,12 +86,18 @@ unsafe impl GlobalAlloc for TrackingAllocator {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
+        // SAFETY: `ptr` was returned by `alloc`/`alloc_zeroed`/`realloc`
+        // above, which all delegate to `System`, so `ptr` came from
+        // `System` with this same `layout` (caller's contract).
+        unsafe { System.dealloc(ptr, layout) };
         debit(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        let p = System.realloc(ptr, layout, new_size);
+        // SAFETY: `ptr`/`layout` obey the caller's `realloc` contract
+        // and every block we hand out originates from `System`, so the
+        // delegation preserves the allocator pairing.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
         if !p.is_null() {
             debit(layout.size());
             credit(new_size);

@@ -1,8 +1,9 @@
 //! Cross-rank observability: the measurement layer behind the paper's
 //! per-rank cost decompositions and memory-overhead tables.
 //!
-//! The crate is dependency-free so every layer of the workspace (the
-//! MPI substrate included) can hold a [`Probe`] without dependency
+//! The crate sits at the bottom of the workspace (its only dependency
+//! is the in-tree `parking_lot` lock shim) so every layer — the MPI
+//! substrate included — can hold a [`Probe`] without dependency
 //! cycles. A probe is a cheap cloneable handle in one of two states:
 //!
 //! * [`off`]: a `const` no-op handle. Every recording method starts
@@ -26,7 +27,9 @@ pub use json::Json;
 pub use report::{aggregate, Aggregates, CounterAgg, GaugeAgg, PhaseAgg, RankMemory, RunReport};
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 
 /// Gauge name for the per-rank allocation high-water mark (bytes).
 pub const GAUGE_ALLOC_PEAK: &str = "mem/alloc_peak_bytes";
@@ -147,7 +150,7 @@ impl Probe {
     #[inline]
     pub fn record_span(&self, path: &str, seconds: f64) {
         if let Some(inner) = &self.0 {
-            let mut state = inner.state.lock().unwrap();
+            let mut state = inner.state.lock();
             match state.spans.get_mut(path) {
                 Some(w) => w.push(seconds),
                 None => {
@@ -164,7 +167,7 @@ impl Probe {
     #[inline]
     pub fn call(&self, name: &str) {
         if let Some(inner) = &self.0 {
-            let mut state = inner.state.lock().unwrap();
+            let mut state = inner.state.lock();
             counter_mut(&mut state, name).calls += 1;
         }
     }
@@ -173,7 +176,7 @@ impl Probe {
     #[inline]
     pub fn message(&self, name: &str, bytes: u64) {
         if let Some(inner) = &self.0 {
-            let mut state = inner.state.lock().unwrap();
+            let mut state = inner.state.lock();
             let c = counter_mut(&mut state, name);
             c.messages += 1;
             c.bytes += bytes;
@@ -184,7 +187,7 @@ impl Probe {
     #[inline]
     pub fn gauge_max(&self, name: &str, value: u64) {
         if let Some(inner) = &self.0 {
-            let mut state = inner.state.lock().unwrap();
+            let mut state = inner.state.lock();
             match state.gauges.get_mut(name) {
                 Some(g) => *g = (*g).max(value),
                 None => {
@@ -199,7 +202,7 @@ impl Probe {
         let Some(inner) = &self.0 else {
             return Snapshot::default();
         };
-        let state = inner.state.lock().unwrap();
+        let state = inner.state.lock();
         Snapshot {
             spans: state
                 .spans

@@ -17,7 +17,7 @@
 
 use std::cell::Cell;
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Seconds a virtual clock advances per [`now_seconds`] call: 100 ns.
 /// Small enough that virtual spans stay far below any real-time
@@ -62,6 +62,36 @@ pub fn is_virtual() -> bool {
 pub fn install_virtual() -> VirtualTimeGuard {
     let prev = VIRTUAL_TICKS.with(|v| v.replace(Some(0)));
     VirtualTimeGuard { prev }
+}
+
+/// A wall-clock instant for *control flow*: watchdog grace periods,
+/// poll deadlines, exploration budgets — places that must track real
+/// elapsed time even on a thread whose measurement clock is virtual.
+///
+/// This is the workspace's only sanctioned wrapper around
+/// [`std::time::Instant`]; the lint pass (`cargo run -p lint`) rejects
+/// direct `Instant`/`SystemTime` use outside this module so that every
+/// *measured* duration flows through [`now_seconds`] (and stays
+/// deterministic under the virtual source), while timeout logic
+/// explicitly opts into real time by naming `Wall`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Wall(Instant);
+
+impl Wall {
+    /// The current wall-clock instant (always real time, never virtual).
+    pub fn now() -> Self {
+        Wall(Instant::now())
+    }
+
+    /// Real time elapsed since this instant.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+
+    /// Real time between `earlier` and this instant (zero if negative).
+    pub fn duration_since(&self, earlier: Wall) -> Duration {
+        self.0.saturating_duration_since(earlier.0)
+    }
 }
 
 /// Restores the thread's previous time source on drop; see
@@ -114,6 +144,17 @@ mod tests {
             assert!(is_virtual());
         }
         assert!(!is_virtual());
+    }
+
+    #[test]
+    fn wall_clock_is_real_even_under_virtual_time() {
+        let _g = install_virtual();
+        let t0 = Wall::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(1));
+        let t1 = Wall::now();
+        assert!(t1.duration_since(t0) >= std::time::Duration::from_millis(1));
+        assert_eq!(t0.duration_since(t1), std::time::Duration::ZERO);
     }
 
     #[test]

@@ -139,6 +139,11 @@ pub trait DataAdaptor {
 
     /// Release references to simulation data after the bridge finishes a
     /// step. Default: nothing (adaptors built per step need no release).
+    ///
+    /// This call is the happens-before edge the sanitizer keys on: the
+    /// bridge's publish window over the adaptor's arrays closes right
+    /// after it, so simulation writes that wait for `Bridge::execute`
+    /// to return are ordered after every staged zero-copy view.
     fn release_data(&self) {}
 }
 

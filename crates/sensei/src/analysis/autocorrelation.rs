@@ -261,7 +261,7 @@ impl AnalysisAdaptor for Autocorrelation {
                     cell: self.ids.get(i).copied().unwrap_or(i as u64),
                 })
                 .collect();
-            peaks.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap());
+            peaks.sort_by(|a, b| b.value.total_cmp(&a.value));
             peaks.truncate(self.k);
             local.push(peaks);
         }
@@ -272,7 +272,7 @@ impl AnalysisAdaptor for Autocorrelation {
         let merged = comm.reduce(0, local, move |mut a, b| {
             for (lag, peaks) in b.into_iter().enumerate() {
                 a[lag].extend(peaks);
-                a[lag].sort_by(|x, y| y.value.partial_cmp(&x.value).unwrap());
+                a[lag].sort_by(|x, y| y.value.total_cmp(&x.value));
                 a[lag].truncate(k);
             }
             a

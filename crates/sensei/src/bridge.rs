@@ -160,6 +160,17 @@ impl Bridge {
         }
         let _bridge_span = self.probe.span("per-step/bridge");
         self.steps += 1;
+        // Sanitizer: the bridge is the zero-copy staging boundary — for
+        // the rest of this step every analysis (and through them the
+        // endpoints) reads the adaptor's arrays in place. Hold one
+        // publish window over everything the adaptor can stage, closing
+        // it only after release_data(). Guarded so the extra full_mesh
+        // materialization costs nothing when the sanitizer is off.
+        let _publish = if sanitizer::active() {
+            Some(datamodel::publish_dataset(&data.full_mesh(), "bridge"))
+        } else {
+            None
+        };
         let mut stop: Option<StopInfo> = None;
         for analysis in &mut self.analyses {
             let label = Category::PerStep(analysis.name().to_string());
@@ -207,6 +218,10 @@ impl Bridge {
     pub fn finalize(&mut self, comm: &Comm) -> RunReport {
         assert!(!self.finalized, "bridge already finalized");
         self.finalized = true;
+        // Sanitizer: by finalize, every zero-copy publish window must
+        // have closed — an endpoint still holding a staged view here
+        // is a leak (reported per window, with the opening clock).
+        sanitizer::check_view_leaks("Bridge::finalize");
         for analysis in &mut self.analyses {
             let label = Category::Finalize(analysis.name().to_string());
             self.timings.timed(label, || analysis.finalize(comm));

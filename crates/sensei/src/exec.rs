@@ -77,7 +77,7 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("exec: chunk worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect()
         }),
     }

@@ -14,11 +14,20 @@
 //! and the process exits nonzero. Replay it exactly with
 //! `WorldBuilder::sched(SchedPolicy::Replay(Trace::from_json(..)))` —
 //! see DESIGN.md §9.
+//!
+//! Every scenario also runs in race-hunting mode
+//! ([`Explorer::sanitize`]): each run carries a happens-before
+//! sanitizer session, so a schedule that makes a zero-copy publish
+//! race or leaks a message fails with the same replayable trace that
+//! a deadlock or invariant panic would — sanitizer traces land next
+//! to deadlock traces in `results/`.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use adios::staging::{run_endpoint, AdiosWriterAnalysis};
 use adios::{pair, Role};
+use datamodel::{DataArray, DataSet, Extent, ImageData};
 use minimpi::{Comm, ExploreFailure, Explorer};
 use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
 use sensei::analysis::histogram::HistogramAnalysis;
@@ -127,6 +136,47 @@ fn staging_scenario(comm: &Comm, deck: &str) {
     }
 }
 
+/// Zero-copy publish discipline under fuzzing: each rank stages its
+/// shared field to an endpoint-shaped window, exchanges halo-style
+/// messages, and only mutates the field after the window closed and
+/// the neighbor's ack arrived. Correct by construction — so any
+/// sanitizer finding here is a schedule the happens-before edges do
+/// not actually cover, i.e. a real race.
+fn publish_scenario(comm: &Comm) {
+    let r = comm.rank();
+    let p = comm.size();
+    let whole = Extent::whole([4, 4, 1]);
+    let mut img = ImageData::new(whole, whole);
+    let n = img.num_points();
+    img.point_data
+        .insert(DataArray::shared("u", 1, Arc::new(vec![r as f64; n])));
+    let mut data = DataSet::Image(img);
+
+    for step in 0..2u64 {
+        // Stage the field; the guard models an endpoint holding
+        // zero-copy views for the duration of the marshal.
+        let guard = datamodel::publish_dataset(&data, "fuzz");
+        // Endpoint-side read while staged (reads are always safe).
+        if let DataSet::Image(g) = &data {
+            let arr = g.point_data.get("u").expect("field present");
+            let _sum: f64 = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).sum();
+        }
+        drop(guard);
+        // Message edge to the neighbor: the recv merges the sender's
+        // clock, ordering the sender's release before our next write.
+        let next = (r + 1) % p;
+        let prev = (r + p - 1) % p;
+        comm.send(next, 40 + step as u32, r as u64);
+        let _ = comm.recv::<u64>(prev, 40 + step as u32);
+        // Mutate only after our own release and the neighbor's ack.
+        if let DataSet::Image(g) = &mut data {
+            let arr = g.point_data.get_mut("u").expect("field present");
+            arr.set(0, 0, step as f64);
+        }
+    }
+    comm.barrier();
+}
+
 fn report(scenario: &str, failure: &ExploreFailure) {
     std::fs::create_dir_all("results").expect("results dir");
     let path = format!("results/failing_trace_{}.json", failure.seed);
@@ -145,9 +195,9 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|s: &f64| s.is_finite() && *s > 0.0)
         .unwrap_or(60.0);
-    // Two scenarios share the budget; Explorer always runs each at
+    // Three scenarios share the budget; Explorer always runs each at
     // least once even when the slice rounds down to nothing.
-    let slice = Duration::from_secs_f64(budget_secs / 2.0);
+    let slice = Duration::from_secs_f64(budget_secs / 3.0);
     let base_seed = std::env::var("EXPLORE_BASE_SEED")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -160,7 +210,8 @@ fn main() {
 
     let explorer = Explorer::new(base_seed)
         .max_runs(usize::MAX)
-        .time_budget(slice);
+        .time_budget(slice)
+        .sanitize();
     match explorer.run(RANKS, collectives_scenario) {
         None => println!("collectives scenario: clean"),
         Some(f) => {
@@ -172,11 +223,24 @@ fn main() {
     let deck = format_deck(&demo_oscillators());
     let explorer = Explorer::new(base_seed)
         .max_runs(usize::MAX)
-        .time_budget(slice);
+        .time_budget(slice)
+        .sanitize();
     match explorer.run(RANKS, move |comm| staging_scenario(comm, &deck)) {
         None => println!("staging scenario: clean"),
         Some(f) => {
             report("staging", &f);
+            failed = true;
+        }
+    }
+
+    let explorer = Explorer::new(base_seed)
+        .max_runs(usize::MAX)
+        .time_budget(slice)
+        .sanitize();
+    match explorer.run(RANKS, publish_scenario) {
+        None => println!("zero-copy publish scenario: clean"),
+        Some(f) => {
+            report("publish", &f);
             failed = true;
         }
     }

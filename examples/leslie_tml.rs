@@ -42,10 +42,10 @@ fn main() {
             );
         }
         for step in 0..STEPS {
-            let t = std::time::Instant::now();
+            let t = probe::time::Wall::now();
             sim.step(comm);
             let solver = t.elapsed().as_secs_f64();
-            let t = std::time::Instant::now();
+            let t = probe::time::Wall::now();
             bridge.execute(&LeslieAdaptor::new(&sim), comm);
             let sensei_cost = t.elapsed().as_secs_f64();
             let energy = sim.kinetic_energy(comm);

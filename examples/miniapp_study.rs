@@ -67,7 +67,7 @@ fn main() {
     ] {
         let deck = format_deck(&demo_oscillators());
         let rows = World::run(ranks, move |comm| {
-            let t_init = std::time::Instant::now();
+            let t_init = probe::time::Wall::now();
             let cfg = SimConfig {
                 grid: [grid, grid, grid],
                 steps: STEPS,
@@ -91,14 +91,14 @@ fn main() {
             let mut sim_s = 0.0;
             let mut ana_s = 0.0;
             for _ in 0..STEPS {
-                let t = std::time::Instant::now();
+                let t = probe::time::Wall::now();
                 sim.step(comm);
                 sim_s += t.elapsed().as_secs_f64();
-                let t = std::time::Instant::now();
+                let t = probe::time::Wall::now();
                 bridge.execute(&OscillatorAdaptor::new(&sim), comm);
                 ana_s += t.elapsed().as_secs_f64();
             }
-            let t = std::time::Instant::now();
+            let t = probe::time::Wall::now();
             let report = bridge.finalize(comm);
             let fin = t.elapsed().as_secs_f64();
             let json = (comm.rank() == 0).then(|| report.to_json());

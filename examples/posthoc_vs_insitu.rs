@@ -26,7 +26,7 @@ fn main() {
 
     // --- In situ run -------------------------------------------------
     let d1 = deck.clone();
-    let t0 = std::time::Instant::now();
+    let t0 = probe::time::Wall::now();
     let insitu_hist = World::run(RANKS, move |comm| {
         let cfg = SimConfig {
             grid: [GRID, GRID, GRID],
@@ -57,7 +57,7 @@ fn main() {
     // --- Post hoc: write everything, then read with 10% of the cores --
     let d2 = deck.clone();
     let dir_w = dir.clone();
-    let t1 = std::time::Instant::now();
+    let t1 = probe::time::Wall::now();
     World::run(RANKS, move |comm| {
         let cfg = SimConfig {
             grid: [GRID, GRID, GRID],
@@ -94,7 +94,7 @@ fn main() {
     let write_time = t1.elapsed().as_secs_f64();
 
     let dir_r = dir.clone();
-    let t2 = std::time::Instant::now();
+    let t2 = probe::time::Wall::now();
     let (posthoc_hist, report) = World::run(1, move |comm| {
         let hist = HistogramAnalysis::new("data", BINS);
         let handle = hist.results_handle();
