@@ -191,21 +191,55 @@ impl BpStep {
         self.vars.iter().map(BpVar::payload_bytes).sum()
     }
 
+    /// Exact size of the encoded framing in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 4 + 8 + 8 + 4; // magic, step, time, attr count
+        for (name, _) in &self.attributes {
+            n += 4 + name.len() + 8;
+        }
+        n += 4; // var count
+        for v in &self.vars {
+            n += 4 + v.name.len() + 1 + 4 + 9 * 8 + 8 + v.data.len() * 8;
+        }
+        n
+    }
+
     /// Serialize to the BP-lite framing. This is the marshaling copy the
     /// FlexPath transport pays (not zero-copy, per §4.1.4).
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(64 + self.payload_bytes() + self.vars.len() * 96);
+        let mut b = BytesMut::with_capacity(self.encoded_len());
+        self.encode_to(&mut b);
+        b.freeze()
+    }
+
+    /// Serialize into a caller-owned arena buffer: the buffer is cleared
+    /// and refilled, so a writer that keeps one scratch `Vec<u8>` across
+    /// steps pays **zero allocations** once its capacity has warmed up
+    /// to the steady-state step size. The bytes produced are identical
+    /// to [`BpStep::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let need = self.encoded_len();
+        if out.capacity() < need {
+            out.reserve_exact(need - out.len());
+        }
+        self.encode_to(out);
+    }
+
+    /// One framing writer shared by both entry points, so the arena path
+    /// cannot drift from the allocating one.
+    fn encode_to<B: BufMut>(&self, b: &mut B) {
         b.put_slice(MAGIC);
         b.put_u64_le(self.step);
         b.put_f64_le(self.time);
         b.put_u32_le(self.attributes.len() as u32);
         for (name, value) in &self.attributes {
-            put_string(&mut b, name);
+            put_string(b, name);
             b.put_f64_le(*value);
         }
         b.put_u32_le(self.vars.len() as u32);
         for v in &self.vars {
-            put_string(&mut b, &v.name);
+            put_string(b, &v.name);
             b.put_u8(dtype_code(v.dtype));
             b.put_u32_le(v.leaf);
             for d in v.global_dims {
@@ -222,7 +256,6 @@ impl BpStep {
                 b.put_f64_le(x);
             }
         }
-        b.freeze()
     }
 
     /// Decode from the framing.
@@ -298,7 +331,7 @@ impl BpStep {
     }
 }
 
-fn put_string(b: &mut BytesMut, s: &str) {
+fn put_string<B: BufMut>(b: &mut B, s: &str) {
     b.put_u32_le(s.len() as u32);
     b.put_slice(s.as_bytes());
 }
@@ -385,6 +418,29 @@ mod tests {
         let s = sample();
         let bytes = s.encode();
         let back = BpStep::decode(&bytes).expect("decode");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn arena_encode_is_byte_identical_and_reuses_capacity() {
+        let s = sample();
+        let reference = s.encode();
+        assert_eq!(s.encoded_len(), reference.len(), "exact size accounting");
+        let mut arena = Vec::new();
+        s.encode_into(&mut arena);
+        assert_eq!(arena.as_slice(), reference.as_ref(), "identical framing");
+        // Warm arena: re-encoding must reuse the allocation, not grow or
+        // replace it (the zero-alloc contract the bench asserts with the
+        // tracking allocator).
+        let ptr = arena.as_ptr();
+        let cap = arena.capacity();
+        for _ in 0..3 {
+            s.encode_into(&mut arena);
+            assert_eq!(arena.as_ptr(), ptr, "warm arena must not reallocate");
+            assert_eq!(arena.capacity(), cap);
+            assert_eq!(arena.as_slice(), reference.as_ref());
+        }
+        let back = BpStep::decode(&arena).expect("decode from arena");
         assert_eq!(back, s);
     }
 

@@ -138,11 +138,29 @@ impl FlexpathWriter {
     /// Ship one step (serializes = the marshaling copy). Returns the
     /// bytes shipped.
     pub fn write(&mut self, world: &Comm, step: &BpStep) -> usize {
+        let mut scratch = Vec::new();
+        self.write_with_scratch(world, step, &mut scratch)
+    }
+
+    /// Ship one step, encoding through a caller-owned arena buffer.
+    ///
+    /// The step is serialized with [`BpStep::encode_into`], so a writer
+    /// that keeps `scratch` across steps pays zero allocations for the
+    /// marshaling once the buffer's capacity has warmed up; the only
+    /// remaining per-step allocation is the transport's owned copy of
+    /// the frame (the channel consumes it at the endpoint). Returns the
+    /// bytes shipped.
+    pub fn write_with_scratch(
+        &mut self,
+        world: &Comm,
+        step: &BpStep,
+        scratch: &mut Vec<u8>,
+    ) -> usize {
         assert!(!self.closed, "write after close");
         assert!(!self.outstanding, "write without advance");
-        let bytes = step.encode().to_vec();
-        let n = bytes.len();
-        world.send(self.peer, TAG_DATA, (false, bytes));
+        step.encode_into(scratch);
+        let n = scratch.len();
+        world.send(self.peer, TAG_DATA, (false, scratch.clone()));
         self.outstanding = true;
         n
     }

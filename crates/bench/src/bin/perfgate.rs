@@ -1,0 +1,86 @@
+//! Rerun the hot-path suite and gate it against the checked-in baseline.
+//!
+//! Usage:
+//!   cargo run --release -p bench --features track-alloc --bin perfgate \
+//!     [-- --baseline PATH] [--out PATH] [--tolerance PCT]
+//!
+//! Loads the dimensionless metrics (speedups, auto-vs-best ratio,
+//! sanitizer overhead, arena allocation delta) from the baseline JSON,
+//! measures them fresh with the same warmup + median-of-N methodology,
+//! and exits non-zero if any metric regressed past the tolerance. The
+//! fresh report is always written to `--out` so CI can upload it as an
+//! artifact when the gate fails.
+
+use bench::{hotpath, perfgate};
+
+fn main() {
+    let mut baseline_path = String::from("BENCH_hotpath.json");
+    let mut out = String::from("BENCH_hotpath.fresh.json");
+    let mut tolerance = perfgate::DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut take = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                eprintln!("usage: perfgate [--baseline PATH] [--out PATH] [--tolerance PCT]");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = take("--baseline"),
+            "--out" => out = take("--out"),
+            "--tolerance" => {
+                tolerance = take("--tolerance")
+                    .parse::<f64>()
+                    .map(|pct| pct / 100.0)
+                    .unwrap_or_else(|e| {
+                        eprintln!("--tolerance must be a percentage: {e}");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perfgate [--baseline PATH] [--out PATH] [--tolerance PCT]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let doc = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read baseline {baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = perfgate::Metrics::from_json(&doc).unwrap_or_else(|e| {
+        eprintln!("perfgate: {e} — regenerate it with the hotpath binary");
+        std::process::exit(2);
+    });
+
+    // The same configuration the baseline was recorded with.
+    let (grid, oscillators, steps, threads) = ([64, 64, 64], 48, 8, 0);
+    eprintln!(
+        "perfgate: measuring grid {grid:?}, {oscillators} oscillators, {steps} steps \
+         (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    let report = hotpath::run(grid, oscillators, steps, threads);
+    std::fs::write(&out, report.to_json()).expect("write fresh report");
+    let fresh = perfgate::Metrics::from_report(&report);
+
+    let result = perfgate::gate(&baseline, &fresh, tolerance);
+    for line in &result.checked {
+        eprintln!("perfgate: {line}");
+    }
+    if result.passed() {
+        eprintln!("perfgate: PASS ({} metrics checked)", result.checked.len());
+    } else {
+        for f in &result.failures {
+            eprintln!("perfgate: FAIL — {f}");
+        }
+        eprintln!(
+            "perfgate: {} of {} metrics regressed; fresh report at {out}",
+            result.failures.len(),
+            result.checked.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@
 pub mod figures;
 pub mod hotpath;
 pub mod images;
+pub mod perfgate;
 pub mod realruns;
 pub mod table;
 

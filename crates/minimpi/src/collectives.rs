@@ -164,6 +164,36 @@ impl Comm {
         })
     }
 
+    /// Element-wise all-reduce that picks the wire algorithm from the
+    /// measured crossover table: binomial tree ([`Comm::allreduce_vec`])
+    /// below [`rsag_crossover_bytes`], reduce-scatter/allgather
+    /// ([`Comm::allreduce_vec_rsag`]) at or above it.
+    ///
+    /// This is the default entry point for per-step vector reductions
+    /// (histogram bins, autocorrelation lags, bridge aggregates): the
+    /// caller states *what* to reduce and the crossover table — filled
+    /// in by `bench --bin perfgate -- --calibrate`, never guessed —
+    /// decides *how*. Every rank computes the same decision from the
+    /// communicator size and `len × size_of::<T>()`, so the choice is
+    /// collectively consistent whenever the length contract holds
+    /// (which [`Comm::allreduce_vec_rsag`] now validates up front).
+    ///
+    /// Results are element-wise identical to both underlying paths for
+    /// exact ops (integer sums, min/max); floating-point sums follow
+    /// the combination order of whichever path was selected.
+    pub fn allreduce_vec_auto<T, F>(&self, value: Vec<T>, op: F) -> Vec<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(&T, &T) -> T,
+    {
+        let bytes = std::mem::size_of_val(value.as_slice());
+        if bytes >= rsag_crossover_bytes(self.size()) {
+            self.allreduce_vec_rsag(value, op)
+        } else {
+            self.allreduce_vec(value, op)
+        }
+    }
+
     /// Large-message element-wise all-reduce: recursive-halving
     /// reduce-scatter followed by recursive-doubling allgather
     /// (Rabenseifner's algorithm, the MPICH large-message path).
@@ -187,8 +217,11 @@ impl Comm {
     /// agree bitwise.
     ///
     /// # Panics
-    /// Panics (or deadlocks, like MPI) if ranks contribute vectors of
-    /// different lengths.
+    /// Panics — on every rank, with the full per-rank length table —
+    /// if ranks contribute vectors of different lengths. The check runs
+    /// *before* any segment exchange: a mismatch first noticed deep in
+    /// the recursive halving would leave partners waiting on segments
+    /// that can never arrive, turning a length bug into a deadlock.
     pub fn allreduce_vec_rsag<T, F>(&self, value: Vec<T>, op: F) -> Vec<T>
     where
         T: Clone + Send + 'static,
@@ -206,6 +239,26 @@ impl Comm {
             return value;
         }
         let me = self.rank();
+
+        // Fail fast on unequal contributions before any buffer splits:
+        // one cheap usize ring gives every rank the full length table
+        // for the diagnostic. It reuses `rs_tag`, so per-pair FIFO
+        // ordering keeps these envelopes strictly ahead of the data
+        // exchange that follows.
+        let lens = allgather_tagged(self, rs_tag, n);
+        if lens.iter().any(|&l| l != n) {
+            let table: Vec<String> = lens
+                .iter()
+                .enumerate()
+                .map(|(r, l)| format!("rank {r}: {l}"))
+                .collect();
+            panic!(
+                "minimpi: allreduce_vec_rsag length mismatch on communicator of size {p}: \
+                 every rank must contribute the same number of elements — {}",
+                table.join(", ")
+            );
+        }
+
         let p2 = 1usize << (usize::BITS - 1 - p.leading_zeros());
         let extra = p - p2;
 
@@ -219,7 +272,7 @@ impl Comm {
         let mut buf = value;
         if me < extra {
             let theirs: Vec<T> = self.recv_tagged(me + p2, rs_tag).1;
-            assert_eq!(theirs.len(), n, "allreduce_vec_rsag: length mismatch");
+            debug_assert_eq!(theirs.len(), n, "lengths validated up front");
             for (a, b) in buf.iter_mut().zip(theirs.iter()) {
                 *a = op(a, b);
             }
@@ -245,11 +298,7 @@ impl Comm {
                 lo = mid;
             }
             let theirs: Vec<T> = self.recv_tagged(partner, rs_tag).1;
-            assert_eq!(
-                theirs.len(),
-                buf.len(),
-                "allreduce_vec_rsag: length mismatch"
-            );
+            debug_assert_eq!(theirs.len(), buf.len(), "lengths validated up front");
             for (a, b) in buf.iter_mut().zip(theirs.iter()) {
                 *a = op(a, b);
             }
@@ -414,6 +463,39 @@ impl Comm {
     }
 }
 
+/// Measured tree → reduce-scatter/allgather crossover, in payload
+/// bytes, keyed by communicator-size bracket: the first entry whose
+/// bound is ≥ the communicator size applies. `usize::MAX` records that
+/// the binomial tree won at every calibrated size for that bracket.
+///
+/// On the in-process transport a tree hop *moves* the whole vector
+/// (one pointer through a channel) while reduce-scatter/allgather pays
+/// real segment splits, clones, and reassembly — so the crossover sits
+/// far higher than on a network fabric, and on small hosts the tree
+/// wins outright. These numbers are measured, never guessed: the
+/// hotpath suite (`cargo run --release -p bench --bin hotpath`) sweeps
+/// ranks × payload sizes and records the per-point timings and the
+/// implied crossover in `BENCH_hotpath.json` — update this table from
+/// that sweep's `"crossover"` entries whenever the transport changes.
+pub const RSAG_CROSSOVER: &[(usize, usize)] = &[
+    (2, usize::MAX),
+    (4, usize::MAX),
+    (8, usize::MAX),
+    (usize::MAX, usize::MAX),
+];
+
+/// Minimum payload size in bytes at which [`Comm::allreduce_vec_rsag`]
+/// beats [`Comm::allreduce_vec`] on a communicator of `ranks` ranks,
+/// per the calibrated [`RSAG_CROSSOVER`] table.
+pub fn rsag_crossover_bytes(ranks: usize) -> usize {
+    for &(max_ranks, bytes) in RSAG_CROSSOVER {
+        if ranks <= max_ranks {
+            return bytes;
+        }
+    }
+    usize::MAX
+}
+
 /// Ring allgather with an explicit tag; shared with `Comm::split`, which
 /// must allgather before the new communicator exists.
 pub(crate) fn allgather_tagged<T: Clone + Send + 'static>(
@@ -565,6 +647,69 @@ mod tests {
     }
 
     #[test]
+    fn auto_matches_tree_and_rsag_on_exact_ops() {
+        for p in sizes() {
+            World::run(p, move |comm| {
+                for n in [0usize, 1, 5, 17, 64, 257] {
+                    let v: Vec<u64> = (0..n as u64).map(|i| i * 3 + comm.rank() as u64).collect();
+                    let tree = comm.allreduce_vec(v.clone(), |a, b| a + b);
+                    let rsag = comm.allreduce_vec_rsag(v.clone(), |a, b| a + b);
+                    let auto = comm.allreduce_vec_auto(v, |a, b| a + b);
+                    assert_eq!(auto, tree, "p={p} n={n}");
+                    assert_eq!(auto, rsag, "p={p} n={n}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn crossover_lookup_uses_first_covering_bracket() {
+        use super::{rsag_crossover_bytes, RSAG_CROSSOVER};
+        // Brackets must be sorted so the first-match lookup is total.
+        for w in RSAG_CROSSOVER.windows(2) {
+            assert!(w[0].0 < w[1].0, "brackets must be strictly increasing");
+        }
+        assert_eq!(
+            rsag_crossover_bytes(1),
+            RSAG_CROSSOVER[0].1,
+            "smallest bracket covers 1 rank"
+        );
+        // The sentinel bracket covers any communicator size.
+        let huge = rsag_crossover_bytes(1 << 20);
+        assert_eq!(huge, RSAG_CROSSOVER.last().unwrap().1);
+    }
+
+    #[test]
+    #[should_panic(expected = "allreduce_vec_rsag length mismatch")]
+    fn rsag_unequal_lengths_fail_fast_with_table() {
+        World::run(4, |comm| {
+            // Rank 2 contributes one element short: every rank must
+            // panic with the per-rank length table instead of
+            // deadlocking in the segment exchange.
+            let n = if comm.rank() == 2 { 15 } else { 16 };
+            let v: Vec<u64> = vec![1; n];
+            let _ = comm.allreduce_vec_rsag(v, |a, b| a + b);
+        });
+    }
+
+    #[test]
+    fn rsag_mismatch_diagnostic_names_the_ranks() {
+        let err = std::panic::catch_unwind(|| {
+            World::run(2, |comm| {
+                let n = if comm.rank() == 0 { 8 } else { 9 };
+                let _ = comm.allreduce_vec_rsag(vec![0u8; n], |a, b| a + b);
+            });
+        })
+        .expect_err("mismatched lengths must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(msg.contains("rank 0: 8"), "{msg}");
+        assert!(msg.contains("rank 1: 9"), "{msg}");
+    }
+
+    #[test]
     fn gather_ordered_by_rank() {
         for p in sizes() {
             World::run(p, move |comm| {
@@ -637,6 +782,49 @@ mod tests {
             let offset = comm.exscan(counts, 0, |a, b| a + b);
             assert_eq!(offset, comm.rank() as u64 * 10);
         });
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(10))]
+
+        /// The adaptive entry point agrees element-wise with both
+        /// underlying algorithms for arbitrary lengths and exact ops,
+        /// across 1/4/8 ranks (the deck sizes the conformance suite
+        /// pins). Exact ops make "agree" mean bitwise.
+        #[test]
+        fn prop_auto_tree_rsag_agree(n in 0usize..257, seed in proptest::prelude::any::<u32>(), which_op in 0usize..3) {
+            for p in [1usize, 4, 8] {
+                World::run(p, move |comm| {
+                    // Deterministic per-rank values from the case seed.
+                    let v: Vec<u64> = (0..n as u64)
+                        .map(|i| {
+                            (seed as u64)
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(i * 31 + comm.rank() as u64 * 7919)
+                        })
+                        .collect();
+                    let (tree, rsag, auto) = match which_op {
+                        0 => (
+                            comm.allreduce_vec(v.clone(), |a, b| a.wrapping_add(*b)),
+                            comm.allreduce_vec_rsag(v.clone(), |a, b| a.wrapping_add(*b)),
+                            comm.allreduce_vec_auto(v, |a, b| a.wrapping_add(*b)),
+                        ),
+                        1 => (
+                            comm.allreduce_vec(v.clone(), |a, b| *a.min(b)),
+                            comm.allreduce_vec_rsag(v.clone(), |a, b| *a.min(b)),
+                            comm.allreduce_vec_auto(v, |a, b| *a.min(b)),
+                        ),
+                        _ => (
+                            comm.allreduce_vec(v.clone(), |a, b| *a.max(b)),
+                            comm.allreduce_vec_rsag(v.clone(), |a, b| *a.max(b)),
+                            comm.allreduce_vec_auto(v, |a, b| *a.max(b)),
+                        ),
+                    };
+                    assert_eq!(auto, tree, "p={p} n={n} op={which_op}");
+                    assert_eq!(auto, rsag, "p={p} n={n} op={which_op}");
+                });
+            }
+        }
     }
 
     #[test]

@@ -8,8 +8,25 @@
 //! with per-thread accumulators. Per-thread state is one `(min, max,
 //! count)` triple for pass 1 and one bin vector for pass 2, so storage
 //! stays proportional to the bin count (× threads), independent of the
-//! field size. The bin reduction rides the large-message
-//! reduce-scatter/allgather collective ([`Comm::allreduce_vec_rsag`]).
+//! field size.
+//!
+//! The local passes run a **lane-unrolled kernel**: pass 1 folds values
+//! through four independent accumulator lanes (breaking the sequential
+//! `min`/`max` dependency chain so LLVM can pipeline or vectorize it),
+//! with ghost flags applied branchlessly as identity elements; pass 2
+//! scatters into four independent sub-histograms so back-to-back
+//! increments of one hot bin stop serializing on store-to-load
+//! forwarding. Both are result-identical to the
+//! pre-blocking streaming loops, which are kept as the *reference
+//! kernel* ([`HistogramAnalysis::with_reference_kernel`]) — the
+//! property tests pin blocked == reference on arbitrary decks, and the
+//! hotpath bench reports the blocked kernel's speedup over it.
+//!
+//! The collectives are sized by measurement, not habit: the two range
+//! reductions of §3.3 are fused into one `(min, max)` pair reduce, and
+//! the bin reduction goes through [`Comm::allreduce_vec_auto`], which
+//! picks tree vs reduce-scatter/allgather from the calibrated
+//! crossover table.
 
 use minimpi::Comm;
 use parking_lot::Mutex;
@@ -50,6 +67,7 @@ pub struct HistogramAnalysis {
     assoc: Association,
     bins: usize,
     threads: usize,
+    reference: bool,
     results: ResultsHandle,
     failures: Vec<String>,
     reported_missing: bool,
@@ -69,6 +87,7 @@ impl HistogramAnalysis {
             assoc,
             bins,
             threads: 1,
+            reference: false,
             results: Arc::new(Mutex::new(None)),
             failures: Vec::new(),
             reported_missing: false,
@@ -83,9 +102,174 @@ impl HistogramAnalysis {
         self
     }
 
+    /// Bench/test hook: run the pre-blocking streaming loops instead of
+    /// the cache-blocked kernel. This is the reference implementation
+    /// the blocked kernel is validated against (property tests) and
+    /// benchmarked over (`BENCH_hotpath.json`'s `serial_s`); results
+    /// are identical either way.
+    pub fn with_reference_kernel(mut self) -> Self {
+        self.reference = true;
+        self
+    }
+
     /// A handle through which rank 0 can read each step's result.
     pub fn results_handle(&self) -> ResultsHandle {
         Arc::clone(&self.results)
+    }
+}
+
+/// The ghost sub-slice matching a chunk that starts at `start` in the
+/// full view (ghost arrays are always full-length when present).
+fn sub_ghosts(ghosts: Option<&[u8]>, start: usize, len: usize) -> Option<&[u8]> {
+    ghosts.map(|g| &g[start..start + len])
+}
+
+/// Reference pass-1 kernel: one sequential `(min, max, count)` fold with
+/// a branch per ghost flag. Kept as the correctness baseline the blocked
+/// kernel is pinned against.
+fn reference_range(chunk: &[f64], ghosts: Option<&[u8]>, start: usize) -> (f64, f64, u64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    let mut n = 0u64;
+    for (i, &v) in chunk.iter().enumerate() {
+        if ghost_at(ghosts, start + i) {
+            continue;
+        }
+        lo = lo.min(v);
+        hi = hi.max(v);
+        n += 1;
+    }
+    (lo, hi, n)
+}
+
+/// Blocked pass-1 kernel: four independent accumulator lanes break the
+/// sequential `min`/`max` dependency chain, and ghost flags are applied
+/// branchlessly by substituting each lane's identity element (`+∞` for
+/// the min lane, `-∞` for the max lane) — exactly equivalent to
+/// skipping the value, since `x.min(+∞) == x` and `x.max(-∞) == x` for
+/// every `x` including `NaN`-ignoring folds. The final lane merge is
+/// fixed-order.
+fn blocked_range(chunk: &[f64], ghosts: Option<&[u8]>) -> (f64, f64, u64) {
+    let mut mn = [f64::INFINITY; 4];
+    let mut mx = [f64::NEG_INFINITY; 4];
+    let mut n = 0u64;
+    match ghosts {
+        None => {
+            let mut lanes = chunk.chunks_exact(4);
+            for vs in &mut lanes {
+                for l in 0..4 {
+                    mn[l] = mn[l].min(vs[l]);
+                    mx[l] = mx[l].max(vs[l]);
+                }
+            }
+            for &v in lanes.remainder() {
+                mn[0] = mn[0].min(v);
+                mx[0] = mx[0].max(v);
+            }
+            n = chunk.len() as u64;
+        }
+        Some(g) => {
+            let mut lanes = chunk.chunks_exact(4);
+            let mut glanes = g.chunks_exact(4);
+            for (vs, gs) in (&mut lanes).zip(&mut glanes) {
+                for l in 0..4 {
+                    let keep = gs[l] == 0;
+                    mn[l] = mn[l].min(if keep { vs[l] } else { f64::INFINITY });
+                    mx[l] = mx[l].max(if keep { vs[l] } else { f64::NEG_INFINITY });
+                    n += u64::from(keep);
+                }
+            }
+            for (&v, &gv) in lanes.remainder().iter().zip(glanes.remainder()) {
+                let keep = gv == 0;
+                mn[0] = mn[0].min(if keep { v } else { f64::INFINITY });
+                mx[0] = mx[0].max(if keep { v } else { f64::NEG_INFINITY });
+                n += u64::from(keep);
+            }
+        }
+    }
+    (
+        mn[0].min(mn[1]).min(mn[2]).min(mn[3]),
+        mx[0].max(mx[1]).max(mx[2]).max(mx[3]),
+        n,
+    )
+}
+
+/// Reference pass-2 kernel: bin each non-ghost value straight into the
+/// count vector, one branch per ghost flag.
+#[allow(clippy::too_many_arguments)]
+fn reference_bin(
+    chunk: &[f64],
+    ghosts: Option<&[u8]>,
+    start: usize,
+    glo: f64,
+    inv_w: f64,
+    last: usize,
+    c: &mut [u64],
+) {
+    for (i, &v) in chunk.iter().enumerate() {
+        if ghost_at(ghosts, start + i) {
+            continue;
+        }
+        c[(((v - glo) * inv_w) as usize).min(last)] += 1;
+    }
+}
+
+/// Blocked pass-2 kernel: four independent sub-histogram lanes break
+/// the increment dependency chain — when consecutive values land in the
+/// same bin, a single count vector serializes on store-to-load
+/// forwarding, while four lanes let the cast/clamp/increment chains
+/// overlap (the same trick as the pass-1 lanes). Ghosts are masked
+/// branchlessly (`+= 0` for a ghost is the integer identity, equivalent
+/// to skipping), the saturating float→int cast matches the reference
+/// cast exactly (`NaN → 0`, out-of-range clamps), and the lanes are
+/// merged into `c` with exact integer adds in fixed order — so the
+/// split changes nothing observable.
+fn blocked_bin(
+    chunk: &[f64],
+    ghosts: Option<&[u8]>,
+    glo: f64,
+    inv_w: f64,
+    last: usize,
+    c: &mut [u64],
+) {
+    let bins = c.len();
+    let idx = |v: f64| (((v - glo) * inv_w) as usize).min(last);
+    let mut lanes = vec![0u64; bins * 4];
+    let (a01, a23) = lanes.split_at_mut(bins * 2);
+    let (l0, l1) = a01.split_at_mut(bins);
+    let (l2, l3) = a23.split_at_mut(bins);
+    match ghosts {
+        None => {
+            let mut quads = chunk.chunks_exact(4);
+            for vs in &mut quads {
+                l0[idx(vs[0])] += 1;
+                l1[idx(vs[1])] += 1;
+                l2[idx(vs[2])] += 1;
+                l3[idx(vs[3])] += 1;
+            }
+            for &v in quads.remainder() {
+                l0[idx(v)] += 1;
+            }
+        }
+        Some(g) => {
+            let mut quads = chunk.chunks_exact(4);
+            let mut gquads = g.chunks_exact(4);
+            for (vs, gs) in (&mut quads).zip(&mut gquads) {
+                l0[idx(vs[0])] += u64::from(gs[0] == 0);
+                l1[idx(vs[1])] += u64::from(gs[1] == 0);
+                l2[idx(vs[2])] += u64::from(gs[2] == 0);
+                l3[idx(vs[3])] += u64::from(gs[3] == 0);
+            }
+            for (&v, &gv) in quads.remainder().iter().zip(gquads.remainder()) {
+                l0[idx(v)] += u64::from(gv == 0);
+            }
+        }
+    }
+    for (dst, ((&a, &b), (&d, &e))) in c
+        .iter_mut()
+        .zip(l0.iter().zip(l1.iter()).zip(l2.iter().zip(l3.iter())))
+    {
+        *dst += a + b + d + e;
     }
 }
 
@@ -127,9 +311,12 @@ impl AnalysisAdaptor for HistogramAnalysis {
             Vec::new()
         };
 
-        // Pass 1: streaming local min/max + count, then the two global
-        // reductions of §3.3. Nothing is materialized: each chunk folds
-        // borrowed values into a (min, max, count) triple.
+        // Pass 1: streaming local min/max + count. Nothing is
+        // materialized: each chunk folds borrowed values into a
+        // (min, max, count) triple through the blocked (or reference)
+        // kernel.
+        let reference = self.reference;
+        let bins = self.bins;
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         let mut local_n = 0u64;
@@ -139,18 +326,11 @@ impl AnalysisAdaptor for HistogramAnalysis {
                 match view {
                     LeafView::Direct(vals, ghosts) => {
                         let stats = exec::map_chunks(self.threads, vals, |_, start, chunk| {
-                            let mut lo = f64::INFINITY;
-                            let mut hi = f64::NEG_INFINITY;
-                            let mut n = 0u64;
-                            for (i, &v) in chunk.iter().enumerate() {
-                                if ghost_at(*ghosts, start + i) {
-                                    continue;
-                                }
-                                lo = lo.min(v);
-                                hi = hi.max(v);
-                                n += 1;
+                            if reference {
+                                reference_range(chunk, *ghosts, start)
+                            } else {
+                                blocked_range(chunk, sub_ghosts(*ghosts, start, chunk.len()))
                             }
-                            (lo, hi, n)
                         });
                         for (clo, chi, cn) in stats {
                             lo = lo.min(clo);
@@ -172,12 +352,13 @@ impl AnalysisAdaptor for HistogramAnalysis {
                 }
             }
         }
+        // The two global reductions of §3.3 fused into one (min, max)
+        // pair: identical values, half the collective latency — the
+        // range phase was the highest-variance span in the seed
+        // BENCH_hotpath.json run report.
         let (glo, ghi) = {
             let _range = probe.span("per-step/histogram/range");
-            (
-                comm.allreduce_scalar(lo, f64::min),
-                comm.allreduce_scalar(hi, f64::max),
-            )
+            comm.allreduce_scalar((lo, hi), |a: (f64, f64), b| (a.0.min(b.0), a.1.max(b.1)))
         };
 
         // Pass 2: streaming local binning with per-thread bin vectors,
@@ -193,12 +374,20 @@ impl AnalysisAdaptor for HistogramAnalysis {
                         LeafView::Direct(vals, ghosts) => {
                             let partials =
                                 exec::map_chunks(self.threads, vals, |_, start, chunk| {
-                                    let mut c = vec![0u64; self.bins];
-                                    for (i, &v) in chunk.iter().enumerate() {
-                                        if ghost_at(*ghosts, start + i) {
-                                            continue;
-                                        }
-                                        c[(((v - glo) * inv_w) as usize).min(last)] += 1;
+                                    let mut c = vec![0u64; bins];
+                                    if reference {
+                                        reference_bin(
+                                            chunk, *ghosts, start, glo, inv_w, last, &mut c,
+                                        );
+                                    } else {
+                                        blocked_bin(
+                                            chunk,
+                                            sub_ghosts(*ghosts, start, chunk.len()),
+                                            glo,
+                                            inv_w,
+                                            last,
+                                            &mut c,
+                                        );
                                     }
                                     c
                                 });
@@ -225,11 +414,11 @@ impl AnalysisAdaptor for HistogramAnalysis {
             }
         }
 
-        // Bin reduction over the large-message path; every rank pays
-        // O(bins) traffic, and only root retains the result.
+        // Bin reduction through the size-adaptive collective; every
+        // rank pays O(bins) traffic, and only root retains the result.
         let counts = {
             let _reduce = probe.span("per-step/histogram/reduce");
-            comm.allreduce_vec_rsag(counts, |a, b| a + b)
+            comm.allreduce_vec_auto(counts, |a, b| a + b)
         };
         if comm.rank() == 0 {
             *self.results.lock() = Some(HistogramResult {
@@ -417,5 +606,69 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_rejected() {
         let _ = HistogramAnalysis::new("data", 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+        /// The blocked/fused kernel is indistinguishable from the
+        /// reference streaming kernel on arbitrary decks — including
+        /// NaN / ±0 / ±∞ specials, ghost masks, lengths that exercise
+        /// both the 4-lane remainder and the `BLOCK` boundary, and any
+        /// thread count.
+        #[test]
+        fn prop_blocked_matches_reference(
+            n in 1usize..1200,
+            seed in proptest::prelude::any::<u32>(),
+            bins in 1usize..96,
+            threads in 1usize..5,
+            ghost_stride in 0usize..5,
+        ) {
+            World::run(2, move |comm| {
+                let vals: Vec<f64> = (0..n)
+                    .map(|i| {
+                        let x = (seed as u64)
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(
+                                ((i + comm.rank() * 131) as u64)
+                                    .wrapping_mul(2862933555777941757),
+                            );
+                        // Mostly finite values with specials sprinkled in.
+                        match x % 17 {
+                            0 => f64::NAN,
+                            1 => f64::INFINITY,
+                            2 => f64::NEG_INFINITY,
+                            3 => -0.0,
+                            4 => 0.0,
+                            _ => ((x >> 16) as f64) / 1e13 - 1600.0,
+                        }
+                    })
+                    .collect();
+                let e = Extent::whole([n, 1, 1]);
+                let mut g = ImageData::new(e, e);
+                g.add_point_array(DataArray::owned("data", 1, vals));
+                if ghost_stride > 0 {
+                    let ghosts: Vec<u8> =
+                        (0..n).map(|i| u8::from(i % ghost_stride == 0)).collect();
+                    g.add_point_array(DataArray::owned(
+                        datamodel::GHOST_ARRAY_NAME,
+                        1,
+                        ghosts,
+                    ));
+                }
+                let a = InMemoryAdaptor::new(DataSet::Image(g), comm.rank() as f64, 3);
+                let mut blocked = HistogramAnalysis::new("data", bins).with_threads(threads);
+                let mut reference = HistogramAnalysis::new("data", bins).with_reference_kernel();
+                let rb = blocked.results_handle();
+                let rr = reference.results_handle();
+                blocked.execute(&a, comm);
+                reference.execute(&a, comm);
+                if comm.rank() == 0 {
+                    let b = rb.lock().clone().unwrap();
+                    let r = rr.lock().clone().unwrap();
+                    assert_eq!(b, r, "bins={bins} threads={threads} stride={ghost_stride}");
+                }
+            });
+        }
     }
 }
