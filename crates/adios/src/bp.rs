@@ -373,10 +373,13 @@ impl BpFile {
         let mut steps = Vec::new();
         let mut pos = 0usize;
         while pos < raw.len() {
-            if pos + 8 > raw.len() {
+            let Some(len8) = raw
+                .get(pos..pos + 8)
+                .and_then(|s| <[u8; 8]>::try_from(s).ok())
+            else {
                 return Err(BpError::Corrupt("truncated frame length"));
-            }
-            let len = u64::from_le_bytes(raw[pos..pos + 8].try_into().unwrap()) as usize;
+            };
+            let len = u64::from_le_bytes(len8) as usize;
             pos += 8;
             if pos + len > raw.len() {
                 return Err(BpError::Corrupt("truncated frame"));

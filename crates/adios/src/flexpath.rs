@@ -233,42 +233,65 @@ impl FlexpathReader {
     /// their source world rank. A writer that misses the deadline is
     /// recorded in [`FlexpathReader::dead_writers`] and dropped; the
     /// stream degrades to end-of-stream instead of hanging.
+    ///
+    /// Internally this is one event-loop round over a multi-peer
+    /// select ([`Comm::recv_any_of_deadline`]): whichever writer is
+    /// ready first is served first, so one slow writer no longer
+    /// serializes the round behind a fixed receive order, and one
+    /// deadline window covers all stragglers at once instead of
+    /// costing a full deadline per dead writer. The returned steps are
+    /// sorted by writer rank, so downstream block order is independent
+    /// of arrival order.
     pub fn begin_step(&mut self, world: &Comm) -> Option<Vec<(usize, BpStep)>> {
         if self.links.is_empty() {
             return None;
         }
-        let mut steps = Vec::with_capacity(self.links.len());
-        let mut still_open = Vec::with_capacity(self.links.len());
-        for mut link in std::mem::take(&mut self.links) {
-            let w = link.rank;
-            let frame: (bool, Vec<u8>) = match self.deadline {
-                None => world.recv(w, TAG_DATA),
-                Some(limit) => match world.recv_deadline(w, TAG_DATA, limit) {
-                    Ok((_, frame)) => frame,
+        let mut steps: Vec<(usize, BpStep)> = Vec::with_capacity(self.links.len());
+        // Writers still owing a frame this round; shrinks as frames
+        // arrive.
+        let mut awaiting: Vec<usize> = self.links.iter().map(|l| l.rank).collect();
+        while !awaiting.is_empty() {
+            let (w, frame): (usize, (bool, Vec<u8>)) = match self.deadline {
+                None => world.recv_any_of(&awaiting, TAG_DATA),
+                Some(limit) => match world.recv_any_of_deadline(&awaiting, TAG_DATA, limit) {
+                    Ok(got) => got,
                     Err(_) => {
-                        self.dead.push(DeadWriter {
-                            rank: w,
-                            steps_received: link.steps,
-                            bytes_received: link.bytes,
-                            waited: limit,
-                        });
-                        continue;
+                        // Every writer still awaited was silent for the
+                        // whole window: declare them all dead in one
+                        // decision.
+                        for &rank in &awaiting {
+                            if let Some(i) = self.links.iter().position(|l| l.rank == rank) {
+                                let link = self.links.remove(i);
+                                self.dead.push(DeadWriter {
+                                    rank,
+                                    steps_received: link.steps,
+                                    bytes_received: link.bytes,
+                                    waited: limit,
+                                });
+                            }
+                        }
+                        break;
                     }
                 },
             };
+            awaiting.retain(|&r| r != w);
             match decode_frame(frame) {
-                Frame::Close => {}
+                Frame::Close => {
+                    self.links.retain(|l| l.rank != w);
+                }
                 Frame::Step(bytes) => {
                     let step = BpStep::decode(&bytes)
                         .unwrap_or_else(|e| panic!("flexpath: bad step from rank {w}: {e}"));
-                    link.steps += 1;
-                    link.bytes += bytes.len();
+                    if let Some(link) = self.links.iter_mut().find(|l| l.rank == w) {
+                        link.steps += 1;
+                        link.bytes += bytes.len();
+                    }
                     steps.push((w, step));
-                    still_open.push(link);
                 }
             }
         }
-        self.links = still_open;
+        // Arrival order is schedule-dependent; block order must not be.
+        steps.sort_by_key(|(w, _)| *w);
         if steps.is_empty() {
             None
         } else {

@@ -27,8 +27,13 @@
 //! the measured overhead.
 
 pub mod bp;
+pub mod broker;
 pub mod flexpath;
 pub mod staging;
 
 pub use bp::{BpError, BpFile, BpStep, BpVar};
+pub use broker::{
+    AdmissionError, Broker, BrokerConfig, EvictionRecord, PublishReport, StagingBroker,
+    Subscription, TopicKey, TopicMsg,
+};
 pub use flexpath::{pair, FlexpathReader, FlexpathWriter, Role};

@@ -11,6 +11,7 @@ use sensei::{
 };
 
 use crate::bp::{BpStep, BpVar};
+use crate::broker::StagingBroker;
 use crate::flexpath::{FlexpathReader, FlexpathWriter};
 
 /// Convert one timestep of a (structured) data adaptor into a BP step:
@@ -360,10 +361,40 @@ pub fn run_endpoint(
     reader: &mut FlexpathReader,
     analyses: Vec<Box<dyn AnalysisAdaptor>>,
 ) -> (Bridge, RunReport) {
+    endpoint_loop(world, sub, reader, analyses, None)
+}
+
+/// [`run_endpoint`] with a staging broker tee: every received step is
+/// also routed onto `broker` ([`StagingBroker::publish_step`] — one
+/// topic per `(field, leaf)`), so any number of subscribers — live
+/// monitors, secondary analyses, soak clients — consume the stream
+/// without the writers knowing. When the stream ends the broker's
+/// topics are finished and every slow-consumer eviction is surfaced
+/// through [`Bridge::failure_reports`], next to dead-writer reports.
+pub fn run_endpoint_with_broker(
+    world: &Comm,
+    sub: &Comm,
+    reader: &mut FlexpathReader,
+    analyses: Vec<Box<dyn AnalysisAdaptor>>,
+    broker: &StagingBroker,
+) -> (Bridge, RunReport) {
+    endpoint_loop(world, sub, reader, analyses, Some(broker))
+}
+
+fn endpoint_loop(
+    world: &Comm,
+    sub: &Comm,
+    reader: &mut FlexpathReader,
+    analyses: Vec<Box<dyn AnalysisAdaptor>>,
+    broker: Option<&StagingBroker>,
+) -> (Bridge, RunReport) {
     // Inherit whatever probe the caller attached to the endpoint
     // subgroup, so in-transit analyses land in the same report.
     let mut bridge = Bridge::with_probe(sub.probe());
     let probe = sub.probe();
+    if let Some(broker) = broker {
+        broker.attach_probe(probe.clone());
+    }
     for a in analyses {
         bridge.register(a);
     }
@@ -386,10 +417,21 @@ pub fn run_endpoint(
                 probe.message("staging/off_wire", bytes as u64);
             }
         }
+        if let Some(broker) = broker {
+            for (_src, bp) in &steps {
+                broker.publish_step(bp);
+            }
+        }
         let mut adaptor = BpAdaptor::new(&steps);
         adaptor.reconcile_step_time(sub);
         bridge.execute(&adaptor, sub);
         reader.end_step(world, &steps);
+    }
+    if let Some(broker) = broker {
+        broker.finish_all();
+        for evicted in broker.take_evictions() {
+            bridge.record_failure(evicted.describe());
+        }
     }
     for dead in reader.dead_writers() {
         bridge.record_failure(format!(
@@ -451,6 +493,47 @@ mod tests {
                 } else {
                     None
                 }
+            }
+        });
+    }
+
+    #[test]
+    fn endpoint_broker_tee_feeds_subscribers() {
+        use crate::broker::{BrokerConfig, StagingBroker, TopicKey};
+        use std::time::Duration;
+        // 1 writer + 1 endpoint; the endpoint tees every step onto the
+        // broker, where an out-of-band subscriber consumes one leaf's
+        // field without appearing anywhere in the writer/endpoint
+        // pairing.
+        World::run(2, |world| match pair(world, 1) {
+            Role::Writer { mut writer, .. } => {
+                for s in 0..4u64 {
+                    writer.advance(world);
+                    let step = adaptor_to_step(&sim_adaptor(world.rank(), 1, s));
+                    writer.write(world, &step);
+                }
+                writer.close(world);
+            }
+            Role::Endpoint { sub, mut reader } => {
+                let broker = StagingBroker::new(BrokerConfig {
+                    queue_depth: 8,
+                    max_subscribers: 16,
+                    eviction_deadline: Duration::from_millis(200),
+                });
+                let watcher = broker
+                    .subscribe_labeled(TopicKey::new("data", 0), "watcher")
+                    .expect("admitted");
+                let (bridge, _) =
+                    run_endpoint_with_broker(world, &sub, &mut reader, Vec::new(), &broker);
+                assert_eq!(bridge.steps(), 4);
+                let mut seqs = Vec::new();
+                while let Some(msg) = watcher.try_next() {
+                    assert_eq!(msg.payload.name, "data");
+                    seqs.push(msg.seq);
+                }
+                assert_eq!(seqs, vec![0, 1, 2, 3], "no step lost, in order");
+                assert!(watcher.is_eos(), "finish propagated at end-of-stream");
+                assert!(bridge.failure_reports().is_empty());
             }
         });
     }

@@ -1,0 +1,55 @@
+//! Measure the staging-broker fan-out metrics and write
+//! `BENCH_broker.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin brokerbench [-- --out PATH]`
+//!
+//! Times the per-consumer deep-copy fan-out (the thread-per-link model
+//! the broker replaced) against the `Arc`-shared broker publish, and
+//! records the fairness ratio plus the eviction / queue-bound
+//! robustness invariants. Only dimensionless entries are gated, so a
+//! baseline recorded on one machine still gates runs on another.
+
+use bench::brokerbench;
+
+fn main() {
+    let mut out = String::from("BENCH_broker.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    eprintln!("usage: brokerbench [--out PATH]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: brokerbench [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "brokerbench: {} subscribers, {} steps, {} doubles/payload",
+        brokerbench::SUBSCRIBERS,
+        brokerbench::STEPS,
+        brokerbench::PAYLOAD_DOUBLES
+    );
+    let report = brokerbench::run();
+    let json = report.to_json();
+    print!("{json}");
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!(
+        "brokerbench: fan-out speedup {:.2}x (copy {:.4}s -> share {:.4}s), \
+         fairness {:.3}, eviction {}, queue bound {}; wrote {out}",
+        report.fanout_speedup(),
+        report.clone_fanout_s,
+        report.broker_fanout_s,
+        report.fairness,
+        report.eviction_works,
+        report.queue_bounded
+    );
+}

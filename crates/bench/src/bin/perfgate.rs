@@ -11,24 +11,31 @@
 //! fresh report is always written to `--out` so CI can upload it as an
 //! artifact when the gate fails.
 
-use bench::{hotpath, perfgate};
+use bench::{brokerbench, hotpath, perfgate};
+
+const USAGE: &str = "usage: perfgate [--baseline PATH] [--out PATH] [--tolerance PCT] \
+                     [--broker-baseline PATH] [--broker-out PATH]";
 
 fn main() {
     let mut baseline_path = String::from("BENCH_hotpath.json");
     let mut out = String::from("BENCH_hotpath.fresh.json");
+    let mut broker_baseline_path = String::from("BENCH_broker.json");
+    let mut broker_out = String::from("BENCH_broker.fresh.json");
     let mut tolerance = perfgate::DEFAULT_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut take = |flag: &str| {
             args.next().unwrap_or_else(|| {
                 eprintln!("{flag} needs a value");
-                eprintln!("usage: perfgate [--baseline PATH] [--out PATH] [--tolerance PCT]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             })
         };
         match a.as_str() {
             "--baseline" => baseline_path = take("--baseline"),
             "--out" => out = take("--out"),
+            "--broker-baseline" => broker_baseline_path = take("--broker-baseline"),
+            "--broker-out" => broker_out = take("--broker-out"),
             "--tolerance" => {
                 tolerance = take("--tolerance")
                     .parse::<f64>()
@@ -40,7 +47,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perfgate [--baseline PATH] [--out PATH] [--tolerance PCT]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -67,19 +74,44 @@ fn main() {
     let fresh = perfgate::Metrics::from_report(&report);
 
     let result = perfgate::gate(&baseline, &fresh, tolerance);
-    for line in &result.checked {
+
+    // The broker fan-out metrics gate alongside the hot paths.
+    let broker_doc = std::fs::read_to_string(&broker_baseline_path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read broker baseline {broker_baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let broker_baseline = perfgate::BrokerMetrics::from_json(&broker_doc).unwrap_or_else(|e| {
+        eprintln!("perfgate: {e} — regenerate it with the brokerbench binary");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "perfgate: measuring broker fan-out ({} subscribers, {} steps)",
+        brokerbench::SUBSCRIBERS,
+        brokerbench::STEPS
+    );
+    let broker_report = brokerbench::run();
+    std::fs::write(&broker_out, broker_report.to_json()).expect("write fresh broker report");
+    let broker_fresh = perfgate::BrokerMetrics::from_report(&broker_report);
+    let broker_result = perfgate::gate_broker(&broker_baseline, &broker_fresh, tolerance);
+
+    let checked = result.checked.len() + broker_result.checked.len();
+    let failures: Vec<&String> = result
+        .failures
+        .iter()
+        .chain(broker_result.failures.iter())
+        .collect();
+    for line in result.checked.iter().chain(broker_result.checked.iter()) {
         eprintln!("perfgate: {line}");
     }
-    if result.passed() {
-        eprintln!("perfgate: PASS ({} metrics checked)", result.checked.len());
+    if failures.is_empty() {
+        eprintln!("perfgate: PASS ({checked} metrics checked)");
     } else {
-        for f in &result.failures {
+        for f in &failures {
             eprintln!("perfgate: FAIL — {f}");
         }
         eprintln!(
-            "perfgate: {} of {} metrics regressed; fresh report at {out}",
-            result.failures.len(),
-            result.checked.len()
+            "perfgate: {} of {checked} metrics regressed; fresh reports at {out} and {broker_out}",
+            failures.len(),
         );
         std::process::exit(1);
     }

@@ -7,6 +7,7 @@
 //! the paper reports; criterion benches under `benches/` measure the
 //! real code paths behind each figure.
 
+pub mod brokerbench;
 pub mod figures;
 pub mod hotpath;
 pub mod images;

@@ -79,6 +79,98 @@ impl Metrics {
     }
 }
 
+/// The gated subset of the broker fan-out report (`BENCH_broker.json`):
+/// a copy-vs-share speedup, a fairness ratio, and two invariants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BrokerMetrics {
+    /// Per-consumer deep-copy fan-out over the Arc-shared broker path.
+    pub fanout_speedup: f64,
+    /// min/max messages delivered across subscribers (1.0 = fair).
+    pub fairness: f64,
+    /// A stalled consumer was evicted within its deadline.
+    pub eviction_works: bool,
+    /// The probed queue high-water stayed within the configured depth.
+    pub queue_bounded: bool,
+}
+
+impl BrokerMetrics {
+    /// Extract the gated metrics from a freshly measured broker report.
+    pub fn from_report(r: &crate::brokerbench::BrokerReport) -> BrokerMetrics {
+        BrokerMetrics {
+            fanout_speedup: r.fanout_speedup(),
+            fairness: r.fairness,
+            eviction_works: r.eviction_works,
+            queue_bounded: r.queue_bounded,
+        }
+    }
+
+    /// Extract the gated metrics from a `BENCH_broker.json` document
+    /// (the exact format `BrokerReport::to_json` writes).
+    pub fn from_json(doc: &str) -> Result<BrokerMetrics, String> {
+        let sect = |name: &str, key: &str| -> Result<f64, String> {
+            section(doc, name)
+                .and_then(|body| field(body, key))
+                .ok_or_else(|| format!("broker baseline is missing \"{name}\".\"{key}\""))
+        };
+        let flag = |name: &str, key: &str| -> bool {
+            section(doc, name).is_some_and(|b| b.contains(&format!("\"{key}\": true")))
+        };
+        Ok(BrokerMetrics {
+            fanout_speedup: sect("fanout", "speedup")?,
+            fairness: sect("fairness", "min_over_max_delivered")?,
+            eviction_works: flag("robustness", "eviction_works"),
+            queue_bounded: flag("robustness", "queue_bounded"),
+        })
+    }
+}
+
+/// Gate the broker metrics: the fan-out speedup may drop at most
+/// `tolerance` below the baseline, fairness may not fall below the
+/// baseline minus the tolerance, and the two robustness invariants must
+/// hold outright (they are correctness facts, not timings).
+pub fn gate_broker(baseline: &BrokerMetrics, fresh: &BrokerMetrics, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let floor = baseline.fanout_speedup * (1.0 - tolerance);
+    report.checked.push(format!(
+        "broker fanout speedup: baseline {:.2}, fresh {:.2}, floor {floor:.2}",
+        baseline.fanout_speedup, fresh.fanout_speedup
+    ));
+    if fresh.fanout_speedup < floor {
+        report.failures.push(format!(
+            "broker fanout speedup regressed: {:.2} < {floor:.2} (baseline {:.2}, tolerance {:.0}%)",
+            fresh.fanout_speedup,
+            baseline.fanout_speedup,
+            tolerance * 100.0
+        ));
+    }
+    let fair_floor = (baseline.fairness - tolerance).max(0.0);
+    report.checked.push(format!(
+        "broker fairness: baseline {:.3}, fresh {:.3}, floor {fair_floor:.3}",
+        baseline.fairness, fresh.fairness
+    ));
+    if fresh.fairness < fair_floor {
+        report.failures.push(format!(
+            "broker fairness regressed: {:.3} < {fair_floor:.3}",
+            fresh.fairness
+        ));
+    }
+    report.checked.push(format!(
+        "broker robustness: eviction_works {}, queue_bounded {}",
+        fresh.eviction_works, fresh.queue_bounded
+    ));
+    if !fresh.eviction_works {
+        report
+            .failures
+            .push("broker eviction no longer fires for a stalled consumer".into());
+    }
+    if !fresh.queue_bounded {
+        report
+            .failures
+            .push("broker queue high-water exceeded the configured depth".into());
+    }
+    report
+}
+
 /// The body of a flat (single-line, brace-free) JSON section.
 fn section<'a>(doc: &'a str, name: &str) -> Option<&'a str> {
     let key = format!("\"{name}\":");
@@ -271,6 +363,57 @@ mod tests {
         // Without the tracking allocator the delta is meaningless noise.
         fresh.bp_alloc_tracked = false;
         assert!(gate(&base, &fresh, DEFAULT_TOLERANCE).passed());
+    }
+
+    fn broker_sample() -> BrokerMetrics {
+        BrokerMetrics {
+            fanout_speedup: 20.0,
+            fairness: 1.0,
+            eviction_works: true,
+            queue_bounded: true,
+        }
+    }
+
+    #[test]
+    fn broker_gate_passes_unchanged_and_fails_regressions() {
+        let base = broker_sample();
+        assert!(gate_broker(&base, &base, DEFAULT_TOLERANCE).passed());
+
+        let mut fresh = base;
+        fresh.fanout_speedup *= 0.80; // 20% slowdown trips the 15% gate
+        let r = gate_broker(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert!(r.failures[0].contains("fanout"));
+
+        let mut fresh = base;
+        fresh.fairness = 0.5;
+        let r = gate_broker(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("fairness"));
+
+        let mut fresh = base;
+        fresh.eviction_works = false;
+        fresh.queue_bounded = false;
+        let r = gate_broker(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 2);
+    }
+
+    #[test]
+    fn broker_metrics_parse_from_generated_json() {
+        let doc = crate::brokerbench::BrokerReport {
+            clone_fanout_s: 0.040,
+            broker_fanout_s: 0.002,
+            fairness: 1.0,
+            eviction_works: true,
+            queue_bounded: true,
+        }
+        .to_json();
+        let m = BrokerMetrics::from_json(&doc).expect("parse");
+        assert_eq!(m.fanout_speedup, 20.0);
+        assert_eq!(m.fairness, 1.0);
+        assert!(m.eviction_works && m.queue_bounded);
+        let err = BrokerMetrics::from_json("{}").unwrap_err();
+        assert!(err.contains("fanout"), "{err}");
     }
 
     #[test]

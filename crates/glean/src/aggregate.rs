@@ -1,16 +1,56 @@
 //! Topology-aware aggregation with an asynchronous drain thread.
+//!
+//! Each aggregator is a **staging-broker topic**: the assembled node
+//! step publishes to `("glean/<array>", aggregator)` on an
+//! [`adios::broker::Broker`], and the blob-file drain thread is just
+//! that topic's first subscriber. Any number of additional consumers
+//! (live monitors, secondary analyses) can subscribe to the same topic
+//! via [`GleanWriter::with_broker`] without touching the aggregation
+//! path — the same one-producer/N-consumer contract as the FlexPath
+//! staging broker, with the same bounded-queue backpressure and
+//! slow-consumer eviction semantics.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender};
+use adios::broker::{Broker, BrokerConfig, TopicKey};
 use datamodel::DataSet;
 use minimpi::Comm;
+use probe::time::Wall;
 use sensei::{AnalysisAdaptor, Association, DataAdaptor, Steering};
 
 use crate::blobs::{append_step, BlockRecord};
 
 const TAG_AGG: u32 = 0x61E4_0001;
+
+/// Default deadline for one node member's block to reach its
+/// aggregator. Mirrors the FlexPath reader's writer deadline.
+const DEFAULT_MEMBER_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Default bound on how long `finalize` waits for the drain thread to
+/// flush and exit before declaring the blobs suspect.
+const DEFAULT_FINALIZE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Steps of slack between the aggregator and its drain subscriber
+/// before backpressure kicks in.
+const DRAIN_QUEUE_DEPTH: usize = 8;
+
+/// One assembled node step: what an aggregator publishes to its topic.
+pub type NodeStep = (u64, Vec<BlockRecord>);
+
+/// A node member that never delivered its block within the deadline:
+/// the GLEAN mirror of the FlexPath reader's `DeadWriter` record.
+#[derive(Clone, Debug)]
+pub struct DeadMember {
+    /// World rank of the silent member.
+    pub rank: usize,
+    /// Steps received from it before it went silent.
+    pub steps_received: u64,
+    /// How long the aggregator waited before declaring it dead.
+    pub waited: Duration,
+}
 
 /// The machine topology GLEAN exploits: which ranks share a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,26 +88,33 @@ impl Topology {
     }
 }
 
-enum DrainMsg {
-    Step(u64, Vec<BlockRecord>),
-    Close,
-}
-
 /// SENSEI analysis adaptor enabling GLEAN-accelerated output: every rank
-/// forwards its block to its node aggregator; aggregators enqueue the
-/// assembled node step to a background drain thread writing one blob
-/// file per aggregator.
+/// forwards its block to its node aggregator; aggregators publish the
+/// assembled node step to their broker topic, whose drain subscriber (a
+/// background thread) writes one blob file per aggregator.
 pub struct GleanWriter {
     topology: Topology,
     array: String,
     output_dir: PathBuf,
-    drain: Option<(Sender<DrainMsg>, JoinHandle<std::io::Result<u64>>)>,
+    /// The topic fabric node steps publish through. Private by
+    /// default; share one via [`GleanWriter::with_broker`] to let
+    /// other consumers watch the aggregation stream.
+    broker: Broker<NodeStep>,
+    drain: Option<JoinHandle<std::io::Result<u64>>>,
     /// Steps accepted so far.
     steps: u64,
     /// Bytes forwarded or aggregated by this rank so far.
     pub bytes_handled: u64,
     failures: Vec<String>,
     reported_missing: bool,
+    member_deadline: Duration,
+    finalize_deadline: Duration,
+    /// Node members declared dead (skipped in later gathers).
+    dead: Vec<DeadMember>,
+    dead_ranks: BTreeSet<usize>,
+    /// Test hook: artificial per-step latency in the drain subscriber,
+    /// to exercise the finalize deadline path.
+    drain_delay: Duration,
 }
 
 impl GleanWriter {
@@ -78,12 +125,56 @@ impl GleanWriter {
             topology,
             array: array.into(),
             output_dir,
+            broker: Broker::new(BrokerConfig {
+                queue_depth: DRAIN_QUEUE_DEPTH,
+                ..BrokerConfig::default()
+            }),
             drain: None,
             steps: 0,
             bytes_handled: 0,
             failures: Vec::new(),
             reported_missing: false,
+            member_deadline: DEFAULT_MEMBER_DEADLINE,
+            finalize_deadline: DEFAULT_FINALIZE_DEADLINE,
+            dead: Vec::new(),
+            dead_ranks: BTreeSet::new(),
+            drain_delay: Duration::ZERO,
         }
+    }
+
+    /// Publish through a shared broker instead of a private one, so
+    /// external subscribers can watch this writer's aggregation topic
+    /// (key `("glean/<array>", aggregator-rank)`).
+    pub fn with_broker(mut self, broker: Broker<NodeStep>) -> Self {
+        self.broker = broker;
+        self
+    }
+
+    /// The topic an aggregator rank publishes to.
+    pub fn topic(&self, agg: usize) -> TopicKey {
+        TopicKey::new(format!("glean/{}", self.array), agg as u32)
+    }
+
+    /// Override the per-member gather deadline (tests use short ones).
+    pub fn set_member_deadline(&mut self, deadline: Duration) {
+        self.member_deadline = deadline;
+    }
+
+    /// Override the finalize drain-join deadline.
+    pub fn set_finalize_deadline(&mut self, deadline: Duration) {
+        self.finalize_deadline = deadline;
+    }
+
+    /// Node members declared dead so far (missed the gather deadline).
+    pub fn dead_members(&self) -> &[DeadMember] {
+        &self.dead
+    }
+
+    /// Test hook: make the drain subscriber sleep this long per step,
+    /// to exercise the finalize-deadline path deterministically.
+    #[doc(hidden)]
+    pub fn set_drain_delay(&mut self, delay: Duration) {
+        self.drain_delay = delay;
     }
 
     /// Blob file path for aggregator `agg`.
@@ -133,28 +224,54 @@ impl GleanWriter {
         None
     }
 
-    fn ensure_drain(&mut self, agg: usize) -> &Sender<DrainMsg> {
-        if self.drain.is_none() {
-            let path = Self::blob_path(&self.output_dir, agg);
-            let _ = std::fs::remove_file(&path);
-            // Bounded queue: two steps of slack before back-pressure.
-            let (tx, rx) = bounded::<DrainMsg>(2);
-            let handle = std::thread::spawn(move || -> std::io::Result<u64> {
-                let mut written = 0u64;
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        DrainMsg::Close => break,
-                        DrainMsg::Step(step, blocks) => {
-                            append_step(&path, step, &blocks)?;
-                            written += blocks.iter().map(|b| b.data.len() as u64 * 8).sum::<u64>();
-                        }
-                    }
-                }
-                Ok(written)
-            });
-            self.drain = Some((tx, handle));
+    /// Start the drain subscriber on first use: it subscribes to this
+    /// aggregator's topic and persists every node step it receives.
+    /// Returns whether a drain (now) exists; `false` means the
+    /// subscription was refused and the failure has been recorded.
+    fn ensure_drain(&mut self, agg: usize) -> bool {
+        if self.drain.is_some() {
+            return true;
         }
-        &self.drain.as_ref().expect("drain just created").0
+        let path = Self::blob_path(&self.output_dir, agg);
+        let _ = std::fs::remove_file(&path);
+        let topic = self.topic(agg);
+        let sub = match self
+            .broker
+            .subscribe_labeled(topic.clone(), format!("glean-drain-{agg}"))
+        {
+            Ok(sub) => sub,
+            Err(e) => {
+                self.failures
+                    .push(format!("glean: drain subscription refused: {e}"));
+                return false;
+            }
+        };
+        let delay = self.drain_delay;
+        let handle = std::thread::spawn(move || -> std::io::Result<u64> {
+            let mut written = 0u64;
+            loop {
+                match sub.recv_deadline(Duration::from_millis(200)) {
+                    Ok(Some(msg)) => {
+                        if !delay.is_zero() {
+                            std::thread::sleep(delay);
+                        }
+                        let (step, blocks) = &*msg.payload;
+                        append_step(&path, *step, blocks)?;
+                        written += blocks.iter().map(|b| b.data.len() as u64 * 8).sum::<u64>();
+                    }
+                    // End-of-stream (topic finished, queue drained) or
+                    // this subscriber was evicted for falling behind —
+                    // either way there is nothing left to persist.
+                    Ok(None) => break,
+                    // Quiet stretch; keep waiting. finalize() bounds
+                    // the writer-side wait, not this loop.
+                    Err(()) => continue,
+                }
+            }
+            Ok(written)
+        });
+        self.drain = Some(handle);
+        true
     }
 }
 
@@ -176,35 +293,99 @@ impl AnalysisAdaptor for GleanWriter {
             comm.send(agg, TAG_AGG, block);
             return Steering::Continue;
         }
-        let members = self.topology.node_members(agg, comm.size());
-        let mut blocks: Vec<BlockRecord> = Vec::with_capacity(members.len());
+        // Gather with a multi-peer select and a deadline: one slow
+        // member no longer hangs the whole node, and a dead member is
+        // recorded once and skipped from every later step — mirroring
+        // the FlexPath reader's DeadWriter semantics.
+        let mut awaiting: Vec<usize> = self
+            .topology
+            .node_members(agg, comm.size())
+            .into_iter()
+            .filter(|&p| p != me && !self.dead_ranks.contains(&p))
+            .collect();
+        let mut blocks: Vec<BlockRecord> = Vec::with_capacity(awaiting.len() + 1);
         if let Some(b) = block {
             blocks.push(b);
         }
-        for &peer in &members {
-            if peer == me {
-                continue;
-            }
-            let b: Option<BlockRecord> = comm.recv(peer, TAG_AGG);
-            if let Some(b) = b {
-                blocks.push(b);
+        while !awaiting.is_empty() {
+            match comm.recv_any_of_deadline::<Option<BlockRecord>>(
+                &awaiting,
+                TAG_AGG,
+                self.member_deadline,
+            ) {
+                Ok((peer, b)) => {
+                    awaiting.retain(|&p| p != peer);
+                    if let Some(b) = b {
+                        blocks.push(b);
+                    }
+                }
+                Err(_) => {
+                    // Every member still awaited was silent for the
+                    // whole window: declare them all dead at once.
+                    for &peer in &awaiting {
+                        self.dead_ranks.insert(peer);
+                        self.dead.push(DeadMember {
+                            rank: peer,
+                            steps_received: self.steps.saturating_sub(1),
+                            waited: self.member_deadline,
+                        });
+                        self.failures.push(format!(
+                            "glean: node member rank {peer} lost after {} step(s) (no block \
+                             within {:?}); aggregating without it from step {} on",
+                            self.steps.saturating_sub(1),
+                            self.member_deadline,
+                            data.step(),
+                        ));
+                    }
+                    awaiting.clear();
+                }
             }
         }
         blocks.sort_by_key(|b| b.rank);
         let step = data.step();
-        let tx = self.ensure_drain(agg);
-        tx.send(DrainMsg::Step(step, blocks))
-            .expect("glean drain thread died");
+        if self.ensure_drain(agg) {
+            let topic = self.topic(agg);
+            self.broker.publish(&topic, (step, blocks));
+            for evicted in self.broker.take_evictions() {
+                self.failures.push(evicted.describe());
+            }
+        }
         Steering::Continue
     }
 
-    fn finalize(&mut self, _comm: &Comm) {
-        if let Some((tx, handle)) = self.drain.take() {
-            let _ = tx.send(DrainMsg::Close);
+    fn finalize(&mut self, comm: &Comm) {
+        if let Some(handle) = self.drain.take() {
+            let agg = self.topology.aggregator_of(comm.rank());
+            self.broker.finish(&self.topic(agg));
+            // Join with a deadline: a wedged drain (dead disk, hung
+            // filesystem) must not hang the whole job at exit. The
+            // thread is detached past the deadline and the suspect
+            // blobs are surfaced through take_failures.
+            let start = Wall::now();
+            let joined = loop {
+                if handle.is_finished() {
+                    break true;
+                }
+                if start.elapsed() >= self.finalize_deadline {
+                    break false;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            };
+            if !joined {
+                self.failures.push(format!(
+                    "glean: drain thread did not finish within {:?}; blob file for \
+                     aggregator {agg} may be truncated or unflushed",
+                    self.finalize_deadline
+                ));
+                return;
+            }
             match handle.join() {
                 Ok(Ok(_written)) => {}
                 Ok(Err(e)) => self.failures.push(format!("drain thread I/O error: {e}")),
                 Err(_) => self.failures.push("drain thread panicked".to_string()),
+            }
+            for evicted in self.broker.take_evictions() {
+                self.failures.push(evicted.describe());
             }
         }
     }
@@ -313,6 +494,155 @@ mod tests {
         let frames = read_blob_file(&GleanWriter::blob_path(&dir, 0)).unwrap();
         assert_eq!(frames.len(), 1);
         assert_eq!(frames[0].1.len(), 3, "all three ranks aggregated");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn big_adaptor(step: u64) -> InMemoryAdaptor {
+        // ~1.4 MB of field data: large enough that an unjoined drain
+        // thread would still be mid-write when the process moves on.
+        let global = Extent::whole([200, 30, 30]);
+        let mut g = ImageData::new(global, global);
+        let vals: Vec<f64> = global.iter_points().map(|p| p[0] as f64).collect();
+        g.add_point_array(DataArray::owned("data", 1, vals));
+        InMemoryAdaptor::new(DataSet::Image(g), step as f64, step)
+    }
+
+    // Regression (finalize/drain race): finalizing immediately after a
+    // large step must wait for the drain subscriber, so the blob holds
+    // the complete frame — truncated/unflushed blobs were the failure
+    // mode when finalize did not join the drain with a bound.
+    #[test]
+    fn finalize_right_after_large_step_leaves_complete_blob() {
+        let dir = std::env::temp_dir().join(format!("glean_flush_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d2 = dir.clone();
+        World::run(1, move |comm| {
+            let mut w = GleanWriter::new(Topology::new(1), "data", d2.clone());
+            w.execute(&big_adaptor(0), comm);
+            // No settling delay: finalize races the drain on purpose.
+            w.finalize(comm);
+            assert!(w.take_failures().is_empty(), "clean run reports nothing");
+        });
+        let frames = read_blob_file(&GleanWriter::blob_path(&dir, 0)).unwrap();
+        assert_eq!(frames.len(), 1);
+        let expect = Extent::whole([200, 30, 30]).num_points();
+        assert_eq!(frames[0].1[0].data.len(), expect, "frame complete");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // The other side of the same bugfix: a wedged drain must not hang
+    // finalize forever — the join deadline fires and the failure is
+    // surfaced through take_failures instead.
+    #[test]
+    fn finalize_deadline_surfaces_wedged_drain() {
+        let dir = std::env::temp_dir().join(format!("glean_wedge_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d2 = dir.clone();
+        World::run(1, move |comm| {
+            let mut w = GleanWriter::new(Topology::new(1), "data", d2.clone());
+            w.set_drain_delay(Duration::from_millis(400));
+            w.set_finalize_deadline(Duration::from_millis(40));
+            w.execute(&adaptor(comm, 0), comm);
+            let t0 = Wall::now();
+            w.finalize(comm);
+            assert!(
+                t0.elapsed() < Duration::from_millis(350),
+                "finalize must give up at its deadline, not wait out the drain"
+            );
+            let failures = w.take_failures();
+            assert_eq!(failures.len(), 1, "failures: {failures:?}");
+            assert!(
+                failures[0].contains("did not finish within"),
+                "unexpected failure text: {}",
+                failures[0]
+            );
+        });
+        // Let the detached drain finish before deleting its directory.
+        std::thread::sleep(Duration::from_millis(600));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // Regression (unbounded gather recv): a node member whose link to
+    // the aggregator is cut must not hang the node — the gather
+    // deadline fires, the member is recorded dead (DeadWriter-style)
+    // and skipped from every later step.
+    #[test]
+    fn dead_member_degrades_instead_of_hanging() {
+        let dir = std::env::temp_dir().join(format!("glean_dead_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d2 = dir.clone();
+        let faults = minimpi::FaultHandle::new();
+        faults.drop_link(1, 0); // member 1 -> aggregator 0
+        let handle = faults.clone();
+        minimpi::WorldBuilder::new(2)
+            .fault_handle(handle)
+            .run(move |comm| {
+                let mut w = GleanWriter::new(Topology::new(2), "data", d2.clone());
+                w.set_member_deadline(Duration::from_millis(60));
+                for s in 0..3u64 {
+                    w.execute(&adaptor(comm, s), comm);
+                }
+                w.finalize(comm);
+                if comm.rank() == 0 {
+                    let dead = w.dead_members();
+                    assert_eq!(dead.len(), 1);
+                    assert_eq!(dead[0].rank, 1);
+                    assert_eq!(dead[0].steps_received, 0);
+                    let failures = w.take_failures();
+                    assert_eq!(failures.len(), 1, "recorded once, then skipped");
+                    assert!(failures[0].contains("node member rank 1 lost"));
+                }
+            });
+        assert_eq!(faults.dropped(), 3, "every forwarded block was dropped");
+        // All three steps persisted with the aggregator's own block only.
+        let frames = read_blob_file(&GleanWriter::blob_path(&dir, 0)).unwrap();
+        assert_eq!(frames.len(), 3);
+        for (_, blocks) in &frames {
+            assert_eq!(
+                blocks.iter().map(|b| b.rank).collect::<Vec<_>>(),
+                vec![0],
+                "dead member's blocks must not appear"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // Aggregators are broker topics: an external subscriber on a shared
+    // broker watches the aggregation stream without touching the
+    // drain path.
+    #[test]
+    fn external_subscriber_watches_aggregator_topic() {
+        use adios::broker::{Broker, BrokerConfig};
+        let dir = std::env::temp_dir().join(format!("glean_watch_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d2 = dir.clone();
+        World::run(2, move |comm| {
+            let broker: Broker<NodeStep> = Broker::new(BrokerConfig {
+                queue_depth: 8,
+                ..BrokerConfig::default()
+            });
+            let mut w =
+                GleanWriter::new(Topology::new(2), "data", d2.clone()).with_broker(broker.clone());
+            let watcher = if comm.rank() == 0 {
+                Some(broker.subscribe_labeled(w.topic(0), "watcher").unwrap())
+            } else {
+                None
+            };
+            for s in 0..3u64 {
+                w.execute(&adaptor(comm, s), comm);
+            }
+            w.finalize(comm);
+            if let Some(watcher) = watcher {
+                let mut steps = Vec::new();
+                while let Some(msg) = watcher.try_next() {
+                    let (step, blocks) = &*msg.payload;
+                    assert_eq!(blocks.len(), 2, "both node members aggregated");
+                    steps.push(*step);
+                }
+                assert_eq!(steps, vec![0, 1, 2], "watcher saw every node step");
+                assert!(watcher.is_eos(), "finalize finished the topic");
+            }
+        });
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -48,40 +48,48 @@ pub fn append_step(path: &Path, step: u64, blocks: &[BlockRecord]) -> std::io::R
     f.write_all(&buf)
 }
 
+fn corrupt() -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt glean blob")
+}
+
+/// Consume the next `N` bytes as a fixed array, or a typed corruption
+/// error if the file ends first — no panicking conversions anywhere on
+/// the decode path.
+fn take_arr<const N: usize>(raw: &[u8], pos: &mut usize) -> std::io::Result<[u8; N]> {
+    let arr = raw
+        .get(*pos..pos.saturating_add(N))
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or_else(corrupt)?;
+    *pos += N;
+    Ok(arr)
+}
+
 /// Read every `(step, blocks)` frame back from an aggregator file.
 pub fn read_blob_file(path: &Path) -> std::io::Result<Vec<(u64, Vec<BlockRecord>)>> {
     let mut raw = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut raw)?;
-    let corrupt = || std::io::Error::new(std::io::ErrorKind::InvalidData, "corrupt glean blob");
     let mut out = Vec::new();
     let mut pos = 0usize;
-    let take = |pos: &mut usize, n: usize| -> std::io::Result<std::ops::Range<usize>> {
-        if *pos + n > raw.len() {
-            return Err(corrupt());
-        }
-        let r = *pos..*pos + n;
-        *pos += n;
-        Ok(r)
-    };
     while pos < raw.len() {
-        let step = u64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap());
-        let n = u32::from_le_bytes(raw[take(&mut pos, 4)?].try_into().unwrap()) as usize;
+        let step = u64::from_le_bytes(take_arr(&raw, &mut pos)?);
+        let n = u32::from_le_bytes(take_arr(&raw, &mut pos)?) as usize;
         let mut blocks = Vec::with_capacity(n);
         for _ in 0..n {
-            let rank = u64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()) as usize;
-            let name_len = u32::from_le_bytes(raw[take(&mut pos, 4)?].try_into().unwrap()) as usize;
-            let name = String::from_utf8(raw[take(&mut pos, name_len)?].to_vec())
-                .map_err(|_| corrupt())?;
+            let rank = u64::from_le_bytes(take_arr(&raw, &mut pos)?) as usize;
+            let name_len = u32::from_le_bytes(take_arr(&raw, &mut pos)?) as usize;
+            let name_bytes = raw
+                .get(pos..pos.saturating_add(name_len))
+                .ok_or_else(corrupt)?;
+            pos += name_len;
+            let name = String::from_utf8(name_bytes.to_vec()).map_err(|_| corrupt())?;
             let mut extent = [0i64; 6];
             for e in extent.iter_mut() {
-                *e = i64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap());
+                *e = i64::from_le_bytes(take_arr(&raw, &mut pos)?);
             }
-            let count = u64::from_le_bytes(raw[take(&mut pos, 8)?].try_into().unwrap()) as usize;
+            let count = u64::from_le_bytes(take_arr(&raw, &mut pos)?) as usize;
             let mut data = Vec::with_capacity(count);
             for _ in 0..count {
-                data.push(f64::from_le_bytes(
-                    raw[take(&mut pos, 8)?].try_into().unwrap(),
-                ));
+                data.push(f64::from_le_bytes(take_arr(&raw, &mut pos)?));
             }
             blocks.push(BlockRecord {
                 rank,

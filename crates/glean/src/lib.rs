@@ -9,10 +9,13 @@
 //!   forward their blocks to a node-level aggregator (one per
 //!   `ranks_per_node`), collapsing a file-per-rank storm into a
 //!   file-per-aggregator trickle;
-//! * **asynchronous draining** — each aggregator hands aggregated steps
-//!   to a background writer thread over a bounded queue, overlapping
-//!   storage I/O with the next simulation step (the "fastest path for
-//!   their data");
+//! * **asynchronous draining** — each aggregator publishes aggregated
+//!   steps to its staging-broker topic (`("glean/<array>", agg)` on an
+//!   [`adios::broker::Broker`]); a background writer thread subscribes
+//!   and persists them, overlapping storage I/O with the next
+//!   simulation step (the "fastest path for their data"), and any
+//!   number of extra subscribers can watch the same topic
+//!   ([`GleanWriter::with_broker`]);
 //! * a SENSEI [`sensei::AnalysisAdaptor`] wrapper ([`GleanWriter`]) so
 //!   the simulation enables GLEAN exactly like any other analysis.
 //!
@@ -23,5 +26,5 @@
 mod aggregate;
 mod blobs;
 
-pub use aggregate::{GleanWriter, Topology};
+pub use aggregate::{DeadMember, GleanWriter, NodeStep, Topology};
 pub use blobs::{read_blob_file, BlockRecord};

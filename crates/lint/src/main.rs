@@ -24,8 +24,9 @@
 //!   pattern, which R4 would reject anyway). `Arc`, atomics, and
 //!   `OnceLock` are fine.
 //! * **R4 no-unwrap-core** — no `.unwrap()`/`.expect(` in non-test
-//!   code of `minimpi`, `datamodel`, and `sensei`: the substrate must
-//!   surface failures as typed errors or structured panics (the
+//!   code of `minimpi`, `datamodel`, `sensei`, `science`, `adios`, and
+//!   `glean`: the substrate and the staging/aggregation data paths
+//!   must surface failures as typed errors or structured panics (the
 //!   monitor/scheduler reports), never ad-hoc unwraps.
 //!
 //! Test code is exempt from R2/R4: `tests/`/`benches/` directories,
@@ -80,9 +81,16 @@ fn is_test_file(path: &Path) -> bool {
 
 /// R4 applies only to the correctness core.
 fn in_core_crate(path: &Path) -> bool {
-    ["minimpi", "datamodel", "sensei"]
-        .iter()
-        .any(|c| under_dir(path, c))
+    [
+        "minimpi",
+        "datamodel",
+        "sensei",
+        "science",
+        "adios",
+        "glean",
+    ]
+    .iter()
+    .any(|c| under_dir(path, c))
 }
 
 fn check_file(path: &Path, source: &str, out: &mut Vec<Violation>) {

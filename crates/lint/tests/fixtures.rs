@@ -56,6 +56,24 @@ fn violating_fixture_trips_r4_in_core_paths() {
 }
 
 #[test]
+fn violating_fixture_trips_r4_in_staging_paths() {
+    // `glean` (with `science` and `adios`) joined the R4 crate list
+    // when the staging broker landed — the rule must fire there too.
+    let out = Command::new(lint_bin())
+        .current_dir(repo_root())
+        .arg("crates/lint/fixtures/glean/unwrap.rs")
+        .output()
+        .expect("lint binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "staging-path fixture must fail lint");
+    assert_eq!(
+        stdout.matches("[no-unwrap-core]").count(),
+        2,
+        "exactly the two non-test sites fire: {stdout}"
+    );
+}
+
+#[test]
 fn default_run_skips_fixtures_and_passes_workspace() {
     let out = Command::new(lint_bin())
         .current_dir(repo_root())

@@ -280,6 +280,45 @@ impl Comm {
         (from, downcast_payload(env.payload, from, tag))
     }
 
+    /// Poll/select-style multi-peer wait: block until a message with
+    /// `tag` arrives from *any* rank in `sources`, and return
+    /// `(src, value)`. Messages from ranks outside the set stay queued
+    /// untouched, unlike [`Comm::recv_any`] which matches everyone.
+    ///
+    /// This is the event-loop primitive a single dispatcher needs to
+    /// serve N peers without dedicating a thread (or a fixed-order
+    /// blocking receive) to each link: whichever peer is ready first is
+    /// served first.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty — a select over nothing can never
+    /// complete and is a program bug, not a runtime failure.
+    pub fn recv_any_of<T: Send + 'static>(&self, sources: &[usize], tag: u32) -> (usize, T) {
+        let tag = Tag::user(tag);
+        let env = self
+            .match_any_of_deadline(sources, tag, None)
+            .unwrap_or_else(|_| unreachable!("select without a deadline cannot time out"));
+        let from = env.src;
+        (from, downcast_payload(env.payload, from, tag))
+    }
+
+    /// [`Comm::recv_any_of`] with a deadline: gives up after `timeout`
+    /// and returns [`crate::Error::DeadlineExceeded`]. A timeout means
+    /// *every* rank in the set was silent for the whole window, which is
+    /// exactly the evidence a caller needs to declare the stragglers
+    /// dead in one decision instead of one full deadline per peer.
+    pub fn recv_any_of_deadline<T: Send + 'static>(
+        &self,
+        sources: &[usize],
+        tag: u32,
+        timeout: Duration,
+    ) -> crate::Result<(usize, T)> {
+        let tag = Tag::user(tag);
+        let env = self.match_any_of_deadline(sources, tag, Some(timeout))?;
+        let from = env.src;
+        Ok((from, downcast_payload(env.payload, from, tag)))
+    }
+
     /// Non-blocking probe: is a message matching `(src, tag)` available?
     pub fn iprobe(&self, src: usize, tag: u32) -> bool {
         self.drain_channel();
@@ -415,6 +454,139 @@ impl Comm {
                 Wake::Abort(msg) => panic!("{msg}"),
             }
         }
+    }
+
+    /// Matching engine behind the multi-peer select. A one-element set
+    /// degenerates to the specific-source engine so it keeps that
+    /// path's collective-order verification; larger sets match
+    /// whichever listed peer has traffic queued (FIFO within a pair,
+    /// policy-chosen across pairs under the scheduler — a recorded,
+    /// replayable decision just like `ANY_SOURCE`).
+    fn match_any_of_deadline(
+        &self,
+        sources: &[usize],
+        tag: Tag,
+        deadline: Option<Duration>,
+    ) -> crate::Result<Envelope> {
+        assert!(
+            !sources.is_empty(),
+            "recv_any_of: empty source set on rank {}",
+            self.rank
+        );
+        if let [only] = sources {
+            return self.match_envelope_deadline(*only, tag, deadline);
+        }
+        for src in sources {
+            assert!(
+                *src < self.size(),
+                "recv_any_of: rank {src} out of range (size {})",
+                self.size()
+            );
+        }
+        if let Some(sched) = self.sched.clone() {
+            return self.match_any_of_sched(&sched, sources, tag, deadline);
+        }
+        if let Some(env) = self.take_pending_any_of(sources, tag) {
+            self.note_progress();
+            self.note_delivery(&env);
+            return Ok(env);
+        }
+        let start = Wall::now();
+        self.publish_blocked(ANY_SOURCE, tag, start);
+        let outcome = loop {
+            let wait = match deadline {
+                Some(limit) => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= limit {
+                        break Err(self.deadline_error(ANY_SOURCE, tag, elapsed));
+                    }
+                    POLL_TICK.min(limit - elapsed)
+                }
+                None => POLL_TICK,
+            };
+            match self.receiver.recv_timeout(wait) {
+                Ok(env) => {
+                    if env.tag == tag && sources.contains(&env.src) {
+                        self.note_progress();
+                        self.note_delivery(&env);
+                        break Ok(env);
+                    }
+                    self.pending.borrow_mut().push_back(env);
+                    self.update_pending_snapshot();
+                }
+                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "recv_any_of: all peer ranks disconnected while rank {} waited for tag {tag}",
+                        self.rank
+                    );
+                }
+            }
+        };
+        if let Some(monitor) = &self.monitor {
+            monitor.clear_blocked(self.slot);
+        }
+        outcome
+    }
+
+    /// Multi-peer select under the deterministic scheduler: blocks as
+    /// an `ANY_SOURCE` wait (any mail wakes it; non-matching mail just
+    /// re-blocks) and resolves set matches through
+    /// [`Sched::choose_match`] so record and replay stay aligned.
+    fn match_any_of_sched(
+        &self,
+        sched: &Arc<Sched>,
+        sources: &[usize],
+        tag: Tag,
+        deadline: Option<Duration>,
+    ) -> crate::Result<Envelope> {
+        let deadline_nanos =
+            deadline.map(|d| sched.vclock_nanos().saturating_add(d.as_nanos() as u64));
+        loop {
+            self.drain_channel();
+            let candidates: Vec<usize> = {
+                let pending = self.pending.borrow();
+                let mut distinct = Vec::new();
+                for e in pending.iter() {
+                    if e.tag == tag && sources.contains(&e.src) && !distinct.contains(&e.src) {
+                        distinct.push(e.src);
+                    }
+                }
+                distinct
+            };
+            if !candidates.is_empty() {
+                let chosen = sched.choose_match(self.slot, &candidates, tag);
+                if let Some(env) = self.take_pending(chosen, tag) {
+                    self.note_delivery(&env);
+                    return Ok(env);
+                }
+            }
+            let info = WaitInfo {
+                comm_rank: self.rank,
+                comm_size: self.size(),
+                src: ANY_SOURCE,
+                tag,
+                deadline_nanos,
+                pending: self.pending_snapshot(),
+            };
+            match sched.block_recv(self.slot, info) {
+                Wake::Mail => continue,
+                Wake::Deadline => {
+                    return Err(self.deadline_error(ANY_SOURCE, tag, deadline.unwrap_or_default()))
+                }
+                Wake::Abort(msg) => panic!("{msg}"),
+            }
+        }
+    }
+
+    /// FIFO-across-the-queue match against a source set (wall-clock
+    /// path; the scheduler path makes the cross-pair choice explicit).
+    fn take_pending_any_of(&self, sources: &[usize], tag: Tag) -> Option<Envelope> {
+        let mut pending = self.pending.borrow_mut();
+        let idx = pending
+            .iter()
+            .position(|e| e.tag == tag && sources.contains(&e.src))?;
+        pending.remove(idx)
     }
 
     /// Pending-queue match under the scheduler: a specific-source
@@ -891,6 +1063,78 @@ mod tests {
                 let _: (usize, u8) = comm.recv_tagged(0, Tag::collective(CollectiveKind::Bcast, 9));
             }
         });
+    }
+
+    #[test]
+    fn recv_any_of_matches_only_listed_sources() {
+        World::run(4, |comm| {
+            if comm.rank() == 0 {
+                // Rank 3 also sends on the same tag; the select over
+                // {1, 2} must leave that message queued untouched.
+                let mut seen = vec![];
+                for _ in 0..2 {
+                    let (src, v): (usize, u32) = comm.recv_any_of(&[1, 2], 21);
+                    assert_eq!(v as usize, src * 100);
+                    seen.push(src);
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, vec![1, 2]);
+                let (src, v): (usize, u32) = comm.recv_any_of(&[3], 21);
+                assert_eq!((src, v), (3, 300));
+            } else {
+                comm.send(0, 21, (comm.rank() * 100) as u32);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_any_of_deadline_times_out_when_all_silent() {
+        use std::time::Duration;
+        World::run(3, |comm| {
+            if comm.rank() == 0 {
+                let got: crate::Result<(usize, u8)> =
+                    comm.recv_any_of_deadline(&[1, 2], 33, Duration::from_millis(40));
+                match got {
+                    Err(crate::Error::DeadlineExceeded { waited, .. }) => {
+                        assert!(waited >= Duration::from_millis(40));
+                    }
+                    other => panic!("expected deadline, got {other:?}"),
+                }
+            }
+            comm.barrier();
+        });
+    }
+
+    #[test]
+    fn recv_any_of_is_deterministic_under_replay() {
+        use crate::{SchedPolicy, TraceCell, WorldBuilder};
+        let run = |policy: SchedPolicy, cell: &TraceCell| -> Vec<usize> {
+            let order = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let sink = order.clone();
+            WorldBuilder::new(4)
+                .sched(policy)
+                .trace_cell(cell)
+                .run(move |comm| {
+                    if comm.rank() == 0 {
+                        for _ in 0..6 {
+                            let (src, _v): (usize, u64) = comm.recv_any_of(&[1, 2, 3], 44);
+                            sink.lock().push(src);
+                        }
+                    } else {
+                        for i in 0..2u64 {
+                            comm.send(0, 44, comm.rank() as u64 * 10 + i);
+                        }
+                    }
+                });
+            let got = order.lock().clone();
+            got
+        };
+        let cell = TraceCell::default();
+        let recorded = run(SchedPolicy::Seeded(0xB20C), &cell);
+        let trace = cell.take().expect("seeded run records a trace");
+        let replay_cell = TraceCell::default();
+        let replayed = run(SchedPolicy::Replay(trace), &replay_cell);
+        assert_eq!(recorded, replayed, "select order must replay exactly");
     }
 
     #[test]

@@ -183,6 +183,21 @@ impl Probe {
         }
     }
 
+    /// Bulk counter update: `calls` invocations moving `messages`
+    /// messages of `bytes` total under `name`, in one lock
+    /// acquisition. The fan-out hot path (one publish delivered to N
+    /// subscribers) records once instead of N times.
+    #[inline]
+    pub fn bulk(&self, name: &str, calls: u64, messages: u64, bytes: u64) {
+        if let Some(inner) = &self.0 {
+            let mut state = inner.state.lock();
+            let c = counter_mut(&mut state, name);
+            c.calls += calls;
+            c.messages += messages;
+            c.bytes += bytes;
+        }
+    }
+
     /// Raise the high-water gauge `name` to at least `value`.
     #[inline]
     pub fn gauge_max(&self, name: &str, value: u64) {
@@ -398,6 +413,25 @@ mod tests {
         );
         assert_eq!(s.gauge("mem/x"), Some(10));
         assert_eq!(s.gauge("mem/missing"), None);
+    }
+
+    #[test]
+    fn bulk_updates_one_counter_in_one_shot() {
+        let p = enabled();
+        p.bulk("broker/data#0/fanout", 1, 1000, 8000);
+        p.bulk("broker/data#0/fanout", 1, 500, 4000);
+        let s = p.snapshot();
+        assert_eq!(
+            s.counters,
+            vec![CounterStat {
+                name: "broker/data#0/fanout".into(),
+                calls: 2,
+                messages: 1500,
+                bytes: 12000,
+            }]
+        );
+        // Disabled probe: still a no-op.
+        off().bulk("x", 1, 1, 1);
     }
 
     #[test]

@@ -547,7 +547,11 @@ mod tests {
             let sim = Leslie::new(comm, small());
             let adaptor = LeslieAdaptor::new(&sim);
             let mesh = adaptor.full_mesh();
-            let arr = mesh.point_data().unwrap().get("u").unwrap();
+            let arr = mesh
+                .point_data()
+                .expect("leslie adaptor publishes point data")
+                .get("u")
+                .expect("leslie adaptor publishes velocity component u");
             assert!(arr.is_zero_copy(), "velocity views are zero-copy");
             // Ghost-aware analysis counts only interior points.
             let mut stats = DescriptiveStats::new("vorticity");

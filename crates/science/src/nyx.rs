@@ -549,7 +549,10 @@ mod tests {
             let handle = hist.results_handle();
             hist.execute(&adaptor, comm);
             if comm.rank() == 0 {
-                let r = handle.lock().clone().unwrap();
+                let r = handle
+                    .lock()
+                    .clone()
+                    .expect("root rank holds the reduced histogram");
                 let total_cells = 8 * 8 * 8;
                 assert_eq!(
                     r.counts.iter().sum::<u64>(),

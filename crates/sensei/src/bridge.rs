@@ -139,6 +139,20 @@ impl Bridge {
         }
     }
 
+    /// Bulk registration: enable N consumers in one call (the staging
+    /// broker's many-subscriber pattern — a fleet of per-topic
+    /// analysis clients registers as one batch, each with zero init
+    /// cost). Use [`Bridge::register`] when a consumer needs an
+    /// [`Registration::init_cost`] attached.
+    ///
+    /// # Panics
+    /// Panics if called after [`Bridge::finalize`].
+    pub fn register_many(&mut self, analyses: impl IntoIterator<Item = Box<dyn AnalysisAdaptor>>) {
+        for analysis in analyses {
+            self.register(analysis);
+        }
+    }
+
     /// Number of registered analyses.
     pub fn num_analyses(&self) -> usize {
         self.analyses.len()
@@ -374,6 +388,23 @@ mod tests {
             };
             assert_eq!(phase.samples, expected);
             assert!(phase.max_s >= phase.min_s);
+        });
+    }
+
+    #[test]
+    fn register_many_registers_a_batch_of_consumers() {
+        World::run(1, |comm| {
+            let mut bridge = Bridge::new();
+            let batch: Vec<Box<dyn AnalysisAdaptor>> = (0..8)
+                .map(|i| {
+                    Box::new(HistogramAnalysis::new("data", 4 + i)) as Box<dyn AnalysisAdaptor>
+                })
+                .collect();
+            bridge.register_many(batch);
+            assert_eq!(bridge.num_analyses(), 8);
+            assert!(bridge.execute(&adaptor(0), comm).should_continue());
+            let report = bridge.finalize(comm);
+            assert_eq!(report.steps, 1);
         });
     }
 

@@ -88,6 +88,25 @@ impl Condvar {
         }
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns
+    /// `true` if the wait timed out (parking_lot's `WaitTimeoutResult`
+    /// collapsed to its `timed_out()` bool — the only bit callers use).
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: std::time::Duration) -> bool {
+        // SAFETY: identical move-out/write-back discipline as `wait`:
+        // the hole in `guard` is filled before this returns, and
+        // `wait_timeout` does not unwind under the one-condvar-per-
+        // mutex pairing rule documented on `wait`.
+        unsafe {
+            let owned = std::ptr::read(guard);
+            let (reacquired, result) = self
+                .inner
+                .wait_timeout(owned, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            std::ptr::write(guard, reacquired);
+            result.timed_out()
+        }
+    }
+
     /// Wake one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();

@@ -1,0 +1,344 @@
+//! Staging-broker soak (ISSUE 7 tentpole acceptance).
+//!
+//! One oscillator producer ships steps over FlexPath to an endpoint
+//! that tees every step onto the sharded staging broker, where **1000+
+//! simulated analysis clients** subscribe to the `data#0` topic with
+//! mid-run connect/disconnect churn and a batch of deliberately
+//! stalled consumers. The pins:
+//!
+//! * live subscribers lose **zero** steps — every client's consumed
+//!   sequence numbers are contiguous from its admission point;
+//! * every stalled consumer is evicted (bounded queues + eviction
+//!   deadline, never an unbounded stall) and surfaces by label in
+//!   [`sensei::Bridge::failure_reports`];
+//! * the probe gauges prove the queue bound was never exceeded;
+//! * the whole run is deterministic: recording under
+//!   `SchedPolicy::Seeded` and replaying the trace under
+//!   `SchedPolicy::Replay` produces byte-identical RunReport JSON.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adios::staging::{run_endpoint_with_broker, AdiosWriterAnalysis};
+use adios::{pair, BpVar, Broker, BrokerConfig, Role, StagingBroker, Subscription, TopicKey};
+use minimpi::{Comm, SchedPolicy, TraceCell, WorldBuilder};
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use parking_lot::Mutex;
+use sensei::{AnalysisAdaptor, DataAdaptor, Steering};
+
+const GRID: [usize; 3] = [9, 9, 9];
+const STEPS: usize = 8;
+/// Subscribed before the run starts.
+const INITIAL_CLIENTS: usize = 600;
+/// Connect per round (mid-run churn): 600 + 8×64 = 1112 total clients.
+const JOIN_PER_ROUND: usize = 64;
+/// Deliberately disconnected per round (mid-run churn).
+const DROP_PER_ROUND: usize = 24;
+/// Clients that never drain — the broker must evict each one.
+const STALLED: usize = 16;
+const QUEUE_DEPTH: usize = 2;
+
+/// One simulated analysis client.
+struct Client {
+    label: String,
+    sub: Subscription<BpVar>,
+    /// Sequence numbers drained, in drain order.
+    seen: Vec<u64>,
+    /// Never drains; must be evicted.
+    stalled: bool,
+    /// Deliberately disconnected mid-run.
+    dropped: bool,
+}
+
+struct SoakState {
+    clients: Vec<Client>,
+    broker: StagingBroker,
+    rng: u64,
+}
+
+/// Deterministic churn source (xorshift64*): no wall-clock or OS
+/// entropy anywhere, so record and replay pick identical victims.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+/// The churn driver rides in the endpoint bridge as a SENSEI analysis:
+/// once per round (after the broker tee published the step) it
+/// connects new clients, drains the live ones, and disconnects a
+/// deterministic subset.
+struct ChurnAnalysis {
+    state: Arc<Mutex<SoakState>>,
+}
+
+impl AnalysisAdaptor for ChurnAnalysis {
+    fn name(&self) -> &str {
+        "soak-churn"
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, _comm: &Comm) -> Steering {
+        let mut guard = self.state.lock();
+        let st = &mut *guard;
+        let step = data.step();
+        let topic = TopicKey::new("data", 0);
+        // Mid-run connects: these clients join after this round's
+        // publish, so their admission seq is `step + 1`.
+        let broker = st.broker.clone();
+        for i in 0..JOIN_PER_ROUND {
+            let label = format!("join-s{step}-{i:02}");
+            let sub = broker
+                .subscribe_labeled(topic.clone(), label.as_str())
+                .expect("soak client admitted");
+            st.clients.push(Client {
+                label,
+                sub,
+                seen: Vec::new(),
+                stalled: false,
+                dropped: false,
+            });
+        }
+        // Drain every live client (stalled ones deliberately never
+        // drain; dropped ones already hung up).
+        for c in st.clients.iter_mut() {
+            if c.stalled || c.dropped {
+                continue;
+            }
+            while let Some(msg) = c.sub.try_next() {
+                c.seen.push(msg.seq);
+            }
+        }
+        // Mid-run disconnects of a deterministic random subset.
+        let n = st.clients.len();
+        let mut dropped = 0;
+        let mut attempts = 0;
+        while dropped < DROP_PER_ROUND && attempts < 10_000 {
+            attempts += 1;
+            let pick = (xorshift(&mut st.rng) as usize) % n;
+            let c = &mut st.clients[pick];
+            if c.stalled || c.dropped {
+                continue;
+            }
+            c.sub.disconnect();
+            c.dropped = true;
+            dropped += 1;
+        }
+        Steering::Continue
+    }
+}
+
+/// Run the full soak under `policy`; returns the endpoint's RunReport
+/// JSON (the replay-determinism subject). All structural assertions
+/// run inside, on the endpoint rank.
+fn soak_run(policy: SchedPolicy, cell: Option<&TraceCell>) -> String {
+    let deck = format_deck(&demo_oscillators());
+    let mut builder = WorldBuilder::new(2).sched(policy);
+    if let Some(cell) = cell {
+        builder = builder.trace_cell(cell);
+    }
+    let out = builder.run(move |world| match pair(world, 1) {
+        Role::Writer { sub, writer } => {
+            let cfg = SimConfig {
+                grid: GRID,
+                steps: STEPS,
+                ..SimConfig::default()
+            };
+            let mut sim = Simulation::new(&sub, cfg, Some(deck.as_str()));
+            let mut ship = AdiosWriterAnalysis::new(writer);
+            for _ in 0..STEPS {
+                sim.step(&sub);
+                // The transport addresses endpoint ranks globally.
+                ship.execute(&OscillatorAdaptor::new(&sim), world);
+            }
+            ship.finalize(world);
+            None
+        }
+        Role::Endpoint { sub, mut reader } => {
+            sub.attach_probe(probe::enabled());
+            let broker = StagingBroker::new(BrokerConfig {
+                queue_depth: QUEUE_DEPTH,
+                max_subscribers: 4096,
+                // Virtual-clock budget: each deadline poll advances the
+                // endpoint thread's clock by 0.1 µs, so 20 µs bounds the
+                // stall loop at ~200 polls before eviction.
+                eviction_deadline: Duration::from_micros(20),
+            });
+            let topic = TopicKey::new("data", 0);
+            let state = Arc::new(Mutex::new(SoakState {
+                clients: Vec::new(),
+                broker: broker.clone(),
+                rng: 0x9E37_79B9_7F4A_7C15,
+            }));
+            {
+                let mut st = state.lock();
+                for i in 0..INITIAL_CLIENTS {
+                    let stalled = i < STALLED;
+                    let label = if stalled {
+                        format!("stall-{i:02}")
+                    } else {
+                        format!("init-{i:03}")
+                    };
+                    let sub = broker
+                        .subscribe_labeled(topic.clone(), label.as_str())
+                        .expect("initial client admitted");
+                    st.clients.push(Client {
+                        label,
+                        sub,
+                        seen: Vec::new(),
+                        stalled,
+                        dropped: false,
+                    });
+                }
+            }
+            let churn = ChurnAnalysis {
+                state: Arc::clone(&state),
+            };
+            let (bridge, report) =
+                run_endpoint_with_broker(world, &sub, &mut reader, vec![Box::new(churn)], &broker);
+            assert_eq!(bridge.steps(), STEPS as u64);
+            assert_eq!(broker.published(&topic), STEPS as u64);
+
+            let st = state.lock();
+            assert!(
+                st.clients.len() >= 1000,
+                "soak needs 1k+ clients, got {}",
+                st.clients.len()
+            );
+            let mut evicted = 0;
+            for c in &st.clients {
+                let stats = c.sub.stats();
+                if c.stalled {
+                    assert!(c.sub.is_evicted(), "stalled client {} not evicted", c.label);
+                    assert!(c.seen.is_empty());
+                    evicted += 1;
+                    continue;
+                }
+                // Zero lost steps: consumed seqs are contiguous from the
+                // admission point; clients alive at the end saw every
+                // step through the last one published.
+                let end = if c.dropped {
+                    stats.joined_seq + c.seen.len() as u64
+                } else {
+                    STEPS as u64
+                };
+                let want: Vec<u64> = (stats.joined_seq..end).collect();
+                assert_eq!(c.seen, want, "client {} lost/reordered steps", c.label);
+                if !c.dropped {
+                    assert!(c.sub.is_eos(), "live client {} missed EOS", c.label);
+                }
+            }
+            assert_eq!(evicted, STALLED);
+
+            // Every evicted consumer surfaces by label in the bridge's
+            // failure reports — and nothing else does (the writer
+            // closed cleanly).
+            let failures = bridge.failure_reports();
+            assert_eq!(
+                failures.len(),
+                STALLED,
+                "one eviction report per stalled client: {failures:?}"
+            );
+            for i in 0..STALLED {
+                let label = format!("stall-{i:02}");
+                assert!(
+                    failures
+                        .iter()
+                        .any(|f| f.contains(&label) && f.contains("broker evicted slow consumer")),
+                    "missing eviction report for {label}: {failures:?}"
+                );
+            }
+
+            // Queue bound held: the dispatcher's high-water gauge never
+            // exceeded the configured depth, and the eviction counter
+            // matches the stalled population.
+            let gauge = report
+                .gauges
+                .iter()
+                .find(|g| g.name == "broker/data#0/queue_peak")
+                .expect("queue-peak gauge in the endpoint report");
+            assert!(
+                gauge.max <= QUEUE_DEPTH as u64,
+                "queue bound violated: {} > {QUEUE_DEPTH}",
+                gauge.max
+            );
+            let ev = report
+                .counter("broker/evictions")
+                .expect("eviction counter in the endpoint report");
+            assert_eq!(ev.calls, STALLED as u64);
+
+            Some(report.to_json())
+        }
+    });
+    out.into_iter().flatten().next().expect("endpoint report")
+}
+
+/// The soak itself, plus the determinism pin: replaying the recorded
+/// schedule reproduces the endpoint RunReport byte-for-byte — same
+/// evictions, same failure strings, same (virtual-clock) timings.
+#[test]
+fn soak_1k_subscribers_with_churn_is_replay_deterministic() {
+    let cell = TraceCell::new();
+    let recorded = soak_run(SchedPolicy::Seeded(0x50AC_B20C), Some(&cell));
+    let trace = cell.take().expect("seeded run recorded a trace");
+    let replayed = soak_run(SchedPolicy::Replay(trace), None);
+    // CI uploads both reports as artifacts; equality is the pin.
+    let _ = std::fs::create_dir_all("results");
+    let _ = std::fs::write("results/broker_soak_recorded.json", &recorded);
+    let _ = std::fs::write("results/broker_soak_replayed.json", &replayed);
+    assert_eq!(
+        recorded, replayed,
+        "endpoint RunReport must be byte-identical under replay"
+    );
+}
+
+/// Backpressure without eviction (wall clock): a slow-but-draining
+/// consumer throttles the publisher through the bounded queue and is
+/// never evicted; the queue gauge proves the bound held.
+#[test]
+fn backpressure_blocks_publisher_without_evicting_draining_consumer() {
+    let broker: Broker<u64> = Broker::new(BrokerConfig {
+        queue_depth: QUEUE_DEPTH,
+        max_subscribers: 4,
+        eviction_deadline: Duration::from_secs(10),
+    });
+    let probe = probe::enabled();
+    broker.attach_probe(probe.clone());
+    let topic = TopicKey::new("field", 0);
+    let sub = broker
+        .subscribe_labeled(topic.clone(), "slow-but-alive")
+        .expect("admitted");
+    let consumer = std::thread::spawn(move || {
+        let mut sum = 0u64;
+        let mut n = 0u64;
+        loop {
+            match sub.recv_deadline(Duration::from_secs(5)) {
+                Ok(Some(msg)) => {
+                    sum += *msg.payload;
+                    n += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(None) => break,
+                Err(()) => panic!("consumer starved behind a live publisher"),
+            }
+        }
+        (sum, n)
+    });
+    let mut evicted = 0;
+    for v in 0..50u64 {
+        evicted += broker.publish(&topic, v).evicted;
+    }
+    broker.finish(&topic);
+    let (sum, n) = consumer.join().expect("consumer thread");
+    assert_eq!(evicted, 0, "a draining consumer is never evicted");
+    assert_eq!(n, 50, "every published message was consumed");
+    assert_eq!(sum, (0..50).sum::<u64>());
+    assert!(broker.take_evictions().is_empty());
+    let snap = probe.snapshot();
+    let peak = snap
+        .gauge("broker/field#0/queue_peak")
+        .expect("queue gauge recorded");
+    assert!(peak <= QUEUE_DEPTH as u64, "queue bound violated: {peak}");
+}
