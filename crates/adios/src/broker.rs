@@ -185,16 +185,30 @@ pub struct EvictionRecord {
 impl EvictionRecord {
     /// One-line description for [`sensei::Bridge::record_failure`].
     pub fn describe(&self) -> String {
-        let who = if self.label.is_empty() {
-            format!("client {}", self.client)
-        } else {
-            self.label.clone()
-        };
-        format!(
-            "broker evicted slow consumer {who} from topic {}: queue full at seq {} \
-             after {:?} (delivered {}, consumed {})",
-            self.topic, self.dropped_seq, self.waited, self.delivered, self.consumed
-        )
+        sensei::FailureReport::from(self).to_string()
+    }
+}
+
+impl From<&EvictionRecord> for sensei::FailureReport {
+    fn from(e: &EvictionRecord) -> Self {
+        sensei::FailureReport::Eviction {
+            consumer: if e.label.is_empty() {
+                format!("client {}", e.client)
+            } else {
+                e.label.clone()
+            },
+            topic: e.topic.to_string(),
+            delivered: e.delivered,
+            consumed: e.consumed,
+            dropped_seq: e.dropped_seq,
+            waited: e.waited,
+        }
+    }
+}
+
+impl From<EvictionRecord> for sensei::FailureReport {
+    fn from(e: EvictionRecord) -> Self {
+        (&e).into()
     }
 }
 
@@ -492,7 +506,7 @@ impl<T: Send + Sync + 'static> Broker<T> {
         }
 
         if probe.is_enabled() {
-            let name = format!("broker/{topic}/fanout");
+            let name = probe::key::scoped("broker", topic, "fanout");
             let bytes = delivered as u64 * std::mem::size_of::<TopicMsg<T>>() as u64;
             probe.bulk(&name, 1, delivered as u64, bytes);
             let peak = t
@@ -501,9 +515,9 @@ impl<T: Send + Sync + 'static> Broker<T> {
                 .map(|s| s.state.0.lock().queue.len())
                 .max()
                 .unwrap_or(0);
-            probe.gauge_max(&format!("broker/{topic}/queue_peak"), peak as u64);
+            probe.gauge_max(&probe::key::scoped("broker", topic, "queue_peak"), peak as u64);
             if !evicted_now.is_empty() {
-                probe.bulk("broker/evictions", evicted_now.len() as u64, 0, 0);
+                probe.bulk(&probe::key::of("broker", "evictions"), evicted_now.len() as u64, 0, 0);
             }
         }
         let report = PublishReport {

@@ -200,6 +200,17 @@ pub struct DeadWriter {
     pub waited: Duration,
 }
 
+impl From<&DeadWriter> for sensei::FailureReport {
+    fn from(d: &DeadWriter) -> Self {
+        sensei::FailureReport::DeadWriter {
+            rank: d.rank,
+            steps_received: d.steps_received,
+            bytes_received: d.bytes_received as u64,
+            waited: d.waited,
+        }
+    }
+}
+
 /// Reader-side transport handle.
 pub struct FlexpathReader {
     links: Vec<WriterLink>,

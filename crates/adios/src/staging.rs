@@ -22,6 +22,18 @@ use crate::flexpath::{FlexpathReader, FlexpathWriter};
 /// variable's scalar type travels with it — notably keeping the
 /// `vtkGhostType` u8 array recognizable as ghosts at the endpoint.
 pub fn adaptor_to_step(data: &dyn DataAdaptor) -> BpStep {
+    match try_adaptor_to_step(data) {
+        Ok(step) => step,
+        Err(err) => panic!("adaptor_to_step: {err}; use try_adaptor_to_step to marshal data that may live off-host"),
+    }
+}
+
+/// Space-checked twin of [`adaptor_to_step`]: marshaling reads every
+/// array through [`datamodel::DataArray::values_in`] from the calling
+/// thread's memory space, so a device-resident array handed to a
+/// host-side writer surfaces as [`AdaptorError::WrongSpace`] instead
+/// of an unchecked read.
+pub fn try_adaptor_to_step(data: &dyn DataAdaptor) -> Result<BpStep, AdaptorError> {
     let mesh = data.full_mesh();
     // Sanitizer: marshaling a BP step reads every array zero-copy;
     // hold a publish window across the walk.
@@ -61,7 +73,7 @@ pub fn adaptor_to_step(data: &dyn DataAdaptor) -> BpStep {
                 continue;
             }
             let d = local.point_dims();
-            let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+            let values = arr.values_in(0, datamodel::current_space())?;
             let gd = global.point_dims();
             step.vars.push(
                 BpVar::new(
@@ -80,7 +92,7 @@ pub fn adaptor_to_step(data: &dyn DataAdaptor) -> BpStep {
             );
         }
     }
-    step
+    Ok(step)
 }
 
 /// Restore a variable's payload as an array of its declared scalar type.
@@ -300,6 +312,9 @@ pub struct AdiosWriterAnalysis {
     pub write_seconds: f64,
     /// Total bytes shipped.
     pub bytes_shipped: usize,
+    /// Non-fatal marshal failures (e.g. wrong-space arrays) drained by
+    /// the bridge through `take_failures`.
+    failures: Vec<String>,
 }
 
 impl AdiosWriterAnalysis {
@@ -311,6 +326,7 @@ impl AdiosWriterAnalysis {
             advance_seconds: 0.0,
             write_seconds: 0.0,
             bytes_shipped: 0,
+            failures: Vec::new(),
         }
     }
 }
@@ -325,7 +341,16 @@ impl AnalysisAdaptor for AdiosWriterAnalysis {
         let advance = self.writer.advance(comm);
         self.advance_seconds += advance;
         let t0 = probe::time::now_seconds();
-        let step = adaptor_to_step(data);
+        // A marshal failure (wrong-space array) degrades to shipping an
+        // empty step: the stream's step count stays aligned with the
+        // endpoint while the failure surfaces through the bridge.
+        let step = match try_adaptor_to_step(data) {
+            Ok(step) => step,
+            Err(err) => {
+                self.failures.push(format!("adios-flexpath: {err}"));
+                BpStep::new(data.step(), data.time())
+            }
+        };
         let shipped = self
             .writer
             .write_with_scratch(comm, &step, &mut self.scratch);
@@ -336,12 +361,16 @@ impl AnalysisAdaptor for AdiosWriterAnalysis {
         // this rank put on the staging wire.
         probe.record_span("per-step/adios-flexpath/advance", advance);
         probe.record_span("per-step/adios-flexpath/write", write);
-        probe.message("staging/on_wire", shipped as u64);
+        probe.message(&probe::key::of("staging", "on_wire"), shipped as u64);
         Steering::Continue
     }
 
     fn finalize(&mut self, comm: &Comm) {
         self.writer.close(comm);
+    }
+
+    fn take_failures(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.failures)
     }
 }
 
@@ -355,6 +384,10 @@ impl AnalysisAdaptor for AdiosWriterAnalysis {
 /// surviving writers in lock-step with the other endpoints, and the
 /// bytes/steps lost are surfaced through
 /// [`Bridge::failure_reports`].
+#[deprecated(
+    note = "use run_endpoint_with_broker — the broker tee is the staging spine, and a \
+            default-config broker with no subscribers costs nothing"
+)]
 pub fn run_endpoint(
     world: &Comm,
     sub: &Comm,
@@ -414,7 +447,7 @@ fn endpoint_loop(
             // Payload bytes this endpoint pulled off the staging wire.
             for (_src, bp) in &steps {
                 let bytes: usize = bp.vars.iter().map(|v| v.data.len() * 8).sum();
-                probe.message("staging/off_wire", bytes as u64);
+                probe.message(&probe::key::of("staging", "off_wire"), bytes as u64);
             }
         }
         if let Some(broker) = broker {
@@ -430,15 +463,11 @@ fn endpoint_loop(
     if let Some(broker) = broker {
         broker.finish_all();
         for evicted in broker.take_evictions() {
-            bridge.record_failure(evicted.describe());
+            bridge.record_failure(evicted);
         }
     }
     for dead in reader.dead_writers() {
-        bridge.record_failure(format!(
-            "adios::staging: writer rank {} lost in transit after {} step(s) / {} payload \
-             byte(s) received (no frame within {:?}); its stream was drained to end-of-stream",
-            dead.rank, dead.steps_received, dead.bytes_received, dead.waited
-        ));
+        bridge.record_failure(dead);
     }
     let report = bridge.finalize(sub);
     (bridge, report)
@@ -465,6 +494,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the minimal non-broker endpoint stays covered until removal
     fn histogram_runs_in_transit() {
         // 2 writers + 2 endpoints: the histogram executes at the
         // endpoints over the reconstructed blocks.
@@ -498,6 +528,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the minimal non-broker endpoint stays covered until removal
     fn endpoint_broker_tee_feeds_subscribers() {
         use crate::broker::{BrokerConfig, StagingBroker, TopicKey};
         use std::time::Duration;
@@ -539,6 +570,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the minimal non-broker endpoint stays covered until removal
     fn writer_analysis_reports_fig8_components() {
         World::run(2, |world| match pair(world, 1) {
             Role::Writer { .. } if false => unreachable!(),
@@ -661,6 +693,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the minimal non-broker endpoint stays covered until removal
     fn dead_writer_degrades_to_end_of_stream() {
         use std::time::Duration;
         // Writer 0 ships 2 steps, then its third frame is lost in
@@ -697,8 +730,10 @@ mod tests {
                     if world.rank() == 2 {
                         let reports = bridge.failure_reports();
                         assert_eq!(reports.len(), 1, "lost writer surfaced");
-                        assert!(reports[0].contains("writer rank 0"), "{}", reports[0]);
-                        assert!(reports[0].contains("2 step(s)"), "{}", reports[0]);
+                        assert_eq!(reports[0].kind(), "dead-writer");
+                        let text = reports[0].to_string();
+                        assert!(text.contains("writer rank 0"), "{text}");
+                        assert!(text.contains("2 step(s)"), "{text}");
                         let dead = &reader.dead_writers()[0];
                         assert_eq!(dead.rank, 0);
                         assert_eq!(dead.steps_received, 2);

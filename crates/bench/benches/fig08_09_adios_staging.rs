@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use minimpi::World;
 
 use adios::bp::{BpStep, BpVar};
-use adios::staging::{run_endpoint, AdiosWriterAnalysis};
+#[allow(deprecated)] // legacy non-broker endpoint keeps the perf baselines comparable
+use adios::staging::run_endpoint;
+use adios::staging::AdiosWriterAnalysis;
 use adios::{pair, Role};
 use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
 use sensei::analysis::histogram::HistogramAnalysis;
@@ -42,6 +44,7 @@ fn bp_marshaling(c: &mut Criterion) {
     group.finish();
 }
 
+#[allow(deprecated)] // legacy non-broker endpoint keeps the perf baselines comparable
 fn in_transit_histogram(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_staging");
     group

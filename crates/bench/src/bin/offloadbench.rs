@@ -1,0 +1,57 @@
+//! Measure the async-offload executor metrics and write
+//! `BENCH_offload.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin offloadbench [-- --out PATH]`
+//!
+//! Times the synchronous in situ step loop against the offloaded one
+//! (analyses on device workers overlapping the simulation), and
+//! records the measured overlap efficiency, the H2D transfer-bytes
+//! ratio against the ideal one-snapshot-per-step cost, and whether the
+//! offloaded artifacts are bitwise identical to the host run's. Only
+//! dimensionless entries are gated, so a baseline recorded on one
+//! machine still gates runs on another.
+
+use bench::offloadbench;
+
+fn main() {
+    let mut out = String::from("BENCH_offload.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    eprintln!("usage: offloadbench [--out PATH]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: offloadbench [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "offloadbench: {} ranks, grid {:?}, {} steps",
+        offloadbench::RANKS,
+        offloadbench::GRID,
+        offloadbench::STEPS
+    );
+    let report = offloadbench::run();
+    let json = report.to_json();
+    print!("{json}");
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!(
+        "offloadbench: overlap efficiency {:.3}, step speedup {:.2}x \
+         (sync {:.4}s -> offload {:.4}s), transfer ratio {:.3}, bitwise {}; wrote {out}",
+        report.efficiency,
+        report.step_speedup(),
+        report.sync_s,
+        report.offload_s,
+        report.transfer_ratio(),
+        report.bitwise_identical
+    );
+}

@@ -11,16 +11,19 @@
 //! fresh report is always written to `--out` so CI can upload it as an
 //! artifact when the gate fails.
 
-use bench::{brokerbench, hotpath, perfgate};
+use bench::{brokerbench, hotpath, offloadbench, perfgate};
 
 const USAGE: &str = "usage: perfgate [--baseline PATH] [--out PATH] [--tolerance PCT] \
-                     [--broker-baseline PATH] [--broker-out PATH]";
+                     [--broker-baseline PATH] [--broker-out PATH] \
+                     [--offload-baseline PATH] [--offload-out PATH]";
 
 fn main() {
     let mut baseline_path = String::from("BENCH_hotpath.json");
     let mut out = String::from("BENCH_hotpath.fresh.json");
     let mut broker_baseline_path = String::from("BENCH_broker.json");
     let mut broker_out = String::from("BENCH_broker.fresh.json");
+    let mut offload_baseline_path = String::from("BENCH_offload.json");
+    let mut offload_out = String::from("BENCH_offload.fresh.json");
     let mut tolerance = perfgate::DEFAULT_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -36,6 +39,8 @@ fn main() {
             "--out" => out = take("--out"),
             "--broker-baseline" => broker_baseline_path = take("--broker-baseline"),
             "--broker-out" => broker_out = take("--broker-out"),
+            "--offload-baseline" => offload_baseline_path = take("--offload-baseline"),
+            "--offload-out" => offload_out = take("--offload-out"),
             "--tolerance" => {
                 tolerance = take("--tolerance")
                     .parse::<f64>()
@@ -94,13 +99,39 @@ fn main() {
     let broker_fresh = perfgate::BrokerMetrics::from_report(&broker_report);
     let broker_result = perfgate::gate_broker(&broker_baseline, &broker_fresh, tolerance);
 
-    let checked = result.checked.len() + broker_result.checked.len();
+    // The async-offload metrics gate alongside the hot paths too.
+    let offload_doc = std::fs::read_to_string(&offload_baseline_path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read offload baseline {offload_baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let offload_baseline = perfgate::OffloadMetrics::from_json(&offload_doc).unwrap_or_else(|e| {
+        eprintln!("perfgate: {e} — regenerate it with the offloadbench binary");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "perfgate: measuring analysis offload ({} ranks, {} steps)",
+        offloadbench::RANKS,
+        offloadbench::STEPS
+    );
+    let offload_report = offloadbench::run();
+    std::fs::write(&offload_out, offload_report.to_json()).expect("write fresh offload report");
+    let offload_fresh = perfgate::OffloadMetrics::from_report(&offload_report);
+    let offload_result = perfgate::gate_offload(&offload_baseline, &offload_fresh, tolerance);
+
+    let checked =
+        result.checked.len() + broker_result.checked.len() + offload_result.checked.len();
     let failures: Vec<&String> = result
         .failures
         .iter()
         .chain(broker_result.failures.iter())
+        .chain(offload_result.failures.iter())
         .collect();
-    for line in result.checked.iter().chain(broker_result.checked.iter()) {
+    for line in result
+        .checked
+        .iter()
+        .chain(broker_result.checked.iter())
+        .chain(offload_result.checked.iter())
+    {
         eprintln!("perfgate: {line}");
     }
     if failures.is_empty() {
@@ -110,7 +141,8 @@ fn main() {
             eprintln!("perfgate: FAIL — {f}");
         }
         eprintln!(
-            "perfgate: {} of {checked} metrics regressed; fresh reports at {out} and {broker_out}",
+            "perfgate: {} of {checked} metrics regressed; fresh reports at {out}, {broker_out}, \
+             and {offload_out}",
             failures.len(),
         );
         std::process::exit(1);

@@ -11,6 +11,7 @@ pub mod brokerbench;
 pub mod figures;
 pub mod hotpath;
 pub mod images;
+pub mod offloadbench;
 pub mod perfgate;
 pub mod realruns;
 pub mod table;

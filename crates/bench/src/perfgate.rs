@@ -124,6 +124,97 @@ impl BrokerMetrics {
     }
 }
 
+/// The gated subset of the offload report (`BENCH_offload.json`): the
+/// measured overlap efficiency, the H2D transfer-bytes ratio, and the
+/// bitwise-results invariant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OffloadMetrics {
+    /// Worker-busy seconds hidden behind the simulation over total
+    /// busy seconds (0 = no overlap, 1 = analyses fully hidden).
+    pub efficiency: f64,
+    /// H2D bytes over the ideal one-snapshot-per-step transfer.
+    pub transfer_ratio: f64,
+    /// Offloaded artifacts equal the synchronous host run's.
+    pub bitwise_identical: bool,
+}
+
+impl OffloadMetrics {
+    /// Extract the gated metrics from a freshly measured offload report.
+    pub fn from_report(r: &crate::offloadbench::OffloadReport) -> OffloadMetrics {
+        OffloadMetrics {
+            efficiency: r.efficiency,
+            transfer_ratio: r.transfer_ratio(),
+            bitwise_identical: r.bitwise_identical,
+        }
+    }
+
+    /// Extract the gated metrics from a `BENCH_offload.json` document
+    /// (the exact format `OffloadReport::to_json` writes).
+    pub fn from_json(doc: &str) -> Result<OffloadMetrics, String> {
+        let sect = |name: &str, key: &str| -> Result<f64, String> {
+            section(doc, name)
+                .and_then(|body| field(body, key))
+                .ok_or_else(|| format!("offload baseline is missing \"{name}\".\"{key}\""))
+        };
+        Ok(OffloadMetrics {
+            efficiency: sect("overlap", "efficiency")?,
+            transfer_ratio: sect("transfer", "bytes_ratio")?,
+            bitwise_identical: section(doc, "results")
+                .is_some_and(|b| b.contains("\"bitwise_identical\": true")),
+        })
+    }
+}
+
+/// Gate the offload metrics: efficiency must stay positive and may
+/// drop at most `tolerance` (absolute) below the baseline; the
+/// transfer ratio may grow at most `tolerance` (relative) above the
+/// baseline — a jump means a second copy crept into the snapshot
+/// path; bitwise identity must hold outright.
+pub fn gate_offload(
+    baseline: &OffloadMetrics,
+    fresh: &OffloadMetrics,
+    tolerance: f64,
+) -> GateReport {
+    let mut report = GateReport::default();
+    let floor = (baseline.efficiency - tolerance).max(0.0);
+    report.checked.push(format!(
+        "offload overlap efficiency: baseline {:.3}, fresh {:.3}, floor {floor:.3}",
+        baseline.efficiency, fresh.efficiency
+    ));
+    if fresh.efficiency <= 0.0 {
+        report
+            .failures
+            .push("offload hides no simulation time: overlap efficiency is 0".into());
+    } else if fresh.efficiency < floor {
+        report.failures.push(format!(
+            "offload overlap efficiency regressed: {:.3} < {floor:.3} (baseline {:.3})",
+            fresh.efficiency, baseline.efficiency
+        ));
+    }
+    let ceil = baseline.transfer_ratio * (1.0 + tolerance);
+    report.checked.push(format!(
+        "offload transfer ratio: baseline {:.3}, fresh {:.3}, ceiling {ceil:.3}",
+        baseline.transfer_ratio, fresh.transfer_ratio
+    ));
+    if fresh.transfer_ratio > ceil {
+        report.failures.push(format!(
+            "offload transfer bytes grew: ratio {:.3} > {ceil:.3} — an extra cross-space \
+             copy entered the snapshot path",
+            fresh.transfer_ratio
+        ));
+    }
+    report.checked.push(format!(
+        "offload results bitwise identical: {}",
+        fresh.bitwise_identical
+    ));
+    if !fresh.bitwise_identical {
+        report
+            .failures
+            .push("offloaded analysis results diverged from the synchronous host run".into());
+    }
+    report
+}
+
 /// Gate the broker metrics: the fan-out speedup may drop at most
 /// `tolerance` below the baseline, fairness may not fall below the
 /// baseline minus the tolerance, and the two robustness invariants must
@@ -414,6 +505,63 @@ mod tests {
         assert!(m.eviction_works && m.queue_bounded);
         let err = BrokerMetrics::from_json("{}").unwrap_err();
         assert!(err.contains("fanout"), "{err}");
+    }
+
+    fn offload_sample() -> OffloadMetrics {
+        OffloadMetrics {
+            efficiency: 0.85,
+            transfer_ratio: 1.0,
+            bitwise_identical: true,
+        }
+    }
+
+    #[test]
+    fn offload_gate_passes_unchanged_and_fails_regressions() {
+        let base = offload_sample();
+        assert!(gate_offload(&base, &base, DEFAULT_TOLERANCE).passed());
+
+        let mut fresh = base;
+        fresh.efficiency = 0.0;
+        let r = gate_offload(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert!(r.failures[0].contains("hides no simulation time"));
+
+        let mut fresh = base;
+        fresh.efficiency = 0.5; // below 0.85 - 0.15
+        let r = gate_offload(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("efficiency regressed"));
+
+        let mut fresh = base;
+        fresh.transfer_ratio = 2.0; // a second copy appeared
+        let r = gate_offload(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("transfer bytes grew"));
+
+        let mut fresh = base;
+        fresh.bitwise_identical = false;
+        let r = gate_offload(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("diverged"));
+    }
+
+    #[test]
+    fn offload_metrics_parse_from_generated_json() {
+        let doc = crate::offloadbench::OffloadReport {
+            sync_s: 0.100,
+            offload_s: 0.060,
+            efficiency: 0.85,
+            h2d_bytes: 4096,
+            ideal_bytes: 4096,
+            bitwise_identical: true,
+        }
+        .to_json();
+        let m = OffloadMetrics::from_json(&doc).expect("parse");
+        assert_eq!(m.efficiency, 0.85);
+        assert_eq!(m.transfer_ratio, 1.0);
+        assert!(m.bitwise_identical);
+        let err = OffloadMetrics::from_json("{}").unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
     }
 
     #[test]

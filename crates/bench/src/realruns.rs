@@ -135,6 +135,7 @@ pub fn pseudocolor_like_image(width: usize, height: usize) -> Vec<u8> {
 /// §4.1.4 in real mode: per-step wall time of an inline histogram vs the
 /// same histogram at a FlexPath endpoint (writers + endpoints on this
 /// machine). Returns `(inline_seconds, staged_seconds)` per step.
+#[allow(deprecated)] // legacy non-broker endpoint keeps the perf baselines comparable
 pub fn measure_staging_penalty(writers: usize, grid: usize, steps: usize) -> (f64, f64) {
     use adios::staging::{run_endpoint, AdiosWriterAnalysis};
     use adios::{pair, Role};

@@ -123,7 +123,15 @@ impl CatalystSliceAnalysis {
             let Some(arr) = attrs.get(&self.pipeline.array) else {
                 continue;
             };
-            let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+            // Space-checked read: a device-resident array reaching a
+            // host-side render surfaces as a failure, not a quiet copy.
+            let values = match arr.values_in(0, datamodel::current_space()) {
+                Ok(v) => v,
+                Err(err) => {
+                    self.failures.push(format!("catalyst-slice: {err}"));
+                    return None;
+                }
+            };
             return Some((local, global, values));
         }
         None

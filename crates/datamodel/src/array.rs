@@ -4,6 +4,7 @@
 
 use std::sync::Arc;
 
+use crate::space::{self, AccessError, MemorySpace};
 use crate::MemoryFootprint;
 
 /// Scalar element types supported by [`DataArray`].
@@ -142,6 +143,21 @@ pub struct Components<T> {
 }
 
 impl<T: Scalar> Components<T> {
+    /// A deep, type- and layout-preserving copy whose buffers are
+    /// `Shared` — a fresh `Arc` per buffer, so re-cloning the snapshot
+    /// (for worker fan-out) costs a reference count, not a memcpy.
+    fn snapshot(&self) -> Components<T> {
+        Components {
+            layout: self.layout,
+            buffers: self
+                .buffers
+                .iter()
+                .map(|b| Buffer::Shared(Arc::new(b.as_slice().to_vec())))
+                .collect(),
+            num_components: self.num_components,
+        }
+    }
+
     fn num_tuples(&self) -> usize {
         match self.layout {
             Layout::AoS => self.buffers[0].len() / self.num_components,
@@ -201,6 +217,11 @@ pub struct DataArray {
     /// the simulation publishes — not one particular allocation
     /// (copy-on-write can silently fork the storage underneath).
     shadow: Option<Arc<sanitizer::Shadow>>,
+    /// Which memory space the array's buffers live in. All of an
+    /// array's buffers share one placement; crossing spaces is an
+    /// explicit transfer ([`DataArray::move_to`] /
+    /// [`DataArray::snapshot_in`]), never a silent copy.
+    space: MemorySpace,
 }
 
 impl DataArray {
@@ -288,6 +309,7 @@ impl DataArray {
             name: name.into(),
             storage,
             shadow: None,
+            space: MemorySpace::Host,
         }
     }
 
@@ -305,6 +327,173 @@ impl DataArray {
     /// arrays created under an active sanitizer context).
     pub fn shadow(&self) -> Option<&Arc<sanitizer::Shadow>> {
         self.shadow.as_ref()
+    }
+
+    /// The memory space this array's buffers live in.
+    pub fn space(&self) -> MemorySpace {
+        self.space
+    }
+
+    /// Builder-style placement override (constructors default to
+    /// [`MemorySpace::Host`]). Placing a freshly built array is free —
+    /// no bytes existed elsewhere — so this records no transfer; use
+    /// [`DataArray::move_to`] to relocate existing data.
+    pub fn with_space(mut self, space: MemorySpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Payload bytes this array holds (elements only, no metadata) —
+    /// what a cross-space transfer of it costs on the wire.
+    pub fn payload_bytes(&self) -> usize {
+        self.num_tuples() * self.num_components() * self.scalar_type().size_of()
+    }
+
+    /// Legacy-accessor space check: the untyped accessors (`get`,
+    /// `set`, `typed_slice`, `component_slice`) still hand out data —
+    /// simulated devices are host RAM — but an access from the wrong
+    /// execution space is a missing transfer on a real machine, so it
+    /// is reported to the sanitizer as a `wrong-space-access` finding.
+    fn check_exec_space(&self) {
+        let exec = space::current_space();
+        if !self.space.accessible_from(exec) {
+            sanitizer::report_wrong_space(&self.name, &self.space.label(), &exec.label());
+        }
+    }
+
+    /// Move this array's bytes to `space`: an explicit, tracked
+    /// transfer. Returns the payload bytes that crossed the
+    /// interconnect (0 when already resident). The storage itself is
+    /// untouched (simulated devices share the host's RAM); what moves
+    /// is the placement the space checks enforce.
+    pub fn move_to(&mut self, space: MemorySpace) -> usize {
+        if self.space == space {
+            return 0;
+        }
+        let bytes = self.payload_bytes();
+        space::record_transfer(bytes);
+        if let Some(shadow) = &self.shadow {
+            shadow.on_transfer(&self.space.label(), &space.label());
+        }
+        self.space = space;
+        bytes
+    }
+
+    /// Snapshot this array into `space`: a deep, type- and
+    /// layout-preserving copy placed in `space`, with every buffer
+    /// `Shared` so re-cloning the snapshot (double-buffered payloads,
+    /// worker fan-out) costs a reference count. The explicit transfer
+    /// is recorded in the process ledger and on the shadow (the
+    /// transfer clock is the happens-before edge proving the device
+    /// copy cannot race later host writes).
+    pub fn snapshot_in(&self, space: MemorySpace) -> DataArray {
+        let storage = match &self.storage {
+            Storage::F32(c) => Storage::F32(c.snapshot()),
+            Storage::F64(c) => Storage::F64(c.snapshot()),
+            Storage::I32(c) => Storage::I32(c.snapshot()),
+            Storage::I64(c) => Storage::I64(c.snapshot()),
+            Storage::U8(c) => Storage::U8(c.snapshot()),
+        };
+        space::record_transfer(self.payload_bytes());
+        if let Some(shadow) = &self.shadow {
+            shadow.on_transfer(&self.space.label(), &space.label());
+        }
+        DataArray {
+            name: self.name.clone(),
+            storage,
+            shadow: self.shadow.clone(),
+            space,
+        }
+    }
+
+    /// Space-checked typed view of a single-buffer array, for code
+    /// executing in `exec` (normally [`space::current_space`]). The
+    /// typed-error twin of [`DataArray::typed_slice`]: wrong-space
+    /// access is an [`AccessError::WrongSpace`], not a silent copy.
+    pub fn as_slice_in<T: Scalar>(&self, exec: MemorySpace) -> Result<&[T], AccessError> {
+        if !self.space.accessible_from(exec) {
+            return Err(AccessError::WrongSpace {
+                array: self.name.clone(),
+                have: self.space,
+                want: exec,
+            });
+        }
+        let c = self
+            .components_ref::<T>()
+            .ok_or_else(|| AccessError::TypeMismatch {
+                array: self.name.clone(),
+                want: std::any::type_name::<T>(),
+            })?;
+        if c.buffers.len() != 1 {
+            return Err(AccessError::LayoutUnsupported {
+                array: self.name.clone(),
+                detail: "multi-buffer SoA storage has no single contiguous slice; \
+                         use component_slice_in per component"
+                    .to_string(),
+            });
+        }
+        if let Some(shadow) = &self.shadow {
+            shadow.on_read();
+        }
+        Ok(c.buffers[0].as_slice())
+    }
+
+    /// Space-checked typed view of one component buffer, for code
+    /// executing in `exec`. Typed-error twin of
+    /// [`DataArray::component_slice`].
+    pub fn component_slice_in<T: Scalar>(
+        &self,
+        comp: usize,
+        exec: MemorySpace,
+    ) -> Result<&[T], AccessError> {
+        if !self.space.accessible_from(exec) {
+            return Err(AccessError::WrongSpace {
+                array: self.name.clone(),
+                have: self.space,
+                want: exec,
+            });
+        }
+        let c = self
+            .components_ref::<T>()
+            .ok_or_else(|| AccessError::TypeMismatch {
+                array: self.name.clone(),
+                want: std::any::type_name::<T>(),
+            })?;
+        if let Some(shadow) = &self.shadow {
+            shadow.on_read();
+        }
+        let slice = match c.layout {
+            Layout::SoA => c.buffers.get(comp).map(|b| b.as_slice()),
+            Layout::AoS if c.num_components == 1 && comp == 0 => Some(c.buffers[0].as_slice()),
+            Layout::AoS => None,
+        };
+        slice.ok_or_else(|| AccessError::LayoutUnsupported {
+            array: self.name.clone(),
+            detail: format!(
+                "component {comp} of a {}-component AoS array has no contiguous slice",
+                c.num_components
+            ),
+        })
+    }
+
+    /// Space-checked widening read of one whole component, for code
+    /// executing in `exec`: the migration surface for endpoints that
+    /// marshal values out of arbitrary-typed arrays (the old pattern
+    /// was an unchecked `get` loop).
+    pub fn values_in(&self, comp: usize, exec: MemorySpace) -> Result<Vec<f64>, AccessError> {
+        if !self.space.accessible_from(exec) {
+            return Err(AccessError::WrongSpace {
+                array: self.name.clone(),
+                have: self.space,
+                want: exec,
+            });
+        }
+        if let Some(shadow) = &self.shadow {
+            shadow.on_read();
+        }
+        Ok((0..self.num_tuples())
+            .map(|t| dispatch!(&self.storage, c => c.get(t, comp).to_f64()))
+            .collect())
     }
 
     /// The runtime scalar type.
@@ -338,14 +527,19 @@ impl DataArray {
         dispatch!(&self.storage, c => c.buffers.iter().any(|b| b.is_shared()))
     }
 
-    /// Generic element access, widened to `f64`.
+    /// Generic element access, widened to `f64`. Space-checked: an
+    /// access from an execution space the array is not resident in is
+    /// reported to the sanitizer (see [`DataArray::as_slice_in`] for
+    /// the typed-error surface).
     pub fn get(&self, tuple: usize, comp: usize) -> f64 {
+        self.check_exec_space();
         dispatch!(&self.storage, c => c.get(tuple, comp).to_f64())
     }
 
     /// Generic element store, narrowed from `f64` (copy-on-write for
     /// shared buffers).
     pub fn set(&mut self, tuple: usize, comp: usize, v: f64) {
+        self.check_exec_space();
         if let Some(shadow) = &self.shadow {
             // Tuple-level write event: checks open publish windows and
             // the ghost rule before the store lands.
@@ -363,6 +557,7 @@ impl DataArray {
     /// Direct typed view of a single-buffer array (AoS, any component
     /// count; or single-component SoA). Returns `None` on type mismatch.
     pub fn typed_slice<T: Scalar>(&self) -> Option<&[T]> {
+        self.check_exec_space();
         let c = self.components_ref::<T>()?;
         if c.buffers.len() == 1 {
             if let Some(shadow) = &self.shadow {
@@ -377,6 +572,7 @@ impl DataArray {
     /// Typed view of one SoA component buffer (or the sole AoS buffer of a
     /// 1-component array).
     pub fn component_slice<T: Scalar>(&self, comp: usize) -> Option<&[T]> {
+        self.check_exec_space();
         let c = self.components_ref::<T>()?;
         if let Some(shadow) = &self.shadow {
             shadow.on_read();
@@ -453,20 +649,23 @@ impl DataArray {
         (0..self.num_tuples()).map(move |t| self.get(t, comp))
     }
 
-    /// Materialize a deep (owned, AoS) copy of this array.
+    /// Materialize a deep (owned, AoS) copy of this array, resident in
+    /// the same space. Reads the storage directly (not via `get`), so
+    /// it carries no per-element space check of its own.
     pub fn deep_copy(&self) -> DataArray {
         let n = self.num_tuples();
         let nc = self.num_components();
         let mut out = Vec::with_capacity(n * nc);
         for t in 0..n {
             for c in 0..nc {
-                out.push(self.get(t, c));
+                out.push(dispatch!(&self.storage, s => s.get(t, c).to_f64()));
             }
         }
         let mut copy = DataArray::owned(self.name.clone(), nc, out);
         // Preserve the original element type tag where it matters for size
         // accounting; analyses operate in f64 regardless.
         copy.name = self.name.clone();
+        copy.space = self.space;
         copy
     }
 }
@@ -598,6 +797,90 @@ mod tests {
         let a = DataArray::owned("vtkGhostType", 1, vec![0u8, 1, 0]);
         assert_eq!(a.scalar_type(), ScalarType::U8);
         assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn arrays_default_to_host_space() {
+        let a = DataArray::owned("u", 1, vec![1.0f64, 2.0]);
+        assert_eq!(a.space(), MemorySpace::Host);
+        assert_eq!(a.as_slice_in::<f64>(MemorySpace::Host), Ok(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn wrong_space_access_is_a_typed_error() {
+        let a = DataArray::owned("u", 1, vec![1.0f64, 2.0]);
+        match a.as_slice_in::<f64>(MemorySpace::DeviceSim(0)) {
+            Err(AccessError::WrongSpace { array, have, want }) => {
+                assert_eq!(array, "u");
+                assert_eq!(have, MemorySpace::Host);
+                assert_eq!(want, MemorySpace::DeviceSim(0));
+            }
+            other => panic!("expected WrongSpace, got {other:?}"),
+        }
+        assert!(a.values_in(0, MemorySpace::DeviceSim(1)).is_err());
+        assert!(a.component_slice_in::<f64>(0, MemorySpace::DeviceSim(0)).is_err());
+    }
+
+    #[test]
+    fn shared_space_is_reachable_from_any_exec_space() {
+        let a = DataArray::owned("pinned", 1, vec![3.0f64]).with_space(MemorySpace::Shared);
+        assert!(a.as_slice_in::<f64>(MemorySpace::Host).is_ok());
+        assert!(a.as_slice_in::<f64>(MemorySpace::DeviceSim(7)).is_ok());
+    }
+
+    #[test]
+    fn as_slice_in_reports_type_and_layout_errors() {
+        let a = DataArray::owned("i", 1, vec![1i32, 2]);
+        assert!(matches!(
+            a.as_slice_in::<f64>(MemorySpace::Host),
+            Err(AccessError::TypeMismatch { .. })
+        ));
+        let s = DataArray::soa(
+            "xy",
+            vec![Buffer::Owned(vec![1.0f64]), Buffer::Owned(vec![2.0f64])],
+        );
+        assert!(matches!(
+            s.as_slice_in::<f64>(MemorySpace::Host),
+            Err(AccessError::LayoutUnsupported { .. })
+        ));
+        assert_eq!(
+            s.component_slice_in::<f64>(1, MemorySpace::Host),
+            Ok(&[2.0f64][..])
+        );
+    }
+
+    #[test]
+    fn move_to_is_a_tracked_transfer() {
+        let mut a = DataArray::owned("u", 1, vec![0.0f64; 16]);
+        assert_eq!(a.move_to(MemorySpace::Host), 0, "already resident");
+        let moved = a.move_to(MemorySpace::DeviceSim(0));
+        assert_eq!(moved, 16 * 8);
+        assert_eq!(a.space(), MemorySpace::DeviceSim(0));
+        assert!(a.as_slice_in::<f64>(MemorySpace::Host).is_err());
+        assert!(a.as_slice_in::<f64>(MemorySpace::DeviceSim(0)).is_ok());
+    }
+
+    #[test]
+    fn snapshot_in_preserves_type_and_is_cheap_to_reclone() {
+        let a = DataArray::owned("g", 1, vec![0u8, 1, 2]);
+        let snap = a.snapshot_in(MemorySpace::DeviceSim(0));
+        assert_eq!(snap.scalar_type(), ScalarType::U8);
+        assert_eq!(snap.space(), MemorySpace::DeviceSim(0));
+        assert!(snap.is_zero_copy(), "snapshot buffers are Shared");
+        // Re-cloning shares the snapshot's Arc — no further copy.
+        let again = snap.clone();
+        assert_eq!(
+            again.as_slice_in::<u8>(MemorySpace::DeviceSim(0)),
+            Ok(&[0u8, 1, 2][..])
+        );
+        // The original stays put.
+        assert_eq!(a.space(), MemorySpace::Host);
+    }
+
+    #[test]
+    fn values_in_widens_one_component() {
+        let a = DataArray::owned("v", 2, vec![1i64, 10, 2, 20]);
+        assert_eq!(a.values_in(1, MemorySpace::Host), Ok(vec![10.0, 20.0]));
     }
 
     #[test]

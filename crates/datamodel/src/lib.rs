@@ -32,9 +32,11 @@ pub mod extent;
 pub mod grids;
 pub mod multiblock;
 pub mod sanitize;
+pub mod space;
 pub mod unstructured;
 
 pub use array::{Buffer, DataArray, Layout, Scalar, ScalarType};
+pub use space::{current_space, enter_space, AccessError, MemorySpace, SpaceGuard};
 pub use attributes::{Attributes, GHOST_ARRAY_NAME, GHOST_DUPLICATE};
 pub use dataset::DataSet;
 pub use decomp::{dims_create, duplicate_point_ghosts, ghost_array, partition_extent};

@@ -52,6 +52,16 @@ pub struct DeadMember {
     pub waited: Duration,
 }
 
+impl From<&DeadMember> for sensei::FailureReport {
+    fn from(d: &DeadMember) -> Self {
+        sensei::FailureReport::DeadMember {
+            rank: d.rank,
+            steps_received: d.steps_received,
+            waited: d.waited,
+        }
+    }
+}
+
 /// The machine topology GLEAN exploits: which ranks share a node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
@@ -206,7 +216,15 @@ impl GleanWriter {
                 _ => continue,
             };
             let arr = attrs.get(&self.array)?;
-            let data: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+            // Space-checked drain: GLEAN runs host-side; device-resident
+            // blocks must be transferred explicitly before aggregation.
+            let data = match arr.values_in(0, datamodel::current_space()) {
+                Ok(v) => v,
+                Err(err) => {
+                    self.failures.push(format!("glean: {err}"));
+                    return None;
+                }
+            };
             return Some(BlockRecord {
                 rank,
                 name: self.array.clone(),

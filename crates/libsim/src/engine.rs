@@ -100,12 +100,24 @@ impl LibsimAnalysis {
             match leaf {
                 DataSet::Image(g) => {
                     let arr = g.point_data.get(array)?;
-                    let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+                    let values = match arr.values_in(0, datamodel::current_space()) {
+                        Ok(v) => v,
+                        Err(err) => {
+                            self.failures.push(format!("libsim: {err}"));
+                            return None;
+                        }
+                    };
                     return Some((g.extent, g.global_extent, values, g.spacing, g.origin));
                 }
                 DataSet::Rectilinear(g) => {
                     let arr = g.point_data.get(array)?;
-                    let values: Vec<f64> = (0..arr.num_tuples()).map(|t| arr.get(t, 0)).collect();
+                    let values = match arr.values_in(0, datamodel::current_space()) {
+                        Ok(v) => v,
+                        Err(err) => {
+                            self.failures.push(format!("libsim: {err}"));
+                            return None;
+                        }
+                    };
                     let spacing = [
                         if g.x.len() > 1 { g.x[1] - g.x[0] } else { 1.0 },
                         if g.y.len() > 1 { g.y[1] - g.y[0] } else { 1.0 },

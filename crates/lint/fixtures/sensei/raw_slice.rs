@@ -1,0 +1,32 @@
+//! Fixture for R5 (space-checked-access): this file sits outside
+//! `datamodel`, so the raw accessors that bypass the memory-space
+//! check are banned — endpoints must use the `_in(space)` variants.
+
+struct Arr;
+
+impl Arr {
+    fn typed_slice<T>(&self) -> Option<&[T]> {
+        None
+    }
+    fn component_slice<T>(&self, _comp: usize) -> Option<&[T]> {
+        None
+    }
+}
+
+fn r5_typed(a: &Arr) -> bool {
+    a.typed_slice::<f64>().is_some() // R5: space-checked-access
+}
+
+fn r5_component(a: &Arr) -> bool {
+    a.component_slice::<f64>(0).is_some() // R5: space-checked-access
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_slices_are_fine_in_tests() {
+        let a = super::Arr;
+        assert!(a.typed_slice::<f64>().is_none());
+        assert!(a.component_slice::<f64>(0).is_none());
+    }
+}

@@ -91,7 +91,13 @@ impl DataAdaptor for OscillatorAdaptor {
             // analyses stay decomposition-invariant.
             g.add_point_array(ghost_array(&self.local, &self.global));
         } else {
-            g.add_point_array(DataArray::shared("data", 1, Arc::clone(&self.field)));
+            // The simulation's field lives in host RAM; declare the
+            // residency so space-checked consumers (and the offload
+            // snapshot path) know where the zero-copy borrow is valid.
+            g.add_point_array(
+                DataArray::shared("data", 1, Arc::clone(&self.field))
+                    .with_space(datamodel::MemorySpace::Host),
+            );
         }
         Ok(())
     }

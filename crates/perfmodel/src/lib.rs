@@ -17,6 +17,9 @@
 //!   anchors;
 //! * [`memory`] — executable and heap footprint models for the memory
 //!   studies (Figs. 4, 7 and the PHASTA/Nyx executable-size notes);
+//! * [`offload`] — projection of the measured async-offload overlap
+//!   efficiency to paper-scale concurrencies (the sync-point collective
+//!   erodes overlap logarithmically with rank count);
 //! * [`noise`] — deterministic seeded noise so regenerated charts carry
 //!   realistic run-to-run variability yet reproduce bit-for-bit.
 //!
@@ -32,6 +35,7 @@ pub mod machine;
 pub mod memory;
 pub mod network;
 pub mod noise;
+pub mod offload;
 pub mod storage;
 pub mod workloads;
 

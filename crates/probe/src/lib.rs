@@ -24,7 +24,7 @@ mod report;
 pub mod time;
 
 pub use json::Json;
-pub use report::{aggregate, Aggregates, CounterAgg, GaugeAgg, PhaseAgg, RankMemory, RunReport};
+pub use report::{aggregate, Aggregates, CounterAgg, FailureEntry, GaugeAgg, PhaseAgg, RankMemory, RunReport};
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -38,6 +38,58 @@ pub const GAUGE_DATASET_OWNED: &str = "mem/dataset_owned_bytes";
 /// Gauge name for bytes a rank's analysis meshes borrow from the
 /// simulation (zero-copy shared buffers).
 pub const GAUGE_DATASET_SHARED: &str = "mem/dataset_shared_bytes";
+
+/// Namespaced instrumentation keys.
+///
+/// Every counter and gauge in the workspace lives on a slash path
+/// (`"broker/field#0/queue_peak"`, `"staging/on_wire"`, …). Building
+/// those paths with ad-hoc `format!` calls at each site let the same
+/// metric drift into different spellings between recording and
+/// reporting; these helpers are the single place the shape is
+/// defined. The output is byte-identical to the historical keys, so
+/// existing `RunReport`s and checked-in baselines keep their labels.
+pub mod key {
+    use std::fmt::Display;
+
+    /// A crate-wide metric: `"namespace/metric"`.
+    pub fn of(namespace: &str, metric: &str) -> String {
+        format!("{namespace}/{metric}")
+    }
+
+    /// A per-entity metric: `"namespace/instance/metric"`. The
+    /// instance renders through `Display`, so topic handles, ranks,
+    /// and labels all slot in without pre-formatting.
+    pub fn scoped(namespace: &str, instance: impl Display, metric: &str) -> String {
+        format!("{namespace}/{instance}/{metric}")
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        struct Topic(u32);
+        impl Display for Topic {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "field#{}", self.0)
+            }
+        }
+
+        // The exact strings below appear in checked-in baseline
+        // reports; the helper must reproduce them byte-for-byte.
+        #[test]
+        fn keys_match_the_historical_spellings() {
+            assert_eq!(of("broker", "evictions"), "broker/evictions");
+            assert_eq!(of("staging", "on_wire"), "staging/on_wire");
+            assert_eq!(of("staging", "off_wire"), "staging/off_wire");
+            assert_eq!(of("minimpi", "reduce"), "minimpi/reduce");
+            assert_eq!(
+                scoped("broker", Topic(3), "queue_peak"),
+                "broker/field#3/queue_peak"
+            );
+            assert_eq!(scoped("broker", Topic(0), "fanout"), "broker/field#0/fanout");
+        }
+    }
+}
 
 /// Online mean/variance accumulator (Welford) with range tracking.
 #[derive(Clone, Copy, Debug, Default)]

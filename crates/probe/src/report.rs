@@ -13,7 +13,31 @@ use crate::json::Json;
 use crate::{Snapshot, GAUGE_ALLOC_PEAK, GAUGE_DATASET_OWNED, GAUGE_DATASET_SHARED};
 
 /// Format tag written into every report.
-pub const SCHEMA: &str = "sensei-runreport-v1";
+pub const SCHEMA: &str = "sensei-runreport-v2";
+
+/// Format tag of the previous schema revision, still accepted by
+/// [`RunReport::from_json`] (its failure entries were plain strings;
+/// they parse as kind `"other"` on rank 0).
+pub const SCHEMA_V1: &str = "sensei-runreport-v1";
+
+/// One non-fatal failure in the run, as a single machine-readable
+/// shape: which rank reported it, a stable kind tag (`"dead-writer"`,
+/// `"eviction"`, `"analysis"`, …), and the human-readable description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailureEntry {
+    /// Rank that recorded the failure.
+    pub rank: usize,
+    /// Stable machine-readable kind tag.
+    pub kind: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for FailureEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {}: [{}] {}", self.rank, self.kind, self.detail)
+    }
+}
 
 /// Cross-rank statistics for one span label, over per-rank totals.
 #[derive(Clone, Debug, PartialEq)]
@@ -226,7 +250,7 @@ pub struct RunReport {
     /// Bridge steps executed.
     pub steps: u64,
     /// Non-fatal failure reports (empty = healthy run).
-    pub failures: Vec<String>,
+    pub failures: Vec<FailureEntry>,
     /// Per-label cross-rank phase statistics.
     pub phases: Vec<PhaseAgg>,
     /// Per-collective (and staging) counter totals.
@@ -239,7 +263,12 @@ pub struct RunReport {
 
 impl RunReport {
     /// Build a report from rank-ordered snapshots.
-    pub fn build(ranks: usize, steps: u64, failures: Vec<String>, snapshots: &[Snapshot]) -> Self {
+    pub fn build(
+        ranks: usize,
+        steps: u64,
+        failures: Vec<FailureEntry>,
+        snapshots: &[Snapshot],
+    ) -> Self {
         let agg = aggregate(snapshots);
         RunReport {
             ranks,
@@ -337,7 +366,18 @@ impl RunReport {
             ("steps".into(), Json::Num(self.steps as f64)),
             (
                 "failures".into(),
-                Json::Arr(self.failures.iter().map(|f| Json::Str(f.clone())).collect()),
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| {
+                            Json::Obj(vec![
+                                ("rank".into(), Json::Num(f.rank as f64)),
+                                ("kind".into(), Json::Str(f.kind.clone())),
+                                ("detail".into(), Json::Str(f.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
             ("phases".into(), phases),
             ("counters".into(), counters),
@@ -350,7 +390,8 @@ impl RunReport {
     /// Parse a report previously written by [`RunReport::to_json`].
     pub fn from_json(text: &str) -> Result<RunReport, String> {
         let doc = Json::parse(text)?;
-        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        let schema = doc.get("schema").and_then(Json::as_str);
+        if schema != Some(SCHEMA) && schema != Some(SCHEMA_V1) {
             return Err(format!("not a {SCHEMA} document"));
         }
         let need_u64 = |v: &Json, key: &str| -> Result<u64, String> {
@@ -381,9 +422,20 @@ impl RunReport {
             ..RunReport::default()
         };
         for f in arr("failures")? {
-            report
-                .failures
-                .push(f.as_str().ok_or("failure entries must be strings")?.into());
+            // v1 wrote plain strings; v2 writes {rank, kind, detail}.
+            let entry = match f.as_str() {
+                Some(detail) => FailureEntry {
+                    rank: 0,
+                    kind: "other".into(),
+                    detail: detail.into(),
+                },
+                None => FailureEntry {
+                    rank: need_u64(f, "rank")? as usize,
+                    kind: need_str(f, "kind")?,
+                    detail: need_str(f, "detail")?,
+                },
+            };
+            report.failures.push(entry);
         }
         for p in arr("phases")? {
             report.phases.push(PhaseAgg {
@@ -487,12 +539,30 @@ mod tests {
         let report = RunReport::build(
             2,
             7,
-            vec!["writer 1: lost in transit \"mid-step\"".into()],
+            vec![FailureEntry {
+                rank: 1,
+                kind: "dead-writer".into(),
+                detail: "writer 1: lost in transit \"mid-step\"".into(),
+            }],
             &snaps,
         );
         let text = report.to_json();
         let back = RunReport::from_json(&text).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v1_reports_with_string_failures_still_parse() {
+        let text = format!(
+            "{{\"schema\": \"{SCHEMA_V1}\", \"ranks\": 2, \"steps\": 3, \
+             \"failures\": [\"writer lost\"], \"phases\": [], \"counters\": [], \
+             \"gauges\": [], \"memory\": []}}"
+        );
+        let report = RunReport::from_json(&text).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].kind, "other");
+        assert_eq!(report.failures[0].rank, 0);
+        assert_eq!(report.failures[0].detail, "writer lost");
     }
 
     #[test]

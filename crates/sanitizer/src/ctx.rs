@@ -124,6 +124,28 @@ pub fn on_recv(stamp: &Stamp) {
     });
 }
 
+/// Report a wrong-space access: code executing in space `have_exec`
+/// touched array `subject` whose bytes live in `array_space`, with no
+/// explicit transfer in between. A local visible event (ticks the
+/// clock so the finding carries evidence); no-op without a context —
+/// worker threads rely on the rank-thread launch sites being checked.
+pub fn report_wrong_space(subject: &str, array_space: &str, have_exec: &str) {
+    let Some((session, slot, clock)) = local_event() else {
+        return;
+    };
+    session.report(crate::report::Finding {
+        kind: crate::report::FindingKind::WrongSpaceAccess,
+        slots: (slot, None),
+        subject: subject.to_string(),
+        clocks: (None, Some(clock)),
+        seed: None,
+        detail: format!(
+            "bytes live in {array_space} but were accessed from {have_exec} \
+             without an explicit move_to/snapshot_in transfer"
+        ),
+    });
+}
+
 /// View-leak check for this rank (called from `Bridge::finalize`):
 /// any publish window this slot still holds open is reported. No-op
 /// without a context.

@@ -42,8 +42,8 @@ mod shadow;
 
 pub use clock::{Stamp, VectorClock};
 pub use ctx::{
-    active, cancel_send, check_view_leaks, install, local_event, on_recv, on_send, session, slot,
-    CtxGuard,
+    active, cancel_send, check_view_leaks, install, local_event, on_recv, on_send,
+    report_wrong_space, session, slot, CtxGuard,
 };
 pub use report::{findings_to_json, Finding, FindingKind};
 pub use session::{Mode, MsgMeta, Session};

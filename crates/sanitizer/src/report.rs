@@ -29,6 +29,12 @@ pub enum FindingKind {
     /// `Bridge::finalize` — the endpoint kept a borrowed view alive
     /// past the bridge's lifetime.
     ViewLeak,
+    /// Code executing in one memory space touched an array whose
+    /// bytes live in another without an explicit transfer
+    /// (`move_to`/`snapshot_in`). Works mechanically on the simulated
+    /// device (it is host RAM) but is a missing-transfer bug on a
+    /// real heterogeneous node.
+    WrongSpaceAccess,
 }
 
 impl FindingKind {
@@ -39,6 +45,7 @@ impl FindingKind {
             FindingKind::GhostWrite => "ghost-write",
             FindingKind::MessageLeak => "message-leak",
             FindingKind::ViewLeak => "view-leak",
+            FindingKind::WrongSpaceAccess => "wrong-space-access",
         }
     }
 }

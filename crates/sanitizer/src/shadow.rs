@@ -52,6 +52,12 @@ struct ShadowState {
     publishes: Vec<PublishRecord>,
     last_write: Option<(usize, VectorClock)>,
     last_read: Option<(usize, VectorClock)>,
+    /// Last explicit cross-space transfer: `(slot, "from->to", clock)`.
+    /// The transfer clock is the happens-before edge that makes the
+    /// device-side copy race-free: it is ordered after every write the
+    /// rank made before snapshotting, and the device only ever reads
+    /// the copy.
+    last_transfer: Option<(usize, String, VectorClock)>,
     ghosts: Option<Arc<Vec<u8>>>,
 }
 
@@ -166,6 +172,27 @@ impl Shadow {
             return;
         };
         self.state.lock().last_read = Some((slot, clock));
+    }
+
+    /// An explicit cross-space transfer (`move_to` / `snapshot_in`)
+    /// of this array's bytes from `from` to `to`. A visible event:
+    /// ticks the rank's clock and records it as the transfer edge.
+    /// The snapshot the transfer produced is ordered after every
+    /// prior write by program order, so later host writes cannot race
+    /// the device copy — which is exactly what makes the async
+    /// overlap provable. Reads are window-safe, so no publish check.
+    pub fn on_transfer(&self, from: &str, to: &str) {
+        let Some((_session, slot, clock)) = ctx::local_event() else {
+            return;
+        };
+        let mut state = self.state.lock();
+        state.last_transfer = Some((slot, format!("{from}->{to}"), clock.clone()));
+        state.last_read = Some((slot, clock));
+    }
+
+    /// Last transfer `(slot, "from->to", clock)`, if any was observed.
+    pub fn last_transfer(&self) -> Option<(usize, String, VectorClock)> {
+        self.state.lock().last_transfer.clone()
     }
 
     /// Last writer `(slot, clock)`, if any write was observed.

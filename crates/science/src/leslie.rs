@@ -396,12 +396,18 @@ impl DataAdaptor for LeslieAdaptor {
         let DataSet::Image(g) = mesh else {
             return Err(err());
         };
+        // Every LESLIE field is host-resident; declaring the space at
+        // the publish boundary is what lets device-side consumers be
+        // forced through an explicit transfer.
+        let host = datamodel::MemorySpace::Host;
         let array = match name {
-            "u" => DataArray::shared("u", 1, Arc::clone(&self.u)),
-            "v" => DataArray::shared("v", 1, Arc::clone(&self.v)),
-            "w" => DataArray::shared("w", 1, Arc::clone(&self.w)),
-            "vorticity" => DataArray::owned("vorticity", 1, self.vorticity.clone()),
-            GHOST_ARRAY_NAME => DataArray::owned(GHOST_ARRAY_NAME, 1, self.ghosts.clone()),
+            "u" => DataArray::shared("u", 1, Arc::clone(&self.u)).with_space(host),
+            "v" => DataArray::shared("v", 1, Arc::clone(&self.v)).with_space(host),
+            "w" => DataArray::shared("w", 1, Arc::clone(&self.w)).with_space(host),
+            "vorticity" => DataArray::owned("vorticity", 1, self.vorticity.clone()).with_space(host),
+            GHOST_ARRAY_NAME => {
+                DataArray::owned(GHOST_ARRAY_NAME, 1, self.ghosts.clone()).with_space(host)
+            }
             _ => return Err(err()),
         };
         g.add_point_array(array);

@@ -420,7 +420,13 @@ impl DataAdaptor for NyxAdaptor {
         };
         match name {
             "density" => {
-                g.add_point_array(DataArray::shared("density", 1, Arc::clone(&self.density)));
+                // Host-resident zero-copy borrow of the AMR field;
+                // stating the space makes device access an explicit
+                // transfer rather than a silent cross-space read.
+                g.add_point_array(
+                    DataArray::shared("density", 1, Arc::clone(&self.density))
+                        .with_space(datamodel::MemorySpace::Host),
+                );
                 Ok(())
             }
             GHOST_ARRAY_NAME => {

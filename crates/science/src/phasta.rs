@@ -417,14 +417,19 @@ impl DataAdaptor for PhastaAdaptor {
         };
         match name {
             "velocity" => {
-                g.add_point_array(DataArray::soa(
-                    "velocity",
-                    vec![
-                        datamodel::Buffer::Shared(Arc::clone(&self.velocity[0])),
-                        datamodel::Buffer::Shared(Arc::clone(&self.velocity[1])),
-                        datamodel::Buffer::Shared(Arc::clone(&self.velocity[2])),
-                    ],
-                ));
+                // Zero-copy SoA borrow of the solver's host buffers;
+                // the explicit space keeps device consumers honest.
+                g.add_point_array(
+                    DataArray::soa(
+                        "velocity",
+                        vec![
+                            datamodel::Buffer::Shared(Arc::clone(&self.velocity[0])),
+                            datamodel::Buffer::Shared(Arc::clone(&self.velocity[1])),
+                            datamodel::Buffer::Shared(Arc::clone(&self.velocity[2])),
+                        ],
+                    )
+                    .with_space(datamodel::MemorySpace::Host),
+                );
                 Ok(())
             }
             "velmag" => {

@@ -65,6 +65,42 @@ pub enum AdaptorError {
         /// What about the layout was unsupported.
         detail: String,
     },
+    /// The array exists but its bytes live in a different memory space
+    /// than the executing code, and no explicit transfer
+    /// (`move_to`/`snapshot_in`) was made. Raised through
+    /// [`datamodel::AccessError`] by the space-checked accessors.
+    WrongSpace {
+        /// Requested array name.
+        name: String,
+        /// Space the array's bytes live in.
+        have: String,
+        /// Space the accessing code executes in.
+        want: String,
+    },
+}
+
+impl From<datamodel::AccessError> for AdaptorError {
+    fn from(err: datamodel::AccessError) -> Self {
+        match err {
+            datamodel::AccessError::WrongSpace { array, have, want } => AdaptorError::WrongSpace {
+                name: array,
+                have: have.to_string(),
+                want: want.to_string(),
+            },
+            datamodel::AccessError::TypeMismatch { array, want } => {
+                AdaptorError::LayoutUnsupported {
+                    name: array,
+                    detail: format!("stored scalar type is not {want}"),
+                }
+            }
+            datamodel::AccessError::LayoutUnsupported { array, detail } => {
+                AdaptorError::LayoutUnsupported {
+                    name: array,
+                    detail,
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for AdaptorError {
@@ -84,6 +120,11 @@ impl std::fmt::Display for AdaptorError {
             AdaptorError::LayoutUnsupported { name, detail } => {
                 write!(f, "cannot attach array '{name}': {detail}")
             }
+            AdaptorError::WrongSpace { name, have, want } => write!(
+                f,
+                "array '{name}' lives in {have} but was accessed from {want} \
+                 without an explicit transfer"
+            ),
         }
     }
 }

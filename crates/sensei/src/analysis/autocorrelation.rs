@@ -161,14 +161,25 @@ impl AnalysisAdaptor for Autocorrelation {
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
-        let probe = comm.probe();
+        // The per-step update is already communicator-free (the final
+        // reduction lives in `finalize`), so the synchronous path is
+        // the offload split run back-to-back.
+        self.execute_local(data, &comm.probe());
+        self.complete(comm)
+    }
+
+    fn supports_offload(&self) -> bool {
+        true
+    }
+
+    fn execute_local(&mut self, data: &dyn DataAdaptor, probe: &probe::Probe) {
         let _update = probe.span("per-step/autocorrelation/update");
         let mut mesh = data.mesh();
         if data
             .add_array(&mut mesh, Association::Point, &self.array)
             .is_err()
         {
-            return Steering::Continue;
+            return;
         }
         let _ = data.add_array(&mut mesh, Association::Point, datamodel::GHOST_ARRAY_NAME);
 
@@ -186,7 +197,7 @@ impl AnalysisAdaptor for Autocorrelation {
             })
             .sum();
         if incoming == 0 {
-            return Steering::Continue;
+            return;
         }
         if self.cells == 0 {
             self.capture_layout(&mesh);
@@ -246,7 +257,6 @@ impl AnalysisAdaptor for Autocorrelation {
         debug_assert_eq!(offset, self.cells);
         self.steps_seen += 1;
         probe.gauge_max(GAUGE_BUFFER_BYTES, self.buffer_bytes() as u64);
-        Steering::Continue
     }
 
     fn finalize(&mut self, comm: &Comm) {

@@ -36,6 +36,9 @@ pub struct DescriptiveStats {
     array: String,
     assoc: Association,
     results: ResultsHandle,
+    /// Local partials `[count, sum, sum_sq, min, max]` plus the step,
+    /// carried from the communicator-free phase to the sync point.
+    pending: Option<([f64; 5], u64)>,
 }
 
 impl DescriptiveStats {
@@ -50,6 +53,7 @@ impl DescriptiveStats {
             array: array.into(),
             assoc,
             results: Arc::new(Mutex::new(None)),
+            pending: None,
         }
     }
 
@@ -65,6 +69,17 @@ impl AnalysisAdaptor for DescriptiveStats {
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
+        // The synchronous path is the offload split run back-to-back:
+        // identical arithmetic whichever thread ran the local phase.
+        self.execute_local(data, &comm.probe());
+        self.complete(comm)
+    }
+
+    fn supports_offload(&self) -> bool {
+        true
+    }
+
+    fn execute_local(&mut self, data: &dyn DataAdaptor, _probe: &probe::Probe) {
         // Local partials: [count, sum, sum_sq, min, max].
         let mut count = 0.0f64;
         let mut sum = 0.0;
@@ -78,7 +93,14 @@ impl AnalysisAdaptor for DescriptiveStats {
             lo = lo.min(v);
             hi = hi.max(v);
         });
-        let merged = comm.allreduce(vec![count, sum, sum_sq, lo, hi], |a, b| {
+        self.pending = Some(([count, sum, sum_sq, lo, hi], data.step()));
+    }
+
+    fn complete(&mut self, comm: &Comm) -> Steering {
+        let Some((partials, step)) = self.pending.take() else {
+            return Steering::Continue;
+        };
+        let merged = comm.allreduce(partials.to_vec(), |a, b| {
             vec![
                 a[0] + b[0],
                 a[1] + b[1],
@@ -96,7 +118,7 @@ impl AnalysisAdaptor for DescriptiveStats {
                 variance: (merged[2] / n - mean * mean).max(0.0),
                 min: merged[3],
                 max: merged[4],
-                step: data.step(),
+                step,
             }
         } else {
             Stats {
@@ -105,7 +127,7 @@ impl AnalysisAdaptor for DescriptiveStats {
                 variance: 0.0,
                 min: f64::NAN,
                 max: f64::NAN,
-                step: data.step(),
+                step,
             }
         };
         *self.results.lock() = Some(stats);

@@ -71,6 +71,19 @@ pub struct HistogramAnalysis {
     results: ResultsHandle,
     failures: Vec<String>,
     reported_missing: bool,
+    pending: Option<PendingHistogram>,
+}
+
+/// State carried from the communicator-free local phase to the
+/// sync-point phase. Owns the step's analysis mesh: pass 2 needs the
+/// values again once the global range is known, and in offload mode
+/// the two phases run on different threads at different times.
+struct PendingHistogram {
+    mesh: datamodel::DataSet,
+    lo: f64,
+    hi: f64,
+    local_n: u64,
+    step: u64,
 }
 
 impl HistogramAnalysis {
@@ -91,6 +104,7 @@ impl HistogramAnalysis {
             results: Arc::new(Mutex::new(None)),
             failures: Vec::new(),
             reported_missing: false,
+            pending: None,
         }
     }
 
@@ -279,13 +293,23 @@ impl AnalysisAdaptor for HistogramAnalysis {
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
-        let probe = comm.probe();
+        // The synchronous path *is* the offload split run back-to-back,
+        // so device-offloaded and host in situ results are bitwise
+        // identical by construction.
+        self.execute_local(data, &comm.probe());
+        self.complete(comm)
+    }
+
+    fn supports_offload(&self) -> bool {
+        true
+    }
+
+    fn execute_local(&mut self, data: &dyn DataAdaptor, probe: &probe::Probe) {
         let mut mesh = data.mesh();
-        let have = match data.add_array(&mut mesh, self.assoc, &self.array) {
+        match data.add_array(&mut mesh, self.assoc, &self.array) {
             Ok(()) => {
                 // Ghost flags, so ghost tuples can be blanked.
                 let _ = data.add_array(&mut mesh, self.assoc, datamodel::GHOST_ARRAY_NAME);
-                true
             }
             Err(err) => {
                 // Report the typed cause once; re-reporting every step
@@ -294,9 +318,8 @@ impl AnalysisAdaptor for HistogramAnalysis {
                     self.reported_missing = true;
                     self.failures.push(err.to_string());
                 }
-                false
             }
-        };
+        }
         if probe.is_enabled() {
             // Borrowed vs. owned bytes of this step's analysis mesh: the
             // zero-copy story as numbers.
@@ -305,18 +328,16 @@ impl AnalysisAdaptor for HistogramAnalysis {
             probe.gauge_max(probe::GAUGE_DATASET_OWNED, owned as u64);
             probe.gauge_max(probe::GAUGE_DATASET_SHARED, (total - owned) as u64);
         }
-        let views = if have {
-            leaf_views(&mesh, self.assoc, &self.array)
-        } else {
-            Vec::new()
-        };
+        // A mesh without the array yields zero views, but the pending
+        // state (and hence the sync-point collectives) still runs:
+        // every rank must reach `complete`'s reductions.
+        let views = leaf_views(&mesh, self.assoc, &self.array);
 
         // Pass 1: streaming local min/max + count. Nothing is
         // materialized: each chunk folds borrowed values into a
         // (min, max, count) triple through the blocked (or reference)
         // kernel.
         let reference = self.reference;
-        let bins = self.bins;
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
         let mut local_n = 0u64;
@@ -352,6 +373,32 @@ impl AnalysisAdaptor for HistogramAnalysis {
                 }
             }
         }
+        drop(views);
+        // Pass 2 needs the values again once the global range is known,
+        // so the mesh (zero-copy views of the step's buffers — or, in
+        // offload mode, of the device payload) rides along.
+        self.pending = Some(PendingHistogram {
+            mesh,
+            lo,
+            hi,
+            local_n,
+            step: data.step(),
+        });
+    }
+
+    fn complete(&mut self, comm: &Comm) -> Steering {
+        let probe = comm.probe();
+        let Some(PendingHistogram {
+            mesh,
+            lo,
+            hi,
+            local_n,
+            step,
+        }) = self.pending.take()
+        else {
+            return Steering::Continue;
+        };
+        let views = leaf_views(&mesh, self.assoc, &self.array);
         // The two global reductions of §3.3 fused into one (min, max)
         // pair: identical values, half the collective latency — the
         // range phase was the highest-variance span in the seed
@@ -363,6 +410,8 @@ impl AnalysisAdaptor for HistogramAnalysis {
 
         // Pass 2: streaming local binning with per-thread bin vectors,
         // merged by exact integer addition (thread-count invariant).
+        let reference = self.reference;
+        let bins = self.bins;
         let mut counts = vec![0u64; self.bins];
         {
             let _pass2 = probe.span("per-step/histogram/pass2");
@@ -425,7 +474,7 @@ impl AnalysisAdaptor for HistogramAnalysis {
                 min: glo,
                 max: ghi,
                 counts,
-                step: data.step(),
+                step,
             });
         }
         Steering::Continue

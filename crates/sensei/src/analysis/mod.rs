@@ -43,6 +43,25 @@ impl Steering {
 }
 
 /// The analysis-side adaptor contract.
+///
+/// # The offload split
+///
+/// An analysis that opts into asynchronous device offload
+/// ([`AnalysisAdaptor::supports_offload`]) divides its per-step work
+/// into two phases:
+///
+/// * [`execute_local`](AnalysisAdaptor::execute_local) — everything
+///   that needs only this rank's data. **No communicator**: the bridge
+///   runs this phase on a device worker thread while the simulation
+///   advances, and minimpi's `MPI_THREAD_FUNNELED` discipline forbids
+///   touching a `Comm` off the rank thread.
+/// * [`complete`](AnalysisAdaptor::complete) — the collectives and the
+///   final verdict, run on the rank thread at the next sync point.
+///
+/// Offloadable analyses implement `execute` as exactly
+/// `execute_local` + `complete`, so the synchronous path and the
+/// offloaded path run the *same code over the same values* and their
+/// results are bitwise identical — the conformance suite pins this.
 pub trait AnalysisAdaptor: Send {
     /// Short identifier used in timing reports ("histogram",
     /// "catalyst-slice", …).
@@ -54,6 +73,35 @@ pub trait AnalysisAdaptor: Send {
     /// Collective: every rank of `comm` calls `execute` each time the
     /// bridge runs.
     fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering;
+
+    /// Can this analysis run its local phase off the rank thread?
+    /// `true` means [`execute`](AnalysisAdaptor::execute) is the
+    /// composition `execute_local` + `complete` and the bridge's
+    /// offload executor may split it across threads. Default: `false`
+    /// (the analysis only supports the synchronous path).
+    fn supports_offload(&self) -> bool {
+        false
+    }
+
+    /// The communicator-free local phase: read the step's data, do the
+    /// per-rank work, and stash whatever [`complete`]
+    /// (AnalysisAdaptor::complete) needs. Runs on a device worker
+    /// thread in offload mode (inside the payload's memory space), or
+    /// inline on the rank thread in synchronous mode. `probe` is the
+    /// bridge's observability handle (worker threads cannot reach it
+    /// through a `Comm`). Default: nothing — only meaningful when
+    /// [`supports_offload`](AnalysisAdaptor::supports_offload) is true.
+    fn execute_local(&mut self, data: &dyn DataAdaptor, probe: &probe::Probe) {
+        let _ = (data, probe);
+    }
+
+    /// The sync-point phase: run the collectives over the state
+    /// [`execute_local`](AnalysisAdaptor::execute_local) stashed and
+    /// return the step's [`Steering`] verdict. Always called on the
+    /// rank thread. Default: [`Steering::Continue`].
+    fn complete(&mut self, _comm: &Comm) -> Steering {
+        Steering::Continue
+    }
 
     /// One-time teardown; global reductions that produce final results
     /// (e.g. the autocorrelation top-k) happen here.
@@ -104,15 +152,21 @@ pub(crate) fn leaf_views<'a>(
         let Some(arr) = attrs.get(array) else {
             continue;
         };
+        // Space-checked classification: the zero-copy fast path only
+        // opens for arrays resident in (or shared with) the thread's
+        // execution space; anything else — wrong type, multi-component,
+        // or wrong space — takes the indirect path, whose legacy
+        // getters report stray cross-space reads to the sanitizer.
+        let exec = datamodel::current_space();
         // Ghost flags: `Some(None)` = no ghosts, `Some(Some(_))` = plain
         // u8 flags, `None` = ghosts exist but need the indirect path.
         let ghosts = match attrs.ghosts() {
             None => Some(None),
-            Some(g) if g.num_components() == 1 => g.typed_slice::<u8>().map(Some),
+            Some(g) if g.num_components() == 1 => g.as_slice_in::<u8>(exec).ok().map(Some),
             Some(_) => None,
         };
         let direct = (arr.num_components() == 1)
-            .then(|| arr.typed_slice::<f64>())
+            .then(|| arr.as_slice_in::<f64>(exec).ok())
             .flatten()
             .zip(ghosts);
         match direct {

@@ -60,11 +60,13 @@ pub mod analysis;
 pub mod bridge;
 pub mod config;
 pub mod exec;
+pub mod failure;
 pub mod timing;
 
 pub use adaptor::{AdaptorError, Association, DataAdaptor, InMemoryAdaptor};
 pub use analysis::{AnalysisAdaptor, Steering};
-pub use bridge::{Bridge, Registration, StopInfo};
+pub use bridge::{Bridge, OffloadConfig, Registration, StopInfo};
+pub use failure::FailureReport;
 pub use timing::{TimingDb, TimingSummary};
 
 // Re-exported so downstream crates can consume run reports without

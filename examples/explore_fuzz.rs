@@ -25,8 +25,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use adios::staging::{run_endpoint, AdiosWriterAnalysis};
-use adios::{pair, Role};
+use adios::staging::{run_endpoint_with_broker, AdiosWriterAnalysis};
+use adios::{pair, BrokerConfig, Role, StagingBroker};
 use datamodel::{DataArray, DataSet, Extent, ImageData};
 use minimpi::{Comm, ExploreFailure, Explorer};
 use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
@@ -123,7 +123,9 @@ fn staging_scenario(comm: &Comm, deck: &str) {
             let hist = HistogramAnalysis::new("data", BINS);
             let results = hist.results_handle();
             let analyses: Vec<Box<dyn AnalysisAdaptor>> = vec![Box::new(hist)];
-            let (bridge, _report) = run_endpoint(comm, &sub, &mut reader, analyses);
+            let broker = StagingBroker::new(BrokerConfig::default());
+            let (bridge, _report) =
+                run_endpoint_with_broker(comm, &sub, &mut reader, analyses, &broker);
             assert_eq!(bridge.steps(), STEPS as u64, "endpoint saw every step");
             if sub.rank() == 0 {
                 let r = results.lock().clone().expect("endpoint histogram");

@@ -8,8 +8,8 @@
 //! cargo run --release --example in_transit [writers]
 //! ```
 
-use adios::staging::{run_endpoint, AdiosWriterAnalysis};
-use adios::{pair, Role};
+use adios::staging::{run_endpoint_with_broker, AdiosWriterAnalysis};
+use adios::{pair, BrokerConfig, Role, StagingBroker};
 use minimpi::World;
 use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
 use sensei::analysis::histogram::HistogramAnalysis;
@@ -70,11 +70,15 @@ fn main() {
                 }
                 sub.barrier();
                 let catalyst_slice = catalyst::CatalystSliceAnalysis::new(pipe);
-                let (bridge, _report) = run_endpoint(
+                // The broker tee is the staging spine: subscribers can
+                // attach to the stream at any time; with none, it's free.
+                let broker = StagingBroker::new(BrokerConfig::default());
+                let (bridge, _report) = run_endpoint_with_broker(
                     world,
                     &sub,
                     &mut reader,
                     vec![Box::new(hist), Box::new(catalyst_slice)],
+                    &broker,
                 );
                 if sub.rank() == 0 {
                     let r = results.lock().clone().expect("endpoint histogram");

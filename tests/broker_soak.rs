@@ -244,9 +244,11 @@ fn soak_run(policy: SchedPolicy, cell: Option<&TraceCell>) -> String {
             for i in 0..STALLED {
                 let label = format!("stall-{i:02}");
                 assert!(
-                    failures
-                        .iter()
-                        .any(|f| f.contains(&label) && f.contains("broker evicted slow consumer")),
+                    failures.iter().any(|f| {
+                        f.kind() == "eviction"
+                            && matches!(f, sensei::FailureReport::Eviction { consumer, .. }
+                                if *consumer == label)
+                    }),
                     "missing eviction report for {label}: {failures:?}"
                 );
             }

@@ -165,6 +165,7 @@ fn config_driven_analysis_selection() {
 /// The in situ / in transit / post hoc triple point: the histogram of
 /// the same field computed three ways is identical.
 #[test]
+#[allow(deprecated)] // the minimal non-broker endpoint stays covered until removal
 fn three_paths_one_histogram() {
     use adios::staging::{adaptor_to_step, run_endpoint};
     use adios::{pair, Role};

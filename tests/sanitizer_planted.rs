@@ -155,6 +155,67 @@ fn dropped_in_flight_message_leaks_at_teardown() {
     assert_eq!(hit.seed, Some(SEED));
 }
 
+/// Planted bug: code running in a device execution space reads a
+/// host-resident array through a legacy accessor — the missing
+/// explicit transfer a real machine would need. The sanitizer reports
+/// it as a wrong-space access naming both spaces.
+#[test]
+fn wrong_space_access_is_reported_as_a_missing_transfer() {
+    let session = Session::new(1, Mode::Collect);
+    let s2 = Arc::clone(&session);
+    WorldBuilder::new(1)
+        .sched(SchedPolicy::Seeded(SEED))
+        .sanitizer(s2)
+        .run(|_comm| {
+            let data = shared_image([4, 1, 1]);
+            // BUG: the "device" analysis reads the simulation's
+            // host-resident field in place instead of snapshotting it
+            // into device space first.
+            let _device = datamodel::enter_space(datamodel::MemorySpace::DeviceSim(0));
+            if let DataSet::Image(img) = &data {
+                let arr = img.point_data.get("u").unwrap();
+                let _v = arr.get(0, 0);
+            }
+        });
+    let findings = session.findings();
+    let hit = findings
+        .iter()
+        .find(|f| f.kind == FindingKind::WrongSpaceAccess)
+        .expect("wrong-space access reported");
+    assert_eq!(hit.subject, "u");
+    assert!(
+        hit.detail.contains("host") && hit.detail.contains("device"),
+        "detail names both spaces: {}",
+        hit.detail
+    );
+    assert!(
+        hit.detail.contains("move_to/snapshot_in"),
+        "detail points at the explicit-transfer API: {}",
+        hit.detail
+    );
+    // The explicit transfer makes the identical read clean: snapshot
+    // into device space first, read the snapshot, zero findings.
+    let clean = Session::new(1, Mode::Collect);
+    let c2 = Arc::clone(&clean);
+    WorldBuilder::new(1)
+        .sched(SchedPolicy::Seeded(SEED))
+        .sanitizer(c2)
+        .run(|_comm| {
+            let data = shared_image([4, 1, 1]);
+            let staged = data.snapshot_in(datamodel::MemorySpace::DeviceSim(0));
+            let _device = datamodel::enter_space(datamodel::MemorySpace::DeviceSim(0));
+            if let DataSet::Image(img) = &staged {
+                let arr = img.point_data.get("u").unwrap();
+                let _v = arr.get(0, 0);
+            }
+        });
+    assert!(
+        clean.findings().is_empty(),
+        "snapshotted device read must be clean, got: {:#?}",
+        clean.findings().iter().map(|f| f.to_string()).collect::<Vec<_>>()
+    );
+}
+
 /// An endpoint that never closes its staged view: `Bridge::finalize`'s
 /// leak check (via `Session::finish_world`) reports the open window.
 #[test]
