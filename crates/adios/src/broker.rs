@@ -515,9 +515,17 @@ impl<T: Send + Sync + 'static> Broker<T> {
                 .map(|s| s.state.0.lock().queue.len())
                 .max()
                 .unwrap_or(0);
-            probe.gauge_max(&probe::key::scoped("broker", topic, "queue_peak"), peak as u64);
+            probe.gauge_max(
+                &probe::key::scoped("broker", topic, "queue_peak"),
+                peak as u64,
+            );
             if !evicted_now.is_empty() {
-                probe.bulk(&probe::key::of("broker", "evictions"), evicted_now.len() as u64, 0, 0);
+                probe.bulk(
+                    &probe::key::of("broker", "evictions"),
+                    evicted_now.len() as u64,
+                    0,
+                    0,
+                );
             }
         }
         let report = PublishReport {

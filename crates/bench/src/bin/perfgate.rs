@@ -11,11 +11,12 @@
 //! fresh report is always written to `--out` so CI can upload it as an
 //! artifact when the gate fails.
 
-use bench::{brokerbench, hotpath, offloadbench, perfgate};
+use bench::{brokerbench, hotpath, offloadbench, perfgate, querybench};
 
 const USAGE: &str = "usage: perfgate [--baseline PATH] [--out PATH] [--tolerance PCT] \
                      [--broker-baseline PATH] [--broker-out PATH] \
-                     [--offload-baseline PATH] [--offload-out PATH]";
+                     [--offload-baseline PATH] [--offload-out PATH] \
+                     [--query-baseline PATH] [--query-out PATH]";
 
 fn main() {
     let mut baseline_path = String::from("BENCH_hotpath.json");
@@ -24,6 +25,8 @@ fn main() {
     let mut broker_out = String::from("BENCH_broker.fresh.json");
     let mut offload_baseline_path = String::from("BENCH_offload.json");
     let mut offload_out = String::from("BENCH_offload.fresh.json");
+    let mut query_baseline_path = String::from("BENCH_query.json");
+    let mut query_out = String::from("BENCH_query.fresh.json");
     let mut tolerance = perfgate::DEFAULT_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -41,6 +44,8 @@ fn main() {
             "--broker-out" => broker_out = take("--broker-out"),
             "--offload-baseline" => offload_baseline_path = take("--offload-baseline"),
             "--offload-out" => offload_out = take("--offload-out"),
+            "--query-baseline" => query_baseline_path = take("--query-baseline"),
+            "--query-out" => query_out = take("--query-out"),
             "--tolerance" => {
                 tolerance = take("--tolerance")
                     .parse::<f64>()
@@ -118,19 +123,42 @@ fn main() {
     let offload_fresh = perfgate::OffloadMetrics::from_report(&offload_report);
     let offload_result = perfgate::gate_offload(&offload_baseline, &offload_fresh, tolerance);
 
-    let checked =
-        result.checked.len() + broker_result.checked.len() + offload_result.checked.len();
+    // The interactive-query fan-out metrics gate alongside the rest.
+    let query_doc = std::fs::read_to_string(&query_baseline_path).unwrap_or_else(|e| {
+        eprintln!("perfgate: cannot read query baseline {query_baseline_path}: {e}");
+        std::process::exit(2);
+    });
+    let query_baseline = perfgate::QueryMetrics::from_json(&query_doc).unwrap_or_else(|e| {
+        eprintln!("perfgate: {e} — regenerate it with the querybench binary");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "perfgate: measuring query fan-out ({} clients, {} steps)",
+        querybench::CLIENTS,
+        querybench::STEPS
+    );
+    let query_report = querybench::run();
+    std::fs::write(&query_out, query_report.to_json()).expect("write fresh query report");
+    let query_fresh = perfgate::QueryMetrics::from_report(&query_report);
+    let query_result = perfgate::gate_query(&query_baseline, &query_fresh, tolerance);
+
+    let checked = result.checked.len()
+        + broker_result.checked.len()
+        + offload_result.checked.len()
+        + query_result.checked.len();
     let failures: Vec<&String> = result
         .failures
         .iter()
         .chain(broker_result.failures.iter())
         .chain(offload_result.failures.iter())
+        .chain(query_result.failures.iter())
         .collect();
     for line in result
         .checked
         .iter()
         .chain(broker_result.checked.iter())
         .chain(offload_result.checked.iter())
+        .chain(query_result.checked.iter())
     {
         eprintln!("perfgate: {line}");
     }
@@ -142,7 +170,7 @@ fn main() {
         }
         eprintln!(
             "perfgate: {} of {checked} metrics regressed; fresh reports at {out}, {broker_out}, \
-             and {offload_out}",
+             {offload_out}, and {query_out}",
             failures.len(),
         );
         std::process::exit(1);

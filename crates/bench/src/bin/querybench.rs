@@ -1,0 +1,57 @@
+//! Measure the interactive-query fan-out metrics and write
+//! `BENCH_query.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin querybench [-- --out PATH]`
+//!
+//! Times the re-evaluate-per-client fan-out (what serving N polling
+//! clients without the endpoint costs) against the evaluate-once
+//! broker publish, and records the fairness ratio plus the eviction /
+//! queue-bound robustness invariants. Only dimensionless entries are
+//! gated, so a baseline recorded on one machine still gates runs on
+//! another.
+
+use bench::querybench;
+
+fn main() {
+    let mut out = String::from("BENCH_query.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    eprintln!("usage: querybench [--out PATH]");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: querybench [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "querybench: {} clients, {} steps, {} doubles/field, {} bins",
+        querybench::CLIENTS,
+        querybench::STEPS,
+        querybench::FIELD_DOUBLES,
+        querybench::BINS
+    );
+    let report = querybench::run();
+    let json = report.to_json();
+    print!("{json}");
+    std::fs::write(&out, &json).expect("write report");
+    eprintln!(
+        "querybench: serve speedup {:.2}x (per-client {:.4}s -> shared {:.4}s), \
+         fairness {:.3}, eviction {}, queue bound {}; wrote {out}",
+        report.serve_speedup(),
+        report.per_client_s,
+        report.shared_s,
+        report.fairness,
+        report.eviction_works,
+        report.queue_bounded
+    );
+}

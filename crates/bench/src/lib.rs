@@ -13,6 +13,7 @@ pub mod hotpath;
 pub mod images;
 pub mod offloadbench;
 pub mod perfgate;
+pub mod querybench;
 pub mod realruns;
 pub mod table;
 

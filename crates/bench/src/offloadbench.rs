@@ -80,8 +80,7 @@ fn world_run(offload: bool) -> RunOutcome {
             if offload {
                 bridge.enable_offload(OffloadConfig::default());
             }
-            let per_rank_payload =
-                OscillatorAdaptor::new(&sim).full_mesh().payload_bytes() as u64;
+            let per_rank_payload = OscillatorAdaptor::new(&sim).full_mesh().payload_bytes() as u64;
             let t0 = Wall::now();
             for _ in 0..STEPS {
                 sim.step(comm);

@@ -262,6 +262,100 @@ pub fn gate_broker(baseline: &BrokerMetrics, fresh: &BrokerMetrics, tolerance: f
     report
 }
 
+/// The gated subset of the interactive-query report
+/// (`BENCH_query.json`): an evaluate-once-vs-per-client speedup, a
+/// fairness ratio, and two invariants.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryMetrics {
+    /// Re-evaluate-per-client fan-out over the evaluate-once broker
+    /// path.
+    pub serve_speedup: f64,
+    /// min/max responses delivered across clients (1.0 = fair).
+    pub fairness: f64,
+    /// A non-polling client was evicted within its deadline.
+    pub eviction_works: bool,
+    /// The probed queue high-water stayed within the configured depth.
+    pub queue_bounded: bool,
+}
+
+impl QueryMetrics {
+    /// Extract the gated metrics from a freshly measured query report.
+    pub fn from_report(r: &crate::querybench::QueryReport) -> QueryMetrics {
+        QueryMetrics {
+            serve_speedup: r.serve_speedup(),
+            fairness: r.fairness,
+            eviction_works: r.eviction_works,
+            queue_bounded: r.queue_bounded,
+        }
+    }
+
+    /// Extract the gated metrics from a `BENCH_query.json` document
+    /// (the exact format `QueryReport::to_json` writes).
+    pub fn from_json(doc: &str) -> Result<QueryMetrics, String> {
+        let sect = |name: &str, key: &str| -> Result<f64, String> {
+            section(doc, name)
+                .and_then(|body| field(body, key))
+                .ok_or_else(|| format!("query baseline is missing \"{name}\".\"{key}\""))
+        };
+        let flag = |name: &str, key: &str| -> bool {
+            section(doc, name).is_some_and(|b| b.contains(&format!("\"{key}\": true")))
+        };
+        Ok(QueryMetrics {
+            serve_speedup: sect("serve", "speedup")?,
+            fairness: sect("fairness", "min_over_max_delivered")?,
+            eviction_works: flag("robustness", "eviction_works"),
+            queue_bounded: flag("robustness", "queue_bounded"),
+        })
+    }
+}
+
+/// Gate the query metrics: the serve speedup may drop at most
+/// `tolerance` below the baseline, fairness may not fall below the
+/// baseline minus the tolerance, and the two robustness invariants
+/// must hold outright (they are correctness facts, not timings).
+pub fn gate_query(baseline: &QueryMetrics, fresh: &QueryMetrics, tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let floor = baseline.serve_speedup * (1.0 - tolerance);
+    report.checked.push(format!(
+        "query serve speedup: baseline {:.2}, fresh {:.2}, floor {floor:.2}",
+        baseline.serve_speedup, fresh.serve_speedup
+    ));
+    if fresh.serve_speedup < floor {
+        report.failures.push(format!(
+            "query serve speedup regressed: {:.2} < {floor:.2} (baseline {:.2}, tolerance {:.0}%)",
+            fresh.serve_speedup,
+            baseline.serve_speedup,
+            tolerance * 100.0
+        ));
+    }
+    let fair_floor = (baseline.fairness - tolerance).max(0.0);
+    report.checked.push(format!(
+        "query fairness: baseline {:.3}, fresh {:.3}, floor {fair_floor:.3}",
+        baseline.fairness, fresh.fairness
+    ));
+    if fresh.fairness < fair_floor {
+        report.failures.push(format!(
+            "query fairness regressed: {:.3} < {fair_floor:.3}",
+            fresh.fairness
+        ));
+    }
+    report.checked.push(format!(
+        "query robustness: eviction_works {}, queue_bounded {}",
+        fresh.eviction_works, fresh.queue_bounded
+    ));
+    if !fresh.eviction_works {
+        report
+            .failures
+            .push("query eviction no longer fires for a client that stops polling".into());
+    }
+    if !fresh.queue_bounded {
+        report
+            .failures
+            .push("query response queue high-water exceeded the configured depth".into());
+    }
+    report
+}
+
 /// The body of a flat (single-line, brace-free) JSON section.
 fn section<'a>(doc: &'a str, name: &str) -> Option<&'a str> {
     let key = format!("\"{name}\":");
@@ -505,6 +599,57 @@ mod tests {
         assert!(m.eviction_works && m.queue_bounded);
         let err = BrokerMetrics::from_json("{}").unwrap_err();
         assert!(err.contains("fanout"), "{err}");
+    }
+
+    fn query_sample() -> QueryMetrics {
+        QueryMetrics {
+            serve_speedup: 12.0,
+            fairness: 1.0,
+            eviction_works: true,
+            queue_bounded: true,
+        }
+    }
+
+    #[test]
+    fn query_gate_passes_unchanged_and_fails_regressions() {
+        let base = query_sample();
+        assert!(gate_query(&base, &base, DEFAULT_TOLERANCE).passed());
+
+        let mut fresh = base;
+        fresh.serve_speedup *= 0.80; // 20% slowdown trips the 15% gate
+        let r = gate_query(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 1, "{:?}", r.failures);
+        assert!(r.failures[0].contains("serve speedup"));
+
+        let mut fresh = base;
+        fresh.fairness = 0.5;
+        let r = gate_query(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("fairness"));
+
+        let mut fresh = base;
+        fresh.eviction_works = false;
+        fresh.queue_bounded = false;
+        let r = gate_query(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(r.failures.len(), 2);
+    }
+
+    #[test]
+    fn query_metrics_parse_from_generated_json() {
+        let doc = crate::querybench::QueryReport {
+            per_client_s: 0.024,
+            shared_s: 0.002,
+            fairness: 1.0,
+            eviction_works: true,
+            queue_bounded: true,
+        }
+        .to_json();
+        let m = QueryMetrics::from_json(&doc).expect("parse");
+        assert_eq!(m.serve_speedup, 12.0);
+        assert_eq!(m.fairness, 1.0);
+        assert!(m.eviction_works && m.queue_bounded);
+        let err = QueryMetrics::from_json("{}").unwrap_err();
+        assert!(err.contains("serve"), "{err}");
     }
 
     fn offload_sample() -> OffloadMetrics {

@@ -818,7 +818,9 @@ mod tests {
             other => panic!("expected WrongSpace, got {other:?}"),
         }
         assert!(a.values_in(0, MemorySpace::DeviceSim(1)).is_err());
-        assert!(a.component_slice_in::<f64>(0, MemorySpace::DeviceSim(0)).is_err());
+        assert!(a
+            .component_slice_in::<f64>(0, MemorySpace::DeviceSim(0))
+            .is_err());
     }
 
     #[test]

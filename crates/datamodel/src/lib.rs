@@ -36,7 +36,6 @@ pub mod space;
 pub mod unstructured;
 
 pub use array::{Buffer, DataArray, Layout, Scalar, ScalarType};
-pub use space::{current_space, enter_space, AccessError, MemorySpace, SpaceGuard};
 pub use attributes::{Attributes, GHOST_ARRAY_NAME, GHOST_DUPLICATE};
 pub use dataset::DataSet;
 pub use decomp::{dims_create, duplicate_point_ghosts, ghost_array, partition_extent};
@@ -44,6 +43,7 @@ pub use extent::Extent;
 pub use grids::{ImageData, RectilinearGrid};
 pub use multiblock::MultiBlock;
 pub use sanitize::{publish_dataset, PublishGuard};
+pub use space::{current_space, enter_space, AccessError, MemorySpace, SpaceGuard};
 pub use unstructured::{CellType, UnstructuredGrid};
 
 /// Anything that can report how many heap bytes it owns.

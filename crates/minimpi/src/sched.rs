@@ -84,6 +84,21 @@ pub enum Event {
         /// Raw tag bits.
         tag: u64,
     },
+    /// World slot `slot` applied an interactive query or steering
+    /// command from client `client` at bridge step `step`. The payload
+    /// itself lives outside the transport; its FNV-1a digest pins the
+    /// bytes, so a replayed session must deliver the identical command
+    /// stream in the identical schedule position.
+    Interactive {
+        /// World slot that applied the command.
+        slot: usize,
+        /// Interactive client id.
+        client: u64,
+        /// Bridge step the command was applied at.
+        step: u64,
+        /// FNV-1a digest of the serialized payload.
+        digest: u64,
+    },
 }
 
 impl Event {
@@ -102,6 +117,18 @@ impl Event {
                 Json::Num(*slot as f64),
                 Json::Num(*src as f64),
                 Json::Str(format!("{tag:x}")),
+            ]),
+            Event::Interactive {
+                slot,
+                client,
+                step,
+                digest,
+            } => Json::Arr(vec![
+                Json::Str("q".into()),
+                Json::Num(*slot as f64),
+                Json::Num(*client as f64),
+                Json::Num(*step as f64),
+                Json::Str(format!("{digest:x}")),
             ]),
         }
     }
@@ -138,6 +165,12 @@ impl Event {
                 src: num(2)?,
                 tag: tag(3)?,
             }),
+            "q" => Ok(Event::Interactive {
+                slot: num(1)?,
+                client: num(2)? as u64,
+                step: num(3)? as u64,
+                digest: tag(4)?,
+            }),
             other => Err(format!("unknown event kind '{other}'")),
         }
     }
@@ -153,6 +186,15 @@ impl std::fmt::Display for Event {
             Event::Match { slot, src, tag } => {
                 write!(f, "match slot {slot} <- src {src} tag {}", Tag(*tag))
             }
+            Event::Interactive {
+                slot,
+                client,
+                step,
+                digest,
+            } => write!(
+                f,
+                "interactive slot {slot} client {client} step {step} digest {digest:016x}"
+            ),
         }
     }
 }
@@ -428,6 +470,29 @@ impl Sched {
             },
         );
         src
+    }
+
+    /// Record an interactive query/steering command in the delivery
+    /// trace. Pure bookkeeping — the rank keeps the turn token — but
+    /// under replay the event is verified in schedule position like any
+    /// delivery, so a session whose command stream changed diverges
+    /// immediately instead of silently producing different results.
+    pub(crate) fn on_interactive(&self, slot: usize, client: u64, step: u64, digest: u64) {
+        let mut s = self.state.lock();
+        self.emit(
+            &mut s,
+            Event::Interactive {
+                slot,
+                client,
+                step,
+                digest,
+            },
+        );
+        if let Some(msg) = &s.abort {
+            let msg = msg.clone();
+            drop(s);
+            panic!("{msg}");
+        }
     }
 
     /// Advance the virtual clock (injected link delay).
@@ -793,6 +858,12 @@ mod tests {
                     src: 0,
                     tag: Tag::user(9).0,
                 },
+                Event::Interactive {
+                    slot: 0,
+                    client: 17,
+                    step: 4,
+                    digest: 0xdead_beef_cafe_f00d,
+                },
             ],
         };
         let text = t.to_json();
@@ -802,6 +873,11 @@ mod tests {
             unreachable!()
         };
         assert!(tag & (1 << 63) != 0);
+        // Interactive digests are full-width u64s and round trip too.
+        let Event::Interactive { digest, .. } = &t.events[3] else {
+            unreachable!()
+        };
+        assert!(digest & (1 << 63) != 0);
     }
 
     #[test]
@@ -818,5 +894,7 @@ mod tests {
         assert!(Trace::from_json("{}").is_err());
         assert!(Trace::from_json(r#"{"seed":1,"events":[["x",0]]}"#).is_err());
         assert!(Trace::from_json(r#"{"seed":1,"events":[["s",0,1,"zz"]]}"#).is_err());
+        assert!(Trace::from_json(r#"{"seed":1,"events":[["q",0,1]]}"#).is_err());
+        assert!(Trace::from_json(r#"{"seed":1,"events":[["q",0,1,2,"gg"]]}"#).is_err());
     }
 }

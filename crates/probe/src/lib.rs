@@ -24,7 +24,9 @@ mod report;
 pub mod time;
 
 pub use json::Json;
-pub use report::{aggregate, Aggregates, CounterAgg, FailureEntry, GaugeAgg, PhaseAgg, RankMemory, RunReport};
+pub use report::{
+    aggregate, Aggregates, CounterAgg, FailureEntry, GaugeAgg, PhaseAgg, RankMemory, RunReport,
+};
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -86,7 +88,10 @@ pub mod key {
                 scoped("broker", Topic(3), "queue_peak"),
                 "broker/field#3/queue_peak"
             );
-            assert_eq!(scoped("broker", Topic(0), "fanout"), "broker/field#0/fanout");
+            assert_eq!(
+                scoped("broker", Topic(0), "fanout"),
+                "broker/field#0/fanout"
+            );
         }
     }
 }

@@ -404,7 +404,9 @@ impl DataAdaptor for LeslieAdaptor {
             "u" => DataArray::shared("u", 1, Arc::clone(&self.u)).with_space(host),
             "v" => DataArray::shared("v", 1, Arc::clone(&self.v)).with_space(host),
             "w" => DataArray::shared("w", 1, Arc::clone(&self.w)).with_space(host),
-            "vorticity" => DataArray::owned("vorticity", 1, self.vorticity.clone()).with_space(host),
+            "vorticity" => {
+                DataArray::owned("vorticity", 1, self.vorticity.clone()).with_space(host)
+            }
             GHOST_ARRAY_NAME => {
                 DataArray::owned(GHOST_ARRAY_NAME, 1, self.ghosts.clone()).with_space(host)
             }

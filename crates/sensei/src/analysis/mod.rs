@@ -116,6 +116,17 @@ pub trait AnalysisAdaptor: Send {
     fn take_failures(&mut self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Drain *typed* failure reports. Like
+    /// [`take_failures`](AnalysisAdaptor::take_failures) but for
+    /// adaptors that can say exactly what broke (an evicted query
+    /// client, a dead steering peer) instead of flattening the
+    /// forensics into a string — the bridge records these under their
+    /// own `kind` tag rather than as `analysis` failures. Default: no
+    /// reports.
+    fn take_failure_reports(&mut self) -> Vec<crate::failure::FailureReport> {
+        Vec::new()
+    }
 }
 
 /// A per-leaf access path to one scalar field, classified once so the

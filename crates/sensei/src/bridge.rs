@@ -320,6 +320,12 @@ impl Bridge {
                     self.failures.push(report);
                 }
             }
+            for report in analysis.take_failure_reports() {
+                let key = report.to_string();
+                if self.seen_failures.insert(key) {
+                    self.failures.push(report);
+                }
+            }
             if let Steering::Stop { reason } = verdict {
                 stop.get_or_insert_with(|| StopInfo {
                     analysis: analysis.name().to_string(),
@@ -361,6 +367,16 @@ impl Bridge {
         // before tearing the executor down.
         let mut stop: Option<StopInfo> = None;
         self.drain_offload(comm, &mut stop);
+        // Ordering contract (pinned by `last_step_offloaded_verdict_…`
+        // in the test suite): the offload executor's one-step-late
+        // verdict window must be fully drained — steering verdicts
+        // folded into `stopped`, worker failures recorded — *before*
+        // the failure list is tagged and gathered below, or the final
+        // RunReport would silently miss the last step's steering.
+        assert!(
+            self.offload.as_ref().is_none_or(|e| e.in_flight.is_empty()),
+            "offloaded analyses still in flight at finalize"
+        );
         if self.stopped.is_none() {
             self.stopped = stop;
         }
@@ -381,6 +397,12 @@ impl Bridge {
                     analysis: analysis.name().to_string(),
                     detail: failure,
                 };
+                let key = report.to_string();
+                if self.seen_failures.insert(key) {
+                    self.failures.push(report);
+                }
+            }
+            for report in analysis.take_failure_reports() {
                 let key = report.to_string();
                 if self.seen_failures.insert(key) {
                     self.failures.push(report);
@@ -575,6 +597,12 @@ impl Bridge {
                     self.failures.push(report);
                 }
             }
+            for report in analysis.take_failure_reports() {
+                let key = report.to_string();
+                if self.seen_failures.insert(key) {
+                    self.failures.push(report);
+                }
+            }
             if let Steering::Stop { reason } = verdict {
                 stop.get_or_insert_with(|| StopInfo {
                     analysis: flight.name.clone(),
@@ -612,10 +640,7 @@ impl Bridge {
         let mut next = exec.next;
         let payload = {
             let _h2d = self.probe.span("per-step/offload/h2d");
-            Arc::new(
-                data.full_mesh()
-                    .snapshot_in(MemorySpace::DeviceSim(device)),
-            )
+            Arc::new(data.full_mesh().snapshot_in(MemorySpace::DeviceSim(device)))
         };
         self.probe
             .bulk(COUNTER_H2D, 1, 1, payload.payload_bytes() as u64);
@@ -870,6 +895,68 @@ mod tests {
             let info = bridge.stop_info().expect("stopper identified");
             assert_eq!(info.analysis, "deferred-stopper");
             bridge.finalize(comm);
+        });
+    }
+
+    #[test]
+    fn last_step_offloaded_verdict_drains_before_the_final_gather() {
+        // Regression pin for the finalize ordering contract: a steering
+        // verdict issued by the *last* dispatched step lives in the
+        // offload executor's one-step-late window when finalize runs,
+        // and must be drained into `stopped` / the failure log before
+        // the RunReport gather — not lost in shutdown.
+        struct LastStepStop {
+            seen: Option<u64>,
+            last: u64,
+        }
+        impl AnalysisAdaptor for LastStepStop {
+            fn name(&self) -> &str {
+                "last-step-stopper"
+            }
+            fn execute(&mut self, data: &dyn DataAdaptor, comm: &Comm) -> Steering {
+                self.execute_local(data, &comm.probe());
+                self.complete(comm)
+            }
+            fn supports_offload(&self) -> bool {
+                true
+            }
+            fn execute_local(&mut self, data: &dyn DataAdaptor, _probe: &probe::Probe) {
+                self.seen = Some(data.step());
+            }
+            fn complete(&mut self, _comm: &Comm) -> Steering {
+                match self.seen.take() {
+                    Some(s) if s == self.last => Steering::stop(format!("stop pinned at step {s}")),
+                    _ => Steering::Continue,
+                }
+            }
+            fn take_failure_reports(&mut self) -> Vec<FailureReport> {
+                Vec::new()
+            }
+        }
+        World::run(2, |comm| {
+            let mut bridge = Bridge::new();
+            bridge.register(Box::new(LastStepStop {
+                seen: None,
+                last: 2,
+            }));
+            bridge.enable_offload(OffloadConfig {
+                device: 1,
+                workers: 1,
+            });
+            // Three steps; step 2's verdict is still in flight when the
+            // loop ends, so only finalize's drain can deliver it.
+            for s in 0..3 {
+                assert!(bridge.execute(&adaptor(s), comm).should_continue());
+            }
+            assert!(bridge.stop_info().is_none(), "verdict must not be early");
+            let report = bridge.finalize(comm);
+            let info = bridge.stop_info().expect("last-step verdict drained");
+            assert_eq!(info.analysis, "last-step-stopper");
+            assert_eq!(info.reason, "stop pinned at step 2");
+            // The gather ran *after* the drain: the report reflects all
+            // three steps and the executor is fully shut down.
+            assert!(!bridge.offload_enabled());
+            assert_eq!(report.steps, 3);
         });
     }
 

@@ -57,6 +57,17 @@ pub enum FailureReport {
         /// How long the dispatcher waited for the queue to drain.
         waited: Duration,
     },
+    /// An interactive steering client stopped responding: the query
+    /// server stops waiting for its commands at step boundaries and the
+    /// run degrades to run-to-completion instead of blocking.
+    DeadSteering {
+        /// Interactive client id.
+        client: u64,
+        /// Bridge step at which the client was declared dead.
+        step: u64,
+        /// Bridge steps the server waited before giving up.
+        waited_steps: u64,
+    },
     /// An analysis adaptor reported a failure string through
     /// `AnalysisAdaptor::take_failures`.
     Analysis {
@@ -80,6 +91,7 @@ impl FailureReport {
             FailureReport::DeadWriter { .. } => "dead-writer",
             FailureReport::DeadMember { .. } => "dead-member",
             FailureReport::Eviction { .. } => "eviction",
+            FailureReport::DeadSteering { .. } => "dead-steering",
             FailureReport::Analysis { .. } => "analysis",
             FailureReport::Other { .. } => "other",
         }
@@ -121,6 +133,15 @@ impl std::fmt::Display for FailureReport {
                 "broker evicted slow consumer {consumer} from topic {topic}: queue full \
                  at seq {dropped_seq} after {waited:?} (delivered {delivered}, consumed \
                  {consumed})"
+            ),
+            FailureReport::DeadSteering {
+                client,
+                step,
+                waited_steps,
+            } => write!(
+                f,
+                "steering client {client} unresponsive at step {step} (no command for \
+                 {waited_steps} step(s)); running to completion without it"
             ),
             FailureReport::Analysis { analysis, detail } => write!(f, "{analysis}: {detail}"),
             FailureReport::Other { detail } => f.write_str(detail),
@@ -168,6 +189,11 @@ mod tests {
                 dropped_seq: 9,
                 waited: Duration::from_millis(20),
             },
+            FailureReport::DeadSteering {
+                client: 7,
+                step: 12,
+                waited_steps: 3,
+            },
             FailureReport::Analysis {
                 analysis: "histogram".into(),
                 detail: "unknown point array 'data'".into(),
@@ -179,7 +205,14 @@ mod tests {
         let kinds: Vec<&str> = reports.iter().map(|r| r.kind()).collect();
         assert_eq!(
             kinds,
-            ["dead-writer", "dead-member", "eviction", "analysis", "other"]
+            [
+                "dead-writer",
+                "dead-member",
+                "eviction",
+                "dead-steering",
+                "analysis",
+                "other"
+            ]
         );
     }
 

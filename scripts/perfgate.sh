@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Hot-path performance gate: rerun the measured hot paths and compare
 # the dimensionless metrics (speedups, auto-vs-best, sanitizer overhead,
-# arena allocation delta, broker fan-out, offload overlap efficiency and
-# transfer ratio) against the checked-in BENCH_hotpath.json,
-# BENCH_broker.json, and BENCH_offload.json. Only ratios are gated, so
-# the baseline recorded on one machine still gates runs on another.
+# arena allocation delta, broker fan-out, offload overlap efficiency
+# and transfer ratio, query serve fan-out) against the checked-in
+# BENCH_hotpath.json, BENCH_broker.json, BENCH_offload.json, and
+# BENCH_query.json. Only ratios are gated, so the baseline recorded on
+# one machine still gates runs on another.
 # Usage: scripts/perfgate.sh [extra perfgate args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -15,6 +15,13 @@
 //! * the whole run is deterministic: recording under
 //!   `SchedPolicy::Seeded` and replaying the trace under
 //!   `SchedPolicy::Replay` produces byte-identical RunReport JSON.
+//!
+//! The interactive endpoint (ISSUE 9) soaks alongside: **256 query
+//! clients** connect/disconnect mid-run on the same bridge, a batch of
+//! them never polls, and each slow query client must be evicted via
+//! an [`adios::EvictionRecord`] — surfacing through the same typed
+//! failure path — without ever stalling the publisher, while the
+//! per-topic fairness gauges stay bounded.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -37,6 +44,14 @@ const DROP_PER_ROUND: usize = 24;
 /// Clients that never drain — the broker must evict each one.
 const STALLED: usize = 16;
 const QUEUE_DEPTH: usize = 2;
+/// Interactive query clients joined before the run starts.
+const QUERY_INITIAL: usize = 32;
+/// Query clients joining per round: 32 + 8x28 = 256 total.
+const QUERY_JOIN_PER_ROUND: usize = 28;
+/// Query clients deliberately leaving per round.
+const QUERY_DROP_PER_ROUND: usize = 8;
+/// Query clients that never poll — each must be evicted.
+const QUERY_STALLED: usize = 8;
 
 /// One simulated analysis client.
 struct Client {
@@ -50,9 +65,22 @@ struct Client {
     dropped: bool,
 }
 
+/// One simulated interactive query client (subscription state lives in
+/// the query server; this tracks identity and churn intent).
+struct QueryClient {
+    id: u64,
+    label: String,
+    /// Never polls; must be evicted.
+    stalled: bool,
+    /// Deliberately left mid-run.
+    dropped: bool,
+}
+
 struct SoakState {
     clients: Vec<Client>,
     broker: StagingBroker,
+    query: query::QueryHandle,
+    query_clients: Vec<QueryClient>,
     rng: u64,
 }
 
@@ -126,6 +154,47 @@ impl AnalysisAdaptor for ChurnAnalysis {
             c.dropped = true;
             dropped += 1;
         }
+        // Interactive-client churn on the same bridge: joins, polls,
+        // and leaves against the query server's handle.
+        for i in 0..QUERY_JOIN_PER_ROUND {
+            let id = 10_000 + st.query_clients.len() as u64;
+            let label = format!("query-join-s{step}-{i:02}");
+            st.query
+                .join(
+                    id,
+                    query::Query::Summary {
+                        field: "data".into(),
+                    },
+                    label.as_str(),
+                )
+                .expect("query client admitted");
+            st.query_clients.push(QueryClient {
+                id,
+                label,
+                stalled: false,
+                dropped: false,
+            });
+        }
+        for c in st.query_clients.iter() {
+            if !c.stalled && !c.dropped {
+                st.query.poll(c.id);
+            }
+        }
+        let qn = st.query_clients.len();
+        let mut q_dropped = 0;
+        let mut attempts = 0;
+        while q_dropped < QUERY_DROP_PER_ROUND && attempts < 10_000 {
+            attempts += 1;
+            let pick = (xorshift(&mut st.rng) as usize) % qn;
+            let c = &mut st.query_clients[pick];
+            if c.stalled || c.dropped {
+                continue;
+            }
+            c.dropped = true;
+            q_dropped += 1;
+            let id = c.id;
+            st.query.leave(id);
+        }
         Steering::Continue
     }
 }
@@ -139,141 +208,230 @@ fn soak_run(policy: SchedPolicy, cell: Option<&TraceCell>) -> String {
     if let Some(cell) = cell {
         builder = builder.trace_cell(cell);
     }
-    let out = builder.run(move |world| match pair(world, 1) {
-        Role::Writer { sub, writer } => {
-            let cfg = SimConfig {
-                grid: GRID,
-                steps: STEPS,
-                ..SimConfig::default()
-            };
-            let mut sim = Simulation::new(&sub, cfg, Some(deck.as_str()));
-            let mut ship = AdiosWriterAnalysis::new(writer);
-            for _ in 0..STEPS {
-                sim.step(&sub);
-                // The transport addresses endpoint ranks globally.
-                ship.execute(&OscillatorAdaptor::new(&sim), world);
-            }
-            ship.finalize(world);
-            None
-        }
-        Role::Endpoint { sub, mut reader } => {
-            sub.attach_probe(probe::enabled());
-            let broker = StagingBroker::new(BrokerConfig {
-                queue_depth: QUEUE_DEPTH,
-                max_subscribers: 4096,
-                // Virtual-clock budget: each deadline poll advances the
-                // endpoint thread's clock by 0.1 µs, so 20 µs bounds the
-                // stall loop at ~200 polls before eviction.
-                eviction_deadline: Duration::from_micros(20),
-            });
-            let topic = TopicKey::new("data", 0);
-            let state = Arc::new(Mutex::new(SoakState {
-                clients: Vec::new(),
-                broker: broker.clone(),
-                rng: 0x9E37_79B9_7F4A_7C15,
-            }));
-            {
-                let mut st = state.lock();
-                for i in 0..INITIAL_CLIENTS {
-                    let stalled = i < STALLED;
-                    let label = if stalled {
-                        format!("stall-{i:02}")
-                    } else {
-                        format!("init-{i:03}")
-                    };
-                    let sub = broker
-                        .subscribe_labeled(topic.clone(), label.as_str())
-                        .expect("initial client admitted");
-                    st.clients.push(Client {
-                        label,
-                        sub,
-                        seen: Vec::new(),
-                        stalled,
-                        dropped: false,
-                    });
-                }
-            }
-            let churn = ChurnAnalysis {
-                state: Arc::clone(&state),
-            };
-            let (bridge, report) =
-                run_endpoint_with_broker(world, &sub, &mut reader, vec![Box::new(churn)], &broker);
-            assert_eq!(bridge.steps(), STEPS as u64);
-            assert_eq!(broker.published(&topic), STEPS as u64);
-
-            let st = state.lock();
-            assert!(
-                st.clients.len() >= 1000,
-                "soak needs 1k+ clients, got {}",
-                st.clients.len()
-            );
-            let mut evicted = 0;
-            for c in &st.clients {
-                let stats = c.sub.stats();
-                if c.stalled {
-                    assert!(c.sub.is_evicted(), "stalled client {} not evicted", c.label);
-                    assert!(c.seen.is_empty());
-                    evicted += 1;
-                    continue;
-                }
-                // Zero lost steps: consumed seqs are contiguous from the
-                // admission point; clients alive at the end saw every
-                // step through the last one published.
-                let end = if c.dropped {
-                    stats.joined_seq + c.seen.len() as u64
-                } else {
-                    STEPS as u64
+    let out =
+        builder.run(move |world| match pair(world, 1) {
+            Role::Writer { sub, writer } => {
+                let cfg = SimConfig {
+                    grid: GRID,
+                    steps: STEPS,
+                    ..SimConfig::default()
                 };
-                let want: Vec<u64> = (stats.joined_seq..end).collect();
-                assert_eq!(c.seen, want, "client {} lost/reordered steps", c.label);
-                if !c.dropped {
-                    assert!(c.sub.is_eos(), "live client {} missed EOS", c.label);
+                let mut sim = Simulation::new(&sub, cfg, Some(deck.as_str()));
+                let mut ship = AdiosWriterAnalysis::new(writer);
+                for _ in 0..STEPS {
+                    sim.step(&sub);
+                    // The transport addresses endpoint ranks globally.
+                    ship.execute(&OscillatorAdaptor::new(&sim), world);
                 }
+                ship.finalize(world);
+                None
             }
-            assert_eq!(evicted, STALLED);
-
-            // Every evicted consumer surfaces by label in the bridge's
-            // failure reports — and nothing else does (the writer
-            // closed cleanly).
-            let failures = bridge.failure_reports();
-            assert_eq!(
-                failures.len(),
-                STALLED,
-                "one eviction report per stalled client: {failures:?}"
-            );
-            for i in 0..STALLED {
-                let label = format!("stall-{i:02}");
-                assert!(
-                    failures.iter().any(|f| {
-                        f.kind() == "eviction"
-                            && matches!(f, sensei::FailureReport::Eviction { consumer, .. }
-                                if *consumer == label)
-                    }),
-                    "missing eviction report for {label}: {failures:?}"
+            Role::Endpoint { sub, mut reader } => {
+                sub.attach_probe(probe::enabled());
+                let broker = StagingBroker::new(BrokerConfig {
+                    queue_depth: QUEUE_DEPTH,
+                    max_subscribers: 4096,
+                    // Virtual-clock budget: each deadline poll advances the
+                    // endpoint thread's clock by 0.1 µs, so 20 µs bounds the
+                    // stall loop at ~200 polls before eviction.
+                    eviction_deadline: Duration::from_micros(20),
+                });
+                let topic = TopicKey::new("data", 0);
+                // The interactive endpoint rides the same bridge: an empty
+                // script (all churn is dynamic via the handle), bounded
+                // response queues, and the same virtual-clock eviction
+                // budget as the staging broker.
+                let server = query::QueryServer::new(
+                    Arc::new(query::SessionScript::new()),
+                    query::QueryConfig {
+                        queue_depth: QUEUE_DEPTH,
+                        max_clients: 4096,
+                        eviction_deadline: Duration::from_micros(20),
+                        ..query::QueryConfig::default()
+                    },
                 );
+                let qhandle = server.handle();
+                let state = Arc::new(Mutex::new(SoakState {
+                    clients: Vec::new(),
+                    broker: broker.clone(),
+                    query: qhandle.clone(),
+                    query_clients: Vec::new(),
+                    rng: 0x9E37_79B9_7F4A_7C15,
+                }));
+                {
+                    let mut st = state.lock();
+                    for i in 0..QUERY_INITIAL {
+                        let stalled = i < QUERY_STALLED;
+                        let id = 10_000 + i as u64;
+                        let label = if stalled {
+                            format!("query-stall-{i:02}")
+                        } else {
+                            format!("query-init-{i:02}")
+                        };
+                        st.query
+                            .join(
+                                id,
+                                query::Query::Summary {
+                                    field: "data".into(),
+                                },
+                                label.as_str(),
+                            )
+                            .expect("initial query client admitted");
+                        st.query_clients.push(QueryClient {
+                            id,
+                            label,
+                            stalled,
+                            dropped: false,
+                        });
+                    }
+                    for i in 0..INITIAL_CLIENTS {
+                        let stalled = i < STALLED;
+                        let label = if stalled {
+                            format!("stall-{i:02}")
+                        } else {
+                            format!("init-{i:03}")
+                        };
+                        let sub = broker
+                            .subscribe_labeled(topic.clone(), label.as_str())
+                            .expect("initial client admitted");
+                        st.clients.push(Client {
+                            label,
+                            sub,
+                            seen: Vec::new(),
+                            stalled,
+                            dropped: false,
+                        });
+                    }
+                }
+                let churn = ChurnAnalysis {
+                    state: Arc::clone(&state),
+                };
+                let (bridge, report) = run_endpoint_with_broker(
+                    world,
+                    &sub,
+                    &mut reader,
+                    vec![Box::new(server), Box::new(churn)],
+                    &broker,
+                );
+                assert_eq!(bridge.steps(), STEPS as u64);
+                assert_eq!(broker.published(&topic), STEPS as u64);
+
+                let st = state.lock();
+                assert!(
+                    st.clients.len() >= 1000,
+                    "soak needs 1k+ clients, got {}",
+                    st.clients.len()
+                );
+                let mut evicted = 0;
+                for c in &st.clients {
+                    let stats = c.sub.stats();
+                    if c.stalled {
+                        assert!(c.sub.is_evicted(), "stalled client {} not evicted", c.label);
+                        assert!(c.seen.is_empty());
+                        evicted += 1;
+                        continue;
+                    }
+                    // Zero lost steps: consumed seqs are contiguous from the
+                    // admission point; clients alive at the end saw every
+                    // step through the last one published.
+                    let end = if c.dropped {
+                        stats.joined_seq + c.seen.len() as u64
+                    } else {
+                        STEPS as u64
+                    };
+                    let want: Vec<u64> = (stats.joined_seq..end).collect();
+                    assert_eq!(c.seen, want, "client {} lost/reordered steps", c.label);
+                    if !c.dropped {
+                        assert!(c.sub.is_eos(), "live client {} missed EOS", c.label);
+                    }
+                }
+                assert_eq!(evicted, STALLED);
+
+                // Interactive-client pins: all 256 query clients churned
+                // through, every never-polling one was evicted via an
+                // EvictionRecord, and the per-topic fairness gauge of the
+                // surviving clients stays at its bound (one bounded queue
+                // per client, drained whole).
+                let qc = &st.query_clients;
+                assert_eq!(qc.len(), QUERY_INITIAL + STEPS * QUERY_JOIN_PER_ROUND);
+                assert_eq!(qc.len(), 256, "soak covers 256 query clients");
+                let qevicted = qhandle.evictions();
+                assert_eq!(
+                    qevicted.len(),
+                    QUERY_STALLED,
+                    "each slow query client evicted exactly once: {qevicted:?}"
+                );
+                for c in qc.iter().filter(|c| c.stalled) {
+                    assert!(
+                        qevicted.iter().any(|r| r.label == c.label),
+                        "missing eviction record for {}",
+                        c.label
+                    );
+                }
+                assert_eq!(
+                    qhandle.fairness(),
+                    Some(1.0),
+                    "query fan-out fairness must stay at its bound"
+                );
+
+                // Every evicted consumer — staging subscriber or query
+                // client — surfaces by label in the bridge's failure
+                // reports, and nothing else does (the writer closed
+                // cleanly).
+                let failures = bridge.failure_reports();
+                assert_eq!(
+                    failures.len(),
+                    STALLED + QUERY_STALLED,
+                    "one eviction report per stalled consumer: {failures:?}"
+                );
+                let eviction_labels: Vec<String> = (0..STALLED)
+                    .map(|i| format!("stall-{i:02}"))
+                    .chain((0..QUERY_STALLED).map(|i| format!("query-stall-{i:02}")))
+                    .collect();
+                for label in &eviction_labels {
+                    assert!(
+                        failures.iter().any(|f| {
+                            f.kind() == "eviction"
+                                && matches!(f, sensei::FailureReport::Eviction { consumer, .. }
+                                if consumer == label)
+                        }),
+                        "missing eviction report for {label}: {failures:?}"
+                    );
+                }
+
+                // Queue bound held: the dispatcher's high-water gauge never
+                // exceeded the configured depth, and the eviction counter
+                // matches the stalled population.
+                let gauge = report
+                    .gauges
+                    .iter()
+                    .find(|g| g.name == "broker/data#0/queue_peak")
+                    .expect("queue-peak gauge in the endpoint report");
+                assert!(
+                    gauge.max <= QUEUE_DEPTH as u64,
+                    "queue bound violated: {} > {QUEUE_DEPTH}",
+                    gauge.max
+                );
+                // Staging and query evictions share the counter surface.
+                let ev = report
+                    .counter("broker/evictions")
+                    .expect("eviction counter in the endpoint report");
+                assert_eq!(ev.calls, (STALLED + QUERY_STALLED) as u64);
+                // Query response queues honored the same bound.
+                for g in report.gauges.iter().filter(|g| {
+                    g.name.starts_with("broker/query/") && g.name.ends_with("queue_peak")
+                }) {
+                    assert!(
+                        g.max <= QUEUE_DEPTH as u64,
+                        "query queue bound violated by {}: {} > {QUEUE_DEPTH}",
+                        g.name,
+                        g.max
+                    );
+                }
+
+                Some(report.to_json())
             }
-
-            // Queue bound held: the dispatcher's high-water gauge never
-            // exceeded the configured depth, and the eviction counter
-            // matches the stalled population.
-            let gauge = report
-                .gauges
-                .iter()
-                .find(|g| g.name == "broker/data#0/queue_peak")
-                .expect("queue-peak gauge in the endpoint report");
-            assert!(
-                gauge.max <= QUEUE_DEPTH as u64,
-                "queue bound violated: {} > {QUEUE_DEPTH}",
-                gauge.max
-            );
-            let ev = report
-                .counter("broker/evictions")
-                .expect("eviction counter in the endpoint report");
-            assert_eq!(ev.calls, STALLED as u64);
-
-            Some(report.to_json())
-        }
-    });
+        });
     out.into_iter().flatten().next().expect("endpoint report")
 }
 

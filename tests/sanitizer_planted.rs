@@ -212,7 +212,11 @@ fn wrong_space_access_is_reported_as_a_missing_transfer() {
     assert!(
         clean.findings().is_empty(),
         "snapshotted device read must be clean, got: {:#?}",
-        clean.findings().iter().map(|f| f.to_string()).collect::<Vec<_>>()
+        clean
+            .findings()
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
     );
 }
 

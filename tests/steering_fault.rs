@@ -1,0 +1,119 @@
+//! Steering-channel fault injection (ISSUE 9 satellite).
+//!
+//! The write-back steering channel must never hold the simulation
+//! hostage: when the steering client dies mid-run — modeled here by
+//! severing its link on the fault switchboard — the bridge degrades to
+//! run-to-completion with a `dead-steering` [`sensei::FailureReport`]
+//! entry in the final RunReport, instead of blocking at the step
+//! boundary waiting for a command that will never arrive.
+
+use std::sync::Arc;
+
+use minimpi::{FaultHandle, SchedPolicy, WorldBuilder};
+use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
+use query::{Action, Query, QueryConfig, QueryServer, SessionScript, SteerCommand, SteeringWatch};
+use sensei::Bridge;
+
+const GRID: [usize; 3] = [9, 9, 9];
+const STEPS: usize = 5;
+/// The steering client's pseudo-slot on the fault switchboard: outside
+/// the 2-rank world, so severing it never touches rank-to-rank links.
+const CLIENT_SLOT: usize = 2;
+/// Step boundary after which the client's link is severed.
+const SEVER_AFTER: u64 = 1;
+
+#[test]
+fn dead_steering_client_degrades_to_run_to_completion() {
+    let deck = format_deck(&demo_oscillators());
+    let faults = FaultHandle::new();
+    let faults2 = faults.clone();
+    // The client heartbeats through the boundaries before the cut; the
+    // generous grace window proves death is attributed to the severed
+    // link, not to scripted silence.
+    let script = SessionScript::new()
+        .at(
+            0,
+            7,
+            Action::Register(Query::Summary {
+                field: "data".into(),
+            }),
+        )
+        .at(0, 7, Action::Steer(SteerCommand::Heartbeat))
+        .at(1, 7, Action::Steer(SteerCommand::Heartbeat));
+    let out = WorldBuilder::new(2)
+        .sched(SchedPolicy::Seeded(21))
+        .fault_handle(faults.clone())
+        .run(move |comm| {
+            let cfg = SimConfig {
+                grid: GRID,
+                steps: STEPS,
+                ..SimConfig::default()
+            };
+            let root = if comm.rank() == 0 {
+                Some(deck.as_str())
+            } else {
+                None
+            };
+            let mut sim = Simulation::new(comm, cfg, root);
+            // Only the serving rank watches the steering channel.
+            let watch = (comm.rank() == 0).then(|| SteeringWatch {
+                client: 7,
+                peer_slot: CLIENT_SLOT,
+                home_slot: 0,
+                grace_steps: 100,
+                faults: Some(faults2.clone()),
+            });
+            let server = QueryServer::new(
+                Arc::new(script.clone()),
+                QueryConfig {
+                    steering_watch: watch,
+                    ..QueryConfig::default()
+                },
+            );
+            let handle = server.handle();
+            let mut bridge = Bridge::new();
+            bridge.register(Box::new(server));
+            for step in 0..STEPS as u64 {
+                sim.step(comm);
+                // The dead client must not block the boundary: every
+                // execute returns promptly with a Continue verdict.
+                assert!(bridge
+                    .execute(&OscillatorAdaptor::new(&sim), comm)
+                    .should_continue());
+                if comm.rank() == 0 {
+                    handle.poll_all();
+                    if step == SEVER_AFTER {
+                        faults2.drop_link(CLIENT_SLOT, 0);
+                    }
+                }
+            }
+            let report = bridge.finalize(comm);
+            if comm.rank() == 0 {
+                Some((report, handle.responses_published()))
+            } else {
+                None
+            }
+        });
+    let (report, responses) = out.into_iter().flatten().next().expect("rank 0 report");
+
+    // Run-to-completion: every step boundary executed and the query
+    // fan-out kept serving after the steering client died.
+    assert_eq!(report.steps, STEPS as u64);
+    assert_eq!(responses, STEPS as u64, "one summary per step, all steps");
+
+    // The death is forensic, not fatal: exactly one dead-steering
+    // failure entry, recorded by the serving rank, naming the client.
+    let dead: Vec<_> = report
+        .failures
+        .iter()
+        .filter(|f| f.kind == "dead-steering")
+        .collect();
+    assert_eq!(dead.len(), 1, "{:?}", report.failures);
+    assert_eq!(dead[0].rank, 0);
+    assert!(
+        dead[0].detail.contains("steering client 7")
+            && dead[0].detail.contains("running to completion"),
+        "detail: {}",
+        dead[0].detail
+    );
+}
