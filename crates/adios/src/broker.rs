@@ -498,6 +498,10 @@ impl<T: Send + Sync + 'static> Broker<T> {
                     }
                     break;
                 }
+                // Under a scheduled world each poll is a spin at a
+                // yield point, so the liveness checker can flag a
+                // publisher stuck behind a consumer that never drains.
+                minimpi::sched::yield_point();
                 if !probe::time::is_virtual() {
                     std::thread::sleep(Duration::from_micros(50));
                 }

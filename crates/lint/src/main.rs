@@ -24,10 +24,10 @@
 //!   pattern, which R4 would reject anyway). `Arc`, atomics, and
 //!   `OnceLock` are fine.
 //! * **R4 no-unwrap-core** — no `.unwrap()`/`.expect(` in non-test
-//!   code of `minimpi`, `datamodel`, `sensei`, `science`, `adios`, and
-//!   `glean`: the substrate and the staging/aggregation data paths
-//!   must surface failures as typed errors or structured panics (the
-//!   monitor/scheduler reports), never ad-hoc unwraps.
+//!   code of `minimpi`, `datamodel`, `sensei`, `science`, `adios`,
+//!   `glean`, and `query`: the substrate and the staging/aggregation
+//!   data paths must surface failures as typed errors or structured
+//!   panics (the monitor/scheduler reports), never ad-hoc unwraps.
 //! * **R5 space-checked-access** — no raw `.typed_slice`/
 //!   `.component_slice(` on arrays outside `datamodel`: those
 //!   accessors bypass the memory-space check, so a device-resident
@@ -35,6 +35,17 @@
 //!   use `as_slice_in`/`component_slice_in`/`values_in`, which return
 //!   a typed wrong-space error instead. Skips shims, tests, and
 //!   benches.
+//! * **R6 obligation** — protocol acquire/release calls must pair
+//!   inside one function, matching what the sanitizer's obligation
+//!   registry checks at `Bridge::finalize`: a `publish_dataset(` call
+//!   must bind its RAII guard with a `let` (an unbound guard drops —
+//!   and closes the window — immediately, silently disabling the
+//!   use-after-publish check); a `.enable_offload(` call site must
+//!   also name `finalize` or `shutdown_offload`; a `QueryHandle` join
+//!   (`.join(` with arguments, in files that mention `QueryHandle`)
+//!   must pair with `.leave(` or `finalize`. Skips shims, tests, and
+//!   benches; `datamodel` (which defines the guard) is exempt from
+//!   the publish leg.
 //!
 //! Test code is exempt from R2/R4/R5: `tests/`/`benches/` directories,
 //! `fixtures/`, and `#[cfg(test)]` regions (tracked by brace depth).
@@ -95,6 +106,7 @@ fn in_core_crate(path: &Path) -> bool {
         "science",
         "adios",
         "glean",
+        "query",
     ]
     .iter()
     .any(|c| under_dir(path, c))
@@ -222,6 +234,86 @@ fn check_file(path: &Path, source: &str, out: &mut Vec<Violation>) {
                             "`{needle}` outside datamodel bypasses the memory-space check — \
                              use as_slice_in/component_slice_in/values_in"
                         ),
+                    });
+                }
+            }
+        }
+    }
+
+    // R6: protocol-obligation pairing, checked per function body. The
+    // sanitizer's obligation registry catches these leaks at runtime
+    // (when it is on); this rule catches the static shape — acquire
+    // without a paired release in the same function — everywhere.
+    if !in_shims && !file_is_test {
+        let mentions_query_handle = code.contains("QueryHandle");
+        for &(start, end) in &scan::fn_regions(&code_lines) {
+            if in_test.get(start).copied().unwrap_or(false) {
+                continue;
+            }
+            let body = &code_lines[start..=end];
+            let has = |needle: &str| body.iter().any(|l| l.contains(needle));
+            for (k, &line) in body.iter().enumerate() {
+                let lineno = start + k + 1;
+                // Publish windows: the guard must be `let`-bound, or
+                // it drops at end of statement and the window closes
+                // before anything is checked against it. The binding
+                // may sit a few lines up (`let _w = if active() {`).
+                if !under_dir(path, "datamodel")
+                    && line.contains("publish_dataset(")
+                    && !line.contains("fn publish_dataset")
+                {
+                    let mut bound = line.contains("let ");
+                    let mut m = k;
+                    while !bound && m > 0 && k - m < 6 {
+                        m -= 1;
+                        let prev = body[m].trim_end();
+                        if prev.contains("let ") {
+                            bound = true;
+                        } else if prev.ends_with(';') {
+                            break;
+                        }
+                    }
+                    if !bound {
+                        out.push(Violation {
+                            rule: "obligation",
+                            path: path.to_path_buf(),
+                            line: lineno,
+                            message: "`publish_dataset(` guard not bound with `let` — \
+                                      an unbound guard closes the window immediately"
+                                .into(),
+                        });
+                    }
+                }
+                // Offload pools: whoever turns the executor on must
+                // also reach the drain/teardown path.
+                if line.contains(".enable_offload(") && !has("finalize") && !has("shutdown_offload")
+                {
+                    out.push(Violation {
+                        rule: "obligation",
+                        path: path.to_path_buf(),
+                        line: lineno,
+                        message: "`.enable_offload(` without `finalize`/`shutdown_offload` \
+                                  in the same function — offload workers never drained"
+                            .into(),
+                    });
+                }
+                // Query clients: a join must pair with a leave (or the
+                // server finalize). Gated to files that actually use
+                // QueryHandle so slice/path `.join(...)` stays quiet;
+                // `.join()` (thread handles) takes no arguments.
+                if mentions_query_handle
+                    && line.contains(".join(")
+                    && !line.contains(".join()")
+                    && !has(".leave(")
+                    && !has("finalize")
+                {
+                    out.push(Violation {
+                        rule: "obligation",
+                        path: path.to_path_buf(),
+                        line: lineno,
+                        message: "`QueryHandle` `.join(` without `.leave(`/`finalize` in \
+                                  the same function — client registration never released"
+                            .into(),
                     });
                 }
             }

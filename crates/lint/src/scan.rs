@@ -189,6 +189,77 @@ pub fn test_region_lines(lines: &[&str]) -> Vec<bool> {
     out
 }
 
+/// Function-body line ranges (inclusive, 0-based), found by tracking
+/// brace depth from each `fn` item header in the (stripped) source.
+/// Nested functions and closures stay inside their containing range —
+/// R6 pairs acquire/release per *outermost* function, which is where
+/// an RAII guard or finalize call discharges the obligation. Trait
+/// method declarations (`fn f(...);`) have no body and no range.
+/// Is this line a `fn` *item* header? The keyword must be followed by
+/// an identifier (`fn name…`), which excludes fn-pointer types
+/// (`fn(usize)`) and the `Fn(...)` closure traits.
+fn is_fn_header(line: &str) -> bool {
+    let mut start = 0usize;
+    while let Some(pos) = line[start..].find("fn ") {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let rest = line[at + 3..].trim_start();
+        if before_ok
+            && rest
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            return true;
+        }
+        start = at + 3;
+    }
+    false
+}
+
+pub fn fn_regions(lines: &[&str]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < lines.len() {
+        if !is_fn_header(lines[i]) {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut started = false;
+        let mut j = i;
+        while j < lines.len() {
+            for c in lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        started = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if started && depth <= 0 {
+                break;
+            }
+            // Bodyless declaration (trait method, extern item).
+            if !started && lines[j].trim_end().ends_with(';') {
+                break;
+            }
+            j += 1;
+        }
+        if started {
+            out.push((i, j.min(lines.len() - 1)));
+        }
+        i = j + 1;
+    }
+    out
+}
+
 /// Does `hay` contain `needle` as a whole identifier (not a fragment
 /// of a longer `ident_like_this`)?
 fn has_word(hay: &str, needle: &str) -> bool {
@@ -322,6 +393,23 @@ mod tests {
         assert!(!has_unsafe_intro("unsafe impl Send for X {}"));
         assert!(!has_unsafe_intro("deny(unsafe_op_in_unsafe_fn)"));
         assert!(!has_unsafe_intro("// nothing here"));
+    }
+
+    #[test]
+    fn fn_regions_span_bodies_and_skip_declarations() {
+        let lines = vec![
+            "struct S { f: fn(usize) -> bool }", // 0: pointer type, not a header
+            "trait T {",                         // 1
+            "    fn decl(&self);",               // 2: bodyless
+            "}",                                 // 3
+            "pub fn outer(x: u32) -> u32 {",     // 4
+            "    let g = |y| y + 1;",            // 5
+            "    fn inner(z: u32) -> u32 { z }", // 6: nested, stays inside
+            "    g(inner(x))",                   // 7
+            "}",                                 // 8
+            "fn after() {}",                     // 9
+        ];
+        assert_eq!(fn_regions(&lines), vec![(4, 8), (9, 9)]);
     }
 
     #[test]

@@ -40,13 +40,18 @@ mod ops;
 mod world;
 
 pub mod collectives;
+pub mod dpor;
 pub mod sched;
 
 pub use comm::Comm;
+pub use dpor::{CheckFailure, CheckReport, CheckStats, Checker};
 pub use envelope::{CollectiveKind, Envelope, Tag, ANY_SOURCE};
 pub use fault::FaultHandle;
 pub use ops::{maxloc, minloc, MaxLoc, MinLoc};
-pub use sched::{Event, ExploreFailure, Explorer, SchedPolicy, Trace, TraceCell};
+pub use sched::{
+    Event, ExploreBudget, ExploreFailure, Explorer, Guide, LivenessSpec, SchedPolicy, Trace,
+    TraceCell,
+};
 pub use world::{World, WorldBuilder};
 
 /// Crate-level result alias (operations that can fail on malformed use).

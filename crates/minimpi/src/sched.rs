@@ -55,6 +55,147 @@ pub enum SchedPolicy {
     /// trace and every emitted event is verified against it; the first
     /// divergence panics with a diff.
     Replay(Trace),
+    /// Systematic exploration: a forced decision prefix steers the run
+    /// down one branch of the schedule tree, and past the prefix a
+    /// deterministic fair round-robin default takes over. Every
+    /// decision (its enabled set and the value chosen) is recorded in
+    /// the guide's [`DecisionLog`] so the DPOR explorer
+    /// ([`crate::dpor::Checker`]) can compute backtrack points. The
+    /// round-robin default is *fair*: no enabled rank is skipped more
+    /// than a full rotation, so a liveness finding under this policy is
+    /// a program bug, not scheduler-induced starvation.
+    Guided(Guide),
+}
+
+/// The kind of a recorded scheduling decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// Which runnable world slot received the turn token.
+    Run,
+    /// Which communicator-local source an `ANY_SOURCE` receive on
+    /// world slot `slot` matched.
+    Match {
+        /// Receiving world slot.
+        slot: usize,
+    },
+}
+
+/// One scheduling decision a guided run made: the choices that were
+/// enabled, the one taken, and where in the delivery trace it landed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// What was being decided.
+    pub kind: DecisionKind,
+    /// The enabled choice values (world slots for [`DecisionKind::Run`],
+    /// communicator-local sources for [`DecisionKind::Match`]), in
+    /// deterministic order.
+    pub enabled: Vec<usize>,
+    /// The value chosen.
+    pub chosen: usize,
+    /// Index into [`Trace::events`] at the instant of the decision (the
+    /// chosen slot's actions land at and after this position).
+    pub trace_pos: usize,
+}
+
+/// Shared log of every decision a [`SchedPolicy::Guided`] run made.
+/// Clones share the log; take the records after the world joins.
+#[derive(Clone, Default)]
+pub struct DecisionLog {
+    inner: Arc<Mutex<DecisionLogState>>,
+}
+
+#[derive(Default)]
+struct DecisionLogState {
+    records: Vec<DecisionRecord>,
+    divergences: usize,
+}
+
+impl DecisionLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take the recorded decisions and the count of prefix divergences
+    /// (forced choices that were not enabled when their turn came),
+    /// leaving the log empty.
+    pub fn take(&self) -> (Vec<DecisionRecord>, usize) {
+        let mut st = self.inner.lock();
+        (
+            std::mem::take(&mut st.records),
+            std::mem::take(&mut st.divergences),
+        )
+    }
+
+    fn push(&self, record: DecisionRecord) {
+        self.inner.lock().records.push(record);
+    }
+
+    fn mark_divergence(&self) {
+        self.inner.lock().divergences += 1;
+    }
+}
+
+/// Steering input for a [`SchedPolicy::Guided`] run: a forced decision
+/// prefix (chosen *values*, one per decision point) plus the shared
+/// [`DecisionLog`] the run records into.
+#[derive(Clone, Default)]
+pub struct Guide {
+    prefix: Arc<Vec<usize>>,
+    log: DecisionLog,
+}
+
+impl Guide {
+    /// A guide forcing the first `prefix.len()` decisions to the given
+    /// choice values (a forced value that is not enabled at its
+    /// decision point is skipped and counted as a divergence).
+    pub fn new(prefix: Vec<usize>) -> Guide {
+        Guide {
+            prefix: Arc::new(prefix),
+            log: DecisionLog::new(),
+        }
+    }
+
+    /// A handle on the log this guide's run records into.
+    pub fn log(&self) -> DecisionLog {
+        self.log.clone()
+    }
+}
+
+impl std::fmt::Debug for Guide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Guide {{ prefix: {:?} }}", self.prefix)
+    }
+}
+
+/// Bounded-fairness liveness thresholds for a scheduled world. All
+/// counts are in scheduling decisions (turn-token grants), so breaches
+/// are deterministic and replay exactly: re-running a recorded trace
+/// under the same spec aborts at the same event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LivenessSpec {
+    /// Abort once this many scheduling decisions have been made with
+    /// unfinished ranks (livelock / starvation backstop).
+    pub max_decisions: u64,
+    /// Abort when one rank passes this many consecutive
+    /// [`yield_point`] spins without making progress (a send, match,
+    /// or interactive event resets the count) — the backpressure
+    /// publisher-spinning-forever shape.
+    pub spin_limit: u64,
+    /// When the decision budget trips, a live rank that made no
+    /// progress in this many trailing decisions while others kept
+    /// progressing is reported as starved.
+    pub starvation_window: u64,
+}
+
+impl Default for LivenessSpec {
+    fn default() -> Self {
+        LivenessSpec {
+            max_decisions: 20_000,
+            spin_limit: 2_000,
+            starvation_window: 1_000,
+        }
+    }
 }
 
 /// One entry of a delivery trace.
@@ -303,7 +444,26 @@ enum Status {
 
 enum Mode {
     Seeded(StdRng),
-    Replay { recorded: Vec<Event>, pos: usize },
+    Replay {
+        recorded: Vec<Event>,
+        pos: usize,
+    },
+    Guided {
+        guide: Guide,
+        /// Next decision index (consumes the guide's prefix).
+        pos: usize,
+        /// Fair round-robin rotor: the slot the default policy tries
+        /// first at the next run decision.
+        rotor: usize,
+    },
+}
+
+/// Which liveness threshold tripped.
+enum LivenessBreach {
+    /// The global decision budget ran out with unfinished ranks.
+    Budget,
+    /// This slot hit the consecutive-spin limit at a [`yield_point`].
+    Spin(usize),
 }
 
 struct State {
@@ -319,9 +479,19 @@ struct State {
     /// and by deadline expiry at quiescence.
     vclock_nanos: u64,
     trace: Trace,
-    /// Set when the world must abort (exact deadlock or replay
-    /// divergence). Every waiting rank panics with this message.
+    /// Set when the world must abort (exact deadlock, replay
+    /// divergence, or liveness breach). Every waiting rank panics with
+    /// this message.
     abort: Option<String>,
+    /// Bounded-fairness thresholds, when liveness analysis is on.
+    liveness: Option<LivenessSpec>,
+    /// Scheduling decisions made so far (turn-token grants).
+    decisions: u64,
+    /// Per-slot consecutive [`yield_point`] spins without progress.
+    spin_counts: Vec<u64>,
+    /// Per-slot decision count at the last progress event (send,
+    /// match, or interactive).
+    last_progress: Vec<u64>,
 }
 
 /// The serialized deterministic scheduler shared by every rank of one
@@ -339,7 +509,11 @@ impl Sched {
     /// # Panics
     /// Panics when handed [`SchedPolicy::Os`] — an OS-scheduled world
     /// has no engine.
-    pub(crate) fn new(size: usize, policy: &SchedPolicy) -> Arc<Sched> {
+    pub(crate) fn new(
+        size: usize,
+        policy: &SchedPolicy,
+        liveness: Option<LivenessSpec>,
+    ) -> Arc<Sched> {
         let (mode, seed) = match policy {
             SchedPolicy::Os => panic!("SchedPolicy::Os has no scheduler engine"),
             SchedPolicy::Seeded(seed) => (Mode::Seeded(StdRng::seed_from_u64(*seed)), Some(*seed)),
@@ -349,6 +523,14 @@ impl Sched {
                     pos: 0,
                 },
                 trace.seed,
+            ),
+            SchedPolicy::Guided(guide) => (
+                Mode::Guided {
+                    guide: guide.clone(),
+                    pos: 0,
+                    rotor: 0,
+                },
+                None,
             ),
         };
         Arc::new(Sched {
@@ -364,6 +546,10 @@ impl Sched {
                     events: Vec::new(),
                 },
                 abort: None,
+                liveness,
+                decisions: 0,
+                spin_counts: vec![0; size],
+                last_progress: vec![0; size],
             }),
             cv: Condvar::new(),
         })
@@ -438,8 +624,17 @@ impl Sched {
     pub(crate) fn choose_match(&self, slot: usize, candidates: &[usize], tag: Tag) -> usize {
         debug_assert!(!candidates.is_empty());
         let mut s = self.state.lock();
+        let trace_pos = s.trace.events.len();
         let src = match &mut s.mode {
             Mode::Seeded(rng) => candidates[rng.gen_range(0..candidates.len())],
+            Mode::Guided { guide, pos, .. } => guided_choice(
+                guide,
+                pos,
+                candidates,
+                candidates[0],
+                DecisionKind::Match { slot },
+                trace_pos,
+            ),
             Mode::Replay { recorded, pos } => match recorded.get(*pos) {
                 Some(Event::Match {
                     slot: r_slot,
@@ -552,8 +747,32 @@ impl Sched {
             self.resolve_quiescence(s);
             return;
         }
+        s.decisions += 1;
+        if let Some(spec) = s.liveness {
+            if spec.max_decisions > 0 && s.decisions > spec.max_decisions {
+                let report = self.liveness_report(s, LivenessBreach::Budget);
+                self.raise_abort(s, report);
+                return;
+            }
+        }
+        let size = s.status.len();
+        let trace_pos = s.trace.events.len();
         let slot = match &mut s.mode {
             Mode::Seeded(rng) => runnable[rng.gen_range(0..runnable.len())],
+            Mode::Guided { guide, pos, rotor } => {
+                // Fair round-robin default: the first enabled slot at or
+                // cyclically after the rotor, so no enabled rank waits
+                // more than one full rotation.
+                let start = *rotor;
+                let fair = (0..size)
+                    .map(|k| (start + k) % size)
+                    .find(|slot| runnable.contains(slot))
+                    .unwrap_or(runnable[0]);
+                let chosen =
+                    guided_choice(guide, pos, &runnable, fair, DecisionKind::Run, trace_pos);
+                *rotor = (chosen + 1) % size;
+                chosen
+            }
             Mode::Replay { recorded, pos } => match recorded.get(*pos) {
                 Some(Event::Run { slot }) if runnable.contains(slot) => *slot,
                 other => {
@@ -618,6 +837,18 @@ impl Sched {
                 }
             }
         }
+        // A send, match, or interactive event is progress for its
+        // actor: reset the spin count and stamp the liveness window.
+        // Merely being granted the token (Run) is not progress.
+        let actor = match &event {
+            Event::Send { from, .. } => Some(*from),
+            Event::Match { slot, .. } | Event::Interactive { slot, .. } => Some(*slot),
+            Event::Run { .. } => None,
+        };
+        if let Some(actor) = actor {
+            s.spin_counts[actor] = 0;
+            s.last_progress[actor] = s.decisions;
+        }
         s.trace.events.push(event);
     }
 
@@ -675,6 +906,101 @@ impl Sched {
         report
     }
 
+    /// A cooperative spin from [`yield_point`]: count it against the
+    /// slot's spin limit, then hand the token around (an ordinary run
+    /// decision, so guided/replayed schedules see it like any other
+    /// scheduling point).
+    fn spin_yield(&self, slot: usize) {
+        let mut s = self.state.lock();
+        if s.current != Some(slot) {
+            // Defensive: a yield from a thread that does not hold the
+            // token (e.g. an offload worker) is a no-op.
+            return;
+        }
+        s.spin_counts[slot] = s.spin_counts[slot].saturating_add(1);
+        if let Some(spec) = s.liveness {
+            if spec.spin_limit > 0 && s.spin_counts[slot] >= spec.spin_limit {
+                let report = self.liveness_report(&s, LivenessBreach::Spin(slot));
+                self.raise_abort(&mut s, report.clone());
+                drop(s);
+                panic!("{report}");
+            }
+        }
+        self.reschedule(s, slot);
+    }
+
+    /// Compose a liveness-violation report: the breach headline plus
+    /// every rank's progress state. Deterministic (decision counts, no
+    /// wall clock), so a replayed trace reproduces it verbatim.
+    fn liveness_report(&self, s: &State, breach: LivenessBreach) -> String {
+        let spec = s.liveness.unwrap_or_default();
+        let headline = match breach {
+            LivenessBreach::Spin(slot) => format!(
+                "livelock: world rank {slot} spun {} consecutive scheduling points without \
+                 making progress (spin limit {}; a backpressure loop that never drains?)",
+                s.spin_counts[slot], spec.spin_limit
+            ),
+            LivenessBreach::Budget => {
+                let horizon = s.decisions.saturating_sub(spec.starvation_window);
+                let mut starved: Vec<usize> = Vec::new();
+                let mut progressing = false;
+                let mut unfinished = 0usize;
+                for (slot, st) in s.status.iter().enumerate() {
+                    if matches!(st, Status::Finished) {
+                        continue;
+                    }
+                    unfinished += 1;
+                    if s.last_progress[slot] <= horizon {
+                        starved.push(slot);
+                    } else {
+                        progressing = true;
+                    }
+                }
+                if spec.starvation_window > 0 && progressing && !starved.is_empty() {
+                    format!(
+                        "starvation: world rank(s) {starved:?} made no progress for {} \
+                         scheduling points while other ranks kept running (budget {} decisions)",
+                        spec.starvation_window, spec.max_decisions
+                    )
+                } else {
+                    format!(
+                        "livelock: scheduling budget of {} decisions exhausted with {unfinished} \
+                         rank(s) unfinished",
+                        spec.max_decisions
+                    )
+                }
+            }
+        };
+        let seed = match s.trace.seed {
+            Some(seed) => format!(" (seed {seed})"),
+            None => String::new(),
+        };
+        let mut report = format!("minimpi sched: liveness violation{seed} — {headline}");
+        for (slot, st) in s.status.iter().enumerate() {
+            let state = match st {
+                Status::Finished => "finished".to_string(),
+                Status::Runnable => "runnable".to_string(),
+                Status::Blocked(info) => {
+                    let src = if info.src == crate::ANY_SOURCE {
+                        "any source".to_string()
+                    } else {
+                        format!("src {}", info.src)
+                    };
+                    format!(
+                        "blocked waiting for {src}, tag {} ({} pending)",
+                        info.tag,
+                        info.pending.len()
+                    )
+                }
+            };
+            report.push_str(&format!(
+                "\n  world rank {slot}: {state}; last progress at decision {}/{}; spin count {}",
+                s.last_progress[slot], s.decisions, s.spin_counts[slot]
+            ));
+        }
+        report
+    }
+
     fn raise_abort(&self, s: &mut State, msg: String) {
         if s.abort.is_none() {
             s.abort = Some(msg);
@@ -697,6 +1023,76 @@ impl Drop for SchedFinishGuard {
     }
 }
 
+/// Resolve one guided decision: consume the forced prefix while it
+/// lasts (skipping, and counting, forced values that are not enabled),
+/// fall back to the deterministic default past it, and record the
+/// decision in the guide's log.
+fn guided_choice(
+    guide: &Guide,
+    pos: &mut usize,
+    enabled: &[usize],
+    default: usize,
+    kind: DecisionKind,
+    trace_pos: usize,
+) -> usize {
+    let idx = *pos;
+    *pos += 1;
+    let mut chosen = default;
+    if let Some(&forced) = guide.prefix.get(idx) {
+        if enabled.contains(&forced) {
+            chosen = forced;
+        } else {
+            guide.log.mark_divergence();
+        }
+    }
+    guide.log.push(DecisionRecord {
+        kind,
+        enabled: enabled.to_vec(),
+        chosen,
+        trace_pos,
+    });
+    chosen
+}
+
+thread_local! {
+    /// The scheduler and world slot of the rank running on this thread,
+    /// installed for the lifetime of the rank closure so library code
+    /// (e.g. the staging broker's backpressure loop) can reach the
+    /// scheduler without threading it through every call.
+    static THREAD_SCHED: std::cell::RefCell<Option<(Arc<Sched>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Installs this thread's scheduler handle; the guard uninstalls it.
+pub(crate) struct ThreadSchedGuard;
+
+pub(crate) fn install_thread(sched: &Arc<Sched>, slot: usize) -> ThreadSchedGuard {
+    THREAD_SCHED.with(|t| *t.borrow_mut() = Some((Arc::clone(sched), slot)));
+    ThreadSchedGuard
+}
+
+impl Drop for ThreadSchedGuard {
+    fn drop(&mut self) {
+        THREAD_SCHED.with(|t| *t.borrow_mut() = None);
+    }
+}
+
+/// Cooperative scheduling point for spin/backpressure loops.
+///
+/// Inside a deterministically scheduled world this hands the turn
+/// token around (so other ranks can make the progress the spinner is
+/// waiting for) and counts the spin against the world's
+/// [`LivenessSpec::spin_limit`] — a loop that spins past the limit is
+/// reported as a livelock with a replayable trace. Outside a scheduled
+/// world (OS policy, helper threads such as offload workers) it is a
+/// no-op, so library code can call it unconditionally.
+pub fn yield_point() {
+    let entry = THREAD_SCHED.with(|t| t.borrow().clone());
+    if let Some((sched, slot)) = entry {
+        sched.spin_yield(slot);
+    }
+}
+
 /// One failing interleaving found by an [`Explorer`].
 #[derive(Clone, Debug)]
 pub struct ExploreFailure {
@@ -707,6 +1103,19 @@ pub struct ExploreFailure {
     pub trace: Trace,
     /// The panic message of the failing run.
     pub message: String,
+}
+
+/// How much schedule space an [`Explorer`] may search.
+#[derive(Clone, Copy, Debug)]
+pub enum ExploreBudget {
+    /// Explore exactly this many schedules — deterministic run to run,
+    /// the right budget for CI.
+    Schedules(usize),
+    /// Stop starting new runs once this much wall time has elapsed
+    /// (checked between runs; a run in flight completes). Inherently
+    /// nondeterministic; combine with [`ExploreBudget::Schedules`] to
+    /// keep a reproducible ceiling.
+    Wall(Duration),
 }
 
 /// Bounded interleaving search: runs the same SPMD closure under many
@@ -733,16 +1142,30 @@ impl Explorer {
         }
     }
 
-    /// Cap the number of seeded runs (default 64).
+    /// Cap the number of seeded runs (default 64). Equivalent to
+    /// [`Explorer::budget`] with [`ExploreBudget::Schedules`].
     pub fn max_runs(mut self, runs: usize) -> Self {
         self.max_runs = runs;
         self
     }
 
     /// Stop starting new runs once this much wall time has elapsed
-    /// (checked between runs; a run in flight completes).
+    /// (checked between runs; a run in flight completes). Equivalent
+    /// to [`Explorer::budget`] with [`ExploreBudget::Wall`].
     pub fn time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Set an exploration budget. [`ExploreBudget::Schedules`] replaces
+    /// the schedule-count cap (the deterministic budget CI should pin);
+    /// [`ExploreBudget::Wall`] sets the optional wall-clock cap. The
+    /// two compose: call once with each to bound both.
+    pub fn budget(mut self, budget: ExploreBudget) -> Self {
+        match budget {
+            ExploreBudget::Schedules(runs) => self.max_runs = runs,
+            ExploreBudget::Wall(d) => self.time_budget = Some(d),
+        }
         self
     }
 

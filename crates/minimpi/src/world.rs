@@ -10,7 +10,7 @@ use crate::comm::Comm;
 use crate::envelope::Envelope;
 use crate::fault::FaultHandle;
 use crate::monitor::{run_watchdog, FinishGuard, Monitor};
-use crate::sched::{Sched, SchedFinishGuard, SchedPolicy, TraceCell};
+use crate::sched::{LivenessSpec, Sched, SchedFinishGuard, SchedPolicy, TraceCell};
 
 /// Default watchdog grace period: how long every live rank must sit
 /// blocked with zero matched messages before the world is declared
@@ -54,6 +54,7 @@ pub struct WorldBuilder {
     sched_policy: SchedPolicy,
     trace_cell: Option<TraceCell>,
     sanitizer: Option<Arc<sanitizer::Session>>,
+    liveness: Option<LivenessSpec>,
 }
 
 impl WorldBuilder {
@@ -69,6 +70,7 @@ impl WorldBuilder {
             sched_policy: SchedPolicy::Os,
             trace_cell: None,
             sanitizer: None,
+            liveness: None,
         }
     }
 
@@ -129,6 +131,18 @@ impl WorldBuilder {
         self
     }
 
+    /// Arm bounded-fairness liveness analysis; see [`LivenessSpec`].
+    /// Only meaningful with a non-`Os` [`Self::sched`] policy: the
+    /// scheduler aborts the world (every rank panics with a per-rank
+    /// progress dump) when the decision budget, a spin limit, or the
+    /// starvation window is breached. The thresholds count scheduling
+    /// decisions, not wall time, so a recorded trace replayed under the
+    /// same spec reproduces the violation bitwise.
+    pub fn liveness(mut self, spec: LivenessSpec) -> Self {
+        self.liveness = Some(spec);
+        self
+    }
+
     /// Install a happens-before sanitizer session for this world; see
     /// the `sanitizer` crate. Every rank thread gets a per-rank
     /// context (vector clock + shadow-state hooks); world teardown
@@ -154,7 +168,7 @@ impl WorldBuilder {
         let peer_slots: Arc<Vec<usize>> = Arc::new((0..self.size).collect());
         let sched = match &self.sched_policy {
             SchedPolicy::Os => None,
-            policy => Some(Sched::new(self.size, policy)),
+            policy => Some(Sched::new(self.size, policy, self.liveness)),
         };
         // Sanitizer session: explicit via the builder, else env-gated
         // (read every run so one process can toggle on/off runs).
@@ -167,7 +181,7 @@ impl WorldBuilder {
             session.set_seed(match &self.sched_policy {
                 SchedPolicy::Seeded(seed) => Some(*seed),
                 SchedPolicy::Replay(trace) => trace.seed,
-                SchedPolicy::Os => None,
+                SchedPolicy::Os | SchedPolicy::Guided(_) => None,
             });
         }
 
@@ -216,6 +230,12 @@ impl WorldBuilder {
                             monitor: Arc::clone(&monitor),
                             slot: rank,
                         };
+                        // Thread-local scheduler handle so spin loops
+                        // deep in library code (broker backpressure)
+                        // can reach crate::sched::yield_point().
+                        let _sched_tls = sched
+                            .as_ref()
+                            .map(|s| crate::sched::install_thread(s, rank));
                         // Waits for the first turn grant; releases this
                         // rank's scheduler slot even on unwind so the
                         // remaining ranks keep scheduling.

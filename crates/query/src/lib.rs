@@ -386,6 +386,10 @@ struct ClientReg {
     query: Query,
     topic: TopicKey,
     sub: Option<Subscription<QueryResponse>>,
+    /// Sanitizer obligation id for this live registration: opened at
+    /// register/join, discharged at leave, eviction pruning, or server
+    /// finalize. `None` when the sanitizer is off.
+    obligation: Option<u64>,
 }
 
 /// State shared between the server (registered on the bridge) and the
@@ -414,8 +418,13 @@ impl SharedState {
             self.failures.push(r.clone().into());
             self.evicted.push(r);
         }
-        self.regs
-            .retain(|r| r.sub.as_ref().is_none_or(|s| !s.is_evicted()));
+        self.regs.retain_mut(|r| {
+            let keep = r.sub.as_ref().is_none_or(|s| !s.is_evicted());
+            if !keep {
+                sanitizer::close_obligation(r.obligation.take());
+            }
+            keep
+        });
         n
     }
 }
@@ -454,11 +463,14 @@ impl QueryHandle {
         let shard = s.regs.iter().filter(|r| r.client == client).count() as u32;
         let topic = TopicKey::new(format!("query/{client}"), shard);
         let sub = s.broker.subscribe_labeled(topic.clone(), label)?;
+        let obligation =
+            sanitizer::open_obligation("query-client", &format!("client {client} @ {topic}"));
         s.regs.push(ClientReg {
             client,
             query,
             topic,
             sub: Some(sub),
+            obligation,
         });
         Ok(())
     }
@@ -466,10 +478,11 @@ impl QueryHandle {
     /// Disconnect every registration of `client` (client-side leave).
     pub fn leave(&self, client: ClientId) {
         let mut s = self.shared.lock();
-        for reg in s.regs.iter().filter(|r| r.client == client) {
+        for reg in s.regs.iter_mut().filter(|r| r.client == client) {
             if let Some(sub) = &reg.sub {
                 sub.disconnect();
             }
+            sanitizer::close_obligation(reg.obligation.take());
         }
         s.regs.retain(|r| r.client != client);
     }
@@ -680,11 +693,16 @@ impl QueryServer {
                 } else {
                     None
                 };
+                let obligation = sanitizer::open_obligation(
+                    "query-client",
+                    &format!("client {} @ {topic}", cmd.client),
+                );
                 s.regs.push(ClientReg {
                     client: cmd.client,
                     query,
                     topic,
                     sub,
+                    obligation,
                 });
                 s.clients_peak = s.clients_peak.max(s.regs.len() as u64);
             }
@@ -971,6 +989,12 @@ impl AnalysisAdaptor for QueryServer {
         let mut s = self.shared.lock();
         s.broker.finish_all();
         let _ = s.drain_evictions();
+        // Server teardown is the legitimate discharge point for
+        // scripted registrations: clients that never left are closed
+        // with the broker, not leaked.
+        for reg in s.regs.iter_mut() {
+            sanitizer::close_obligation(reg.obligation.take());
+        }
     }
 
     fn take_failure_reports(&mut self) -> Vec<FailureReport> {

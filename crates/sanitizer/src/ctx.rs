@@ -157,6 +157,40 @@ pub fn check_view_leaks(location: &str) {
     });
 }
 
+/// Open a protocol obligation for this rank: `kind` names the
+/// protocol (`offload-workers`, `query-client`, ...), `subject` the
+/// concrete resource. Returns the id to pass to [`close_obligation`]
+/// when the matching release runs, or `None` without a context (the
+/// caller keeps the `None` and both calls are no-ops).
+pub fn open_obligation(kind: &str, subject: &str) -> Option<u64> {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b.as_ref()?;
+        Some(ctx.session.open_obligation(ctx.slot, kind, subject))
+    })
+}
+
+/// Discharge an obligation opened by [`open_obligation`]. No-op for
+/// `None` (no context was active at the open).
+pub fn close_obligation(id: Option<u64>) {
+    if let Some(id) = id {
+        if let Some(s) = session() {
+            s.close_obligation(id);
+        }
+    }
+}
+
+/// Obligation-leak check for this rank (called from
+/// `Bridge::finalize` after the analyses shut down): every obligation
+/// this slot still holds open is reported. No-op without a context.
+pub fn check_obligations(location: &str) {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let Some(ctx) = b.as_ref() else { return };
+        ctx.session.check_obligations(ctx.slot, location);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,7 +13,10 @@
 //!   as a ghost copy (`vtkGhostType` non-zero);
 //! * **message leaks** — sends never received by world teardown;
 //! * **view leaks** — publish windows still open at
-//!   `Bridge::finalize`.
+//!   `Bridge::finalize`;
+//! * **obligation leaks** — protocol acquire/release pairs left open
+//!   (offload worker pools never drained, query clients never leaving)
+//!   at `Bridge::finalize` or world teardown.
 //!
 //! Mechanically: each rank thread installs a [`ctx`] holding a
 //! [`VectorClock`]; minimpi ticks it per send, piggybacks a [`Stamp`]
@@ -42,8 +45,8 @@ mod shadow;
 
 pub use clock::{Stamp, VectorClock};
 pub use ctx::{
-    active, cancel_send, check_view_leaks, install, local_event, on_recv, on_send,
-    report_wrong_space, session, slot, CtxGuard,
+    active, cancel_send, check_obligations, check_view_leaks, close_obligation, install,
+    local_event, on_recv, on_send, open_obligation, report_wrong_space, session, slot, CtxGuard,
 };
 pub use report::{findings_to_json, Finding, FindingKind};
 pub use session::{Mode, MsgMeta, Session};

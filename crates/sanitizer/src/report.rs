@@ -29,6 +29,11 @@ pub enum FindingKind {
     /// `Bridge::finalize` — the endpoint kept a borrowed view alive
     /// past the bridge's lifetime.
     ViewLeak,
+    /// A protocol obligation — an offload worker pool, a live query
+    /// client registration, an open publish window's RAII pairing —
+    /// was acquired but never discharged by the matching release call
+    /// before finalize/teardown.
+    ObligationLeak,
     /// Code executing in one memory space touched an array whose
     /// bytes live in another without an explicit transfer
     /// (`move_to`/`snapshot_in`). Works mechanically on the simulated
@@ -45,6 +50,7 @@ impl FindingKind {
             FindingKind::GhostWrite => "ghost-write",
             FindingKind::MessageLeak => "message-leak",
             FindingKind::ViewLeak => "view-leak",
+            FindingKind::ObligationLeak => "obligation-leak",
             FindingKind::WrongSpaceAccess => "wrong-space-access",
         }
     }

@@ -46,10 +46,22 @@ struct PubMeta {
     subject: String,
 }
 
+/// Bookkeeping for one open protocol obligation: a resource whose
+/// acquire must be paired with a release before the world (or the
+/// bridge) finalizes — offload worker pools, live query-client
+/// registrations, and the like.
+#[derive(Clone, Debug)]
+struct OblMeta {
+    slot: usize,
+    kind: String,
+    subject: String,
+}
+
 #[derive(Default)]
 struct SessState {
     inflight: BTreeMap<u64, MsgMeta>,
     publishes: BTreeMap<u64, PubMeta>,
+    obligations: BTreeMap<u64, OblMeta>,
     findings: Vec<Finding>,
 }
 
@@ -131,6 +143,53 @@ impl Session {
         self.state.lock().publishes.remove(&pub_id);
     }
 
+    /// Open a protocol obligation for `slot`: `kind` names the
+    /// protocol (e.g. `offload-workers`, `query-client`), `subject`
+    /// the concrete resource. Returns the id [`Session::close_obligation`]
+    /// must be called with before finalize/teardown.
+    pub fn open_obligation(&self, slot: usize, kind: &str, subject: &str) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.state.lock().obligations.insert(
+            id,
+            OblMeta {
+                slot,
+                kind: kind.to_string(),
+                subject: subject.to_string(),
+            },
+        );
+        id
+    }
+
+    /// The obligation with `id` was discharged (drained, left, joined).
+    pub fn close_obligation(&self, id: u64) {
+        self.state.lock().obligations.remove(&id);
+    }
+
+    /// Obligations still open for `slot` — the finalize-time leak
+    /// check a bridge runs after its analyses shut down. Each open
+    /// obligation becomes a finding.
+    pub fn check_obligations(&self, slot: usize, location: &str) {
+        let leaked: Vec<OblMeta> = {
+            let state = self.state.lock();
+            state
+                .obligations
+                .values()
+                .filter(|o| o.slot == slot)
+                .cloned()
+                .collect()
+        };
+        for o in leaked {
+            self.report(Finding {
+                kind: FindingKind::ObligationLeak,
+                slots: (o.slot, None),
+                subject: format!("{} ({})", o.subject, o.kind),
+                clocks: (None, None),
+                seed: None,
+                detail: format!("protocol obligation never discharged by {location}"),
+            });
+        }
+    }
+
     /// Route a finding per [`Mode`].
     pub fn report(&self, mut finding: Finding) {
         if finding.seed.is_none() {
@@ -181,7 +240,7 @@ impl Session {
     /// publish window still open outlived the world. Reports one
     /// finding per leak and returns how many fired.
     pub fn finish_world(&self) -> usize {
-        let (msgs, pubs): (Vec<(u64, MsgMeta)>, Vec<PubMeta>) = {
+        let (msgs, pubs, obls): (Vec<(u64, MsgMeta)>, Vec<PubMeta>, Vec<OblMeta>) = {
             let state = self.state.lock();
             (
                 state
@@ -190,9 +249,10 @@ impl Session {
                     .map(|(k, v)| (*k, v.clone()))
                     .collect(),
                 state.publishes.values().cloned().collect(),
+                state.obligations.values().cloned().collect(),
             )
         };
-        let n = msgs.len() + pubs.len();
+        let n = msgs.len() + pubs.len() + obls.len();
         for (_, m) in msgs {
             self.report(Finding {
                 kind: FindingKind::MessageLeak,
@@ -211,6 +271,16 @@ impl Session {
                 clocks: (None, None),
                 seed: None,
                 detail: "zero-copy publish window still open at world teardown".into(),
+            });
+        }
+        for o in obls {
+            self.report(Finding {
+                kind: FindingKind::ObligationLeak,
+                slots: (o.slot, None),
+                subject: format!("{} ({})", o.subject, o.kind),
+                clocks: (None, None),
+                seed: None,
+                detail: "protocol obligation never discharged by world teardown".into(),
             });
         }
         n
@@ -269,6 +339,29 @@ mod tests {
         s.release_publish(id);
         s.check_view_leaks(2, "Bridge::finalize");
         assert!(s.findings().is_empty());
+    }
+
+    #[test]
+    fn undischarged_obligation_is_a_leak() {
+        let s = Session::new(4, Mode::Collect);
+        let kept = s.open_obligation(1, "offload-workers", "Bridge::enable_offload(2)");
+        let closed = s.open_obligation(3, "query-client", "steer@rank3");
+        s.close_obligation(closed);
+        // Per-slot check (the finalize path): only slot 1's leak fires.
+        s.check_obligations(3, "Bridge::finalize");
+        assert!(s.findings().is_empty());
+        s.check_obligations(1, "Bridge::finalize");
+        let f = s.findings();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, FindingKind::ObligationLeak);
+        assert_eq!(f[0].slots, (1, None));
+        assert!(f[0].subject.contains("offload-workers"), "{}", f[0].subject);
+        s.clear_findings();
+        // World teardown reports it too, then closing silences it.
+        assert_eq!(s.finish_world(), 1);
+        s.clear_findings();
+        s.close_obligation(kept);
+        assert_eq!(s.finish_world(), 0);
     }
 
     #[test]

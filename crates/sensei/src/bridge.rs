@@ -119,6 +119,10 @@ struct OffloadExec {
     handles: Vec<std::thread::JoinHandle<()>>,
     next: usize,
     in_flight: Vec<InFlight>,
+    /// Sanitizer obligation id for the live worker pool: opened at
+    /// `enable_offload`, discharged at `shutdown_offload`. `None` when
+    /// the sanitizer is off.
+    obligation: Option<u64>,
     /// Double-buffered payload slots: the window being analyzed and
     /// the window being filled coexist; older ones are dropped.
     slots: [Option<Arc<datamodel::DataSet>>; 2],
@@ -409,6 +413,10 @@ impl Bridge {
                 }
             }
         }
+        // Analyses had their chance to discharge protocol obligations
+        // (query servers close client registrations in their finalize);
+        // anything this rank still holds open is a leak.
+        sanitizer::check_obligations("Bridge::finalize");
         let snap = self.local_snapshot();
         let tagged: Vec<FailureEntry> = self
             .failures
@@ -515,12 +523,17 @@ impl Bridge {
             handles.push(std::thread::spawn(move || worker_loop(rx, device)));
             jobs.push(tx);
         }
+        let obligation = sanitizer::open_obligation(
+            "offload-workers",
+            &format!("offload pool ({} workers)", cfg.workers),
+        );
         self.offload = Some(OffloadExec {
             cfg,
             jobs,
             handles,
             next: 0,
             in_flight: Vec::new(),
+            obligation,
             slots: [None, None],
             busy_seconds: 0.0,
             hidden_seconds: 0.0,
@@ -704,6 +717,7 @@ impl Bridge {
         for handle in exec.handles {
             let _ = handle.join();
         }
+        sanitizer::close_obligation(exec.obligation);
     }
 }
 

@@ -21,6 +21,16 @@
 //! race or leaks a message fails with the same replayable trace that
 //! a deadlock or invariant panic would — sanitizer traces land next
 //! to deadlock traces in `results/`.
+//!
+//! After the seeded sweep, the same scenarios run under the
+//! *systematic* checker ([`minimpi::Checker`]): DPOR-reduced schedule
+//! exploration at a reduced rank count, with liveness thresholds and
+//! the obligation registry armed. Failures come back minimized (ddmin
+//! over the forced-choice prefix) and bitwise-replay-verified, written
+//! to `results/minimized_trace_<scenario>.json`. Budget knobs:
+//! `EXPLORE_SCHEDULES` switches the seeded sweep from a wall budget to
+//! a fixed run count (deterministic CI), `MODELCHECK_SCHEDULES` caps
+//! the systematic schedule tree (default 64).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -28,12 +38,13 @@ use std::time::Duration;
 use adios::staging::{run_endpoint_with_broker, AdiosWriterAnalysis};
 use adios::{pair, BrokerConfig, Role, StagingBroker};
 use datamodel::{DataArray, DataSet, Extent, ImageData};
-use minimpi::{Comm, ExploreFailure, Explorer};
+use minimpi::{CheckFailure, Checker, Comm, ExploreBudget, ExploreFailure, Explorer};
 use oscillator::{demo_oscillators, osc::format_deck, OscillatorAdaptor, SimConfig, Simulation};
 use sensei::analysis::histogram::HistogramAnalysis;
 use sensei::analysis::AnalysisAdaptor;
 
 const RANKS: usize = 6;
+const RANKS_SYSTEMATIC: usize = 3;
 const GRID: [usize; 3] = [9, 9, 9];
 const STEPS: usize = 2;
 const BINS: usize = 16;
@@ -191,6 +202,59 @@ fn report(scenario: &str, failure: &ExploreFailure) {
     eprintln!("  replay: WorldBuilder::sched(SchedPolicy::Replay(Trace::from_json(&json)))");
 }
 
+fn report_minimized(scenario: &str, failure: &CheckFailure) {
+    std::fs::create_dir_all("results").expect("results dir");
+    let path = format!("results/minimized_trace_{scenario}.json");
+    std::fs::write(&path, failure.trace.to_json()).expect("write trace");
+    eprintln!("FAIL [systematic {scenario}]: {}", failure.message);
+    eprintln!(
+        "  minimized schedule: {} forced choice(s), down from {}; bitwise replay verified: {}",
+        failure.prefix.len(),
+        failure.original_choices,
+        failure.replayed_bitwise
+    );
+    eprintln!("  minimized delivery trace written to {path}");
+}
+
+/// One systematic leg: DPOR exploration with the sanitizer armed,
+/// wall-capped to its share of the budget. Prints the exploration
+/// stats either way; returns whether the scenario failed.
+fn run_systematic<F>(name: &str, size: usize, slice: Duration, budget: usize, f: F) -> bool
+where
+    F: Fn(&Comm) + Send + Sync + 'static,
+{
+    let report = Checker::new()
+        .max_schedules(budget)
+        .wall_cap(slice)
+        .sanitize()
+        .run(size, f);
+    let s = &report.stats;
+    println!(
+        "systematic {name}: {} schedule(s), pruning ratio {:.2} \
+         (sleep-set {}, independent {}), max backtrack depth {}{}",
+        s.schedules_explored,
+        s.pruning_ratio(),
+        s.pruned_by_sleep_set,
+        s.pruned_independent,
+        s.max_backtrack_depth,
+        if s.budget_exhausted {
+            ", budget exhausted"
+        } else {
+            ""
+        },
+    );
+    match &report.failure {
+        None => {
+            println!("systematic {name}: clean");
+            false
+        }
+        Some(failure) => {
+            report_minimized(name, failure);
+            true
+        }
+    }
+}
+
 fn main() {
     let budget_secs: f64 = std::env::var("EXPLORE_BUDGET_SECS")
         .ok()
@@ -204,16 +268,28 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1u64);
+    // A fixed run count makes the seeded sweep deterministic (CI);
+    // the default wall budget adapts coverage to the machine.
+    let seeded_budget = match std::env::var("EXPLORE_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(n) => ExploreBudget::Schedules(n),
+        None => ExploreBudget::Wall(slice),
+    };
+    let modelcheck_schedules: usize = std::env::var("MODELCHECK_SCHEDULES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
     println!(
-        "explore_fuzz: {budget_secs:.0}s budget, base seed {base_seed}, {RANKS} ranks per world"
+        "explore_fuzz: {budget_secs:.0}s budget, base seed {base_seed}, {RANKS} ranks per \
+         seeded world, {RANKS_SYSTEMATIC} per systematic world ({modelcheck_schedules} \
+         schedules max)"
     );
 
     let mut failed = false;
 
-    let explorer = Explorer::new(base_seed)
-        .max_runs(usize::MAX)
-        .time_budget(slice)
-        .sanitize();
+    let explorer = Explorer::new(base_seed).budget(seeded_budget).sanitize();
     match explorer.run(RANKS, collectives_scenario) {
         None => println!("collectives scenario: clean"),
         Some(f) => {
@@ -223,11 +299,11 @@ fn main() {
     }
 
     let deck = format_deck(&demo_oscillators());
-    let explorer = Explorer::new(base_seed)
-        .max_runs(usize::MAX)
-        .time_budget(slice)
-        .sanitize();
-    match explorer.run(RANKS, move |comm| staging_scenario(comm, &deck)) {
+    let explorer = Explorer::new(base_seed).budget(seeded_budget).sanitize();
+    match explorer.run(RANKS, {
+        let deck = deck.clone();
+        move |comm| staging_scenario(comm, &deck)
+    }) {
         None => println!("staging scenario: clean"),
         Some(f) => {
             report("staging", &f);
@@ -235,10 +311,7 @@ fn main() {
         }
     }
 
-    let explorer = Explorer::new(base_seed)
-        .max_runs(usize::MAX)
-        .time_budget(slice)
-        .sanitize();
+    let explorer = Explorer::new(base_seed).budget(seeded_budget).sanitize();
     match explorer.run(RANKS, publish_scenario) {
         None => println!("zero-copy publish scenario: clean"),
         Some(f) => {
@@ -246,6 +319,27 @@ fn main() {
             failed = true;
         }
     }
+
+    // Systematic side: the same scenarios under DPOR exploration at a
+    // reduced rank count (the schedule tree grows with world size; the
+    // reduction, not brute force, is what covers the orderings).
+    failed |= run_systematic(
+        "collectives",
+        RANKS_SYSTEMATIC,
+        slice,
+        modelcheck_schedules,
+        collectives_scenario,
+    );
+    failed |= run_systematic("staging", 2, slice, modelcheck_schedules, move |comm| {
+        staging_scenario(comm, &deck)
+    });
+    failed |= run_systematic(
+        "publish",
+        RANKS_SYSTEMATIC,
+        slice,
+        modelcheck_schedules,
+        publish_scenario,
+    );
 
     if failed {
         std::process::exit(1);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Model-check gate: the systematic checker's planted-bug corpus plus a
+# DPOR sweep of the fuzz scenarios at a fixed, deterministic schedule
+# budget. Mirrors the CI `model-check` job.
+# Usage: scripts/modelcheck.sh  (from the repo root or anywhere inside it)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> checker unit suite (DPOR vs exhaustive, liveness, shrinker)"
+cargo test --release -p minimpi --test dpor
+
+echo "==> planted-bug corpus (broker/offload/steering protocols)"
+SENSEI_SANITIZER=1 cargo test --release --test modelcheck_planted
+
+echo "==> systematic explore (sanitized, fixed schedule budget)"
+SENSEI_SANITIZER=1 EXPLORE_SCHEDULES="${EXPLORE_SCHEDULES:-3}" \
+  MODELCHECK_SCHEDULES="${MODELCHECK_SCHEDULES:-64}" \
+  EXPLORE_BUDGET_SECS="${EXPLORE_BUDGET_SECS:-60}" \
+  cargo run --release --example explore_fuzz
+
+echo "modelcheck: all green"

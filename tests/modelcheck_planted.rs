@@ -1,0 +1,329 @@
+//! Planted-bug corpus for the systematic model checker (ISSUE 10).
+//!
+//! Each test plants one concurrency or protocol bug in a real
+//! infrastructure path — the broker's eviction/backpressure protocol,
+//! the offload dispatch/drain protocol, the publish-window obligation,
+//! steering command application — and asserts the [`minimpi::Checker`]
+//! finds it within a deterministic schedule budget, minimizes the
+//! failing schedule with the ddmin shrinker, and replays the shrunk
+//! trace bitwise under `SchedPolicy::Replay`. The clean twins of the
+//! same protocols run under the same checker with zero findings.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adios::{Broker, BrokerConfig, TopicKey};
+use datamodel::{DataArray, DataSet, Extent, ImageData};
+use minimpi::{Checker, Comm, LivenessSpec};
+use sensei::analysis::histogram::HistogramAnalysis;
+use sensei::{Bridge, InMemoryAdaptor};
+
+/// A per-rank image with one zero-copy (shared) point array, built
+/// inside the world so the rank's sanitizer context shadows it.
+fn shared_image(n: [usize; 3]) -> DataSet {
+    let whole = Extent::whole(n);
+    let mut img = ImageData::new(whole, whole);
+    let pts = img.num_points();
+    img.point_data
+        .insert(DataArray::shared("u", 1, Arc::new(vec![0.0f64; pts])));
+    DataSet::Image(img)
+}
+
+/// The broker eviction/backpressure protocol with a publisher whose
+/// one consumer never drains. With an effectively infinite eviction
+/// deadline the second publish spins forever in the backpressure
+/// loop — the planted livelock; with a zero deadline the slow
+/// consumer is evicted and the protocol terminates — the clean twin.
+fn broker_backpressure(_comm: &Comm, deadline: Duration) {
+    let broker: Broker<u64> = Broker::new(BrokerConfig {
+        queue_depth: 1,
+        max_subscribers: 4,
+        eviction_deadline: deadline,
+    });
+    let topic = TopicKey::new("planted/backpressure", 0);
+    let sub = broker.subscribe(topic.clone()).expect("admitted");
+    broker.publish(&topic, 1);
+    // Queue is full and `sub` never drains: this publish sits in the
+    // backpressure loop until the deadline (or the spin limit) trips.
+    broker.publish(&topic, 2);
+    drop(sub);
+}
+
+#[test]
+fn broker_backpressure_livelock_is_found_minimized_and_replayed() {
+    let report = Checker::new()
+        .max_schedules(8)
+        .liveness(LivenessSpec {
+            max_decisions: 100_000,
+            spin_limit: 64,
+            starvation_window: 0,
+        })
+        .run(2, |comm| {
+            if comm.rank() == 0 {
+                broker_backpressure(comm, Duration::from_secs(3600));
+            }
+        });
+    let failure = report.failure.expect("the planted livelock must be found");
+    assert!(
+        failure.message.contains("livelock: world rank 0 spun"),
+        "spin-limit breach names the spinning rank: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("backpressure"),
+        "the report points at the backpressure shape: {}",
+        failure.message
+    );
+    assert!(failure.replayed_bitwise, "shrunk schedule replays bitwise");
+    assert!(
+        failure.prefix.is_empty(),
+        "a schedule-independent livelock shrinks to the empty prefix"
+    );
+}
+
+#[test]
+fn broker_backpressure_with_eviction_is_clean() {
+    let report = Checker::new()
+        .max_schedules(8)
+        .liveness(LivenessSpec {
+            max_decisions: 100_000,
+            spin_limit: 64,
+            starvation_window: 0,
+        })
+        .run(2, |comm| {
+            if comm.rank() == 0 {
+                // Zero deadline: the stalled consumer is evicted on the
+                // first backpressure poll and the publisher proceeds.
+                broker_backpressure(comm, Duration::ZERO);
+            }
+        });
+    assert!(
+        report.failure.is_none(),
+        "eviction drains the backpressure loop: {:?}",
+        report.failure.map(|f| f.message)
+    );
+    assert!(!report.stats.budget_exhausted);
+}
+
+// The offload dispatch/drain protocol, modeled over point-to-point
+// messages the way `Bridge::drain_offload` pins it: results must be
+// collected in dispatch order.
+const JOB: u32 = 31;
+const RES: u32 = 40;
+const ACK: u32 = 50;
+
+#[test]
+fn offload_drain_order_deadlock_is_found_minimized_and_replayed() {
+    let report = Checker::new().max_schedules(16).run(2, |comm| {
+        match comm.rank() {
+            0 => {
+                comm.send(1, JOB, 0u64);
+                comm.send(1, JOB, 1u64);
+                // BUG: drains results in reverse dispatch order, but
+                // the worker acks each job before starting the next —
+                // rank 0 waits for a result the worker will never
+                // produce while the worker waits for rank 0's ack.
+                let _late: u64 = comm.recv(1, RES + 1);
+                comm.send(1, ACK + 1, 0u64);
+                let _early: u64 = comm.recv(1, RES);
+                comm.send(1, ACK, 0u64);
+            }
+            _ => {
+                for _ in 0..2 {
+                    let job: u64 = comm.recv(0, JOB);
+                    comm.send(0, RES + job as u32, job);
+                    let _: u64 = comm.recv(0, ACK + job as u32);
+                }
+            }
+        }
+    });
+    let failure = report
+        .failure
+        .expect("the drain-order deadlock must be found");
+    assert!(
+        failure.message.contains("deterministic deadlock detected"),
+        "{}",
+        failure.message
+    );
+    assert!(failure.replayed_bitwise, "shrunk schedule replays bitwise");
+    assert!(
+        failure.prefix.is_empty(),
+        "the deadlock is schedule-independent; ddmin reaches the empty prefix"
+    );
+}
+
+#[test]
+fn offload_drain_in_dispatch_order_is_clean() {
+    let report = Checker::new()
+        .max_schedules(64)
+        .run(2, |comm| match comm.rank() {
+            0 => {
+                comm.send(1, JOB, 0u64);
+                comm.send(1, JOB, 1u64);
+                for job in 0..2u32 {
+                    let _res: u64 = comm.recv(1, RES + job);
+                    comm.send(1, ACK + job, 0u64);
+                }
+            }
+            _ => {
+                for _ in 0..2 {
+                    let job: u64 = comm.recv(0, JOB);
+                    comm.send(0, RES + job as u32, job);
+                    let _: u64 = comm.recv(0, ACK + job as u32);
+                }
+            }
+        });
+    assert!(
+        report.failure.is_none(),
+        "dispatch-order drain terminates: {:?}",
+        report.failure.map(|f| f.message)
+    );
+    assert!(
+        !report.stats.budget_exhausted,
+        "the schedule tree completes"
+    );
+}
+
+#[test]
+fn unclosed_publish_window_is_found_and_replayed() {
+    let report = Checker::new().max_schedules(8).sanitize().run(2, |comm| {
+        if comm.rank() == 0 {
+            let data = shared_image([4, 4, 1]);
+            // BUG: the window guard is leaked — the zero-copy view
+            // stays staged past the end of the step, and nothing can
+            // ever close it.
+            std::mem::forget(datamodel::publish_dataset(&data, "planted"));
+        }
+        comm.barrier();
+    });
+    let failure = report.failure.expect("the leaked window must be found");
+    assert!(
+        failure.message.contains("view-leak"),
+        "sanitizer finding promoted to a checker failure: {}",
+        failure.message
+    );
+    assert!(failure.replayed_bitwise, "shrunk schedule replays bitwise");
+}
+
+#[test]
+fn undrained_offload_pool_is_an_obligation_leak() {
+    let report = Checker::new().max_schedules(8).sanitize().run(1, |_comm| {
+        let mut bridge = Bridge::new();
+        bridge.register(Box::new(HistogramAnalysis::new("data", 8)));
+        bridge.enable_offload(sensei::OffloadConfig::default());
+        // BUG: the bridge is dropped without `finalize` — the worker
+        // pool obligation opened by `enable_offload` is never
+        // discharged by `shutdown_offload`.
+    });
+    let failure = report.failure.expect("the undrained pool must be found");
+    assert!(
+        failure.message.contains("obligation-leak"),
+        "{}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("offload-workers"),
+        "the finding names the protocol: {}",
+        failure.message
+    );
+    assert!(failure.replayed_bitwise, "shrunk schedule replays bitwise");
+}
+
+// Steering command application: the client plane starves when the
+// serving rank polls the data plane forever.
+const STEER: u32 = 71;
+const STEER_ACK: u32 = 72;
+const DATA: u32 = 73;
+
+#[test]
+fn steering_starvation_is_classified_and_replayed() {
+    let report = Checker::new()
+        .max_schedules(1)
+        .liveness(LivenessSpec {
+            max_decisions: 400,
+            spin_limit: 0,
+            starvation_window: 100,
+        })
+        .run(3, |comm| match comm.rank() {
+            1 => {
+                // The steering client: one command, then wait for the
+                // acknowledgement that never comes.
+                comm.send(0, STEER, 7u64);
+                let _: u64 = comm.recv(0, STEER_ACK);
+            }
+            r => {
+                // BUG: the serving rank (0) services rank 2's data
+                // plane in an infinite loop and never applies the
+                // steer command sitting in its queue.
+                let peer = 2 - r;
+                loop {
+                    if r == 0 {
+                        comm.send(peer, DATA, 0u64);
+                        let _: u64 = comm.recv(peer, DATA);
+                    } else {
+                        let _: u64 = comm.recv(peer, DATA);
+                        comm.send(peer, DATA, 0u64);
+                    }
+                }
+            }
+        });
+    let failure = report.failure.expect("the starved client must be found");
+    assert!(
+        failure.message.contains("starvation: world rank(s) [1]"),
+        "classification names the starved steering client: {}",
+        failure.message
+    );
+    assert!(
+        failure.message.contains("last progress at decision"),
+        "the report carries the per-rank progress dump: {}",
+        failure.message
+    );
+    assert!(failure.replayed_bitwise, "liveness aborts replay bitwise");
+}
+
+/// The clean pipeline — bridge steps with offloaded analyses, publish
+/// windows opened and closed per step, the executor drained and shut
+/// down at finalize, and a broker round with a draining consumer —
+/// produces zero findings across every explored schedule.
+#[test]
+fn clean_pipeline_is_silent_under_systematic_exploration() {
+    let report = Checker::new().max_schedules(6).sanitize().run(2, |comm| {
+        let mut bridge = Bridge::new();
+        bridge.register(Box::new(HistogramAnalysis::new("data", 8)));
+        bridge.enable_offload(sensei::OffloadConfig::default());
+        for step in 0..3u64 {
+            let whole = Extent::whole([8, 1, 1]);
+            let mut img = ImageData::new(whole, whole);
+            let base = (comm.rank() as u64 * 100 + step) as f64;
+            img.add_point_array(DataArray::owned(
+                "data",
+                1,
+                (0..8).map(|i| base + i as f64).collect::<Vec<f64>>(),
+            ));
+            let adaptor = InMemoryAdaptor::new(DataSet::Image(img), step as f64, step);
+            assert!(bridge.execute(&adaptor, comm).should_continue());
+        }
+        bridge.finalize(comm);
+        if comm.rank() == 0 {
+            let broker: Broker<u64> = Broker::new(BrokerConfig {
+                queue_depth: 2,
+                max_subscribers: 4,
+                eviction_deadline: Duration::from_millis(50),
+            });
+            let topic = TopicKey::new("clean/round", 0);
+            let sub = broker.subscribe(topic.clone()).expect("admitted");
+            broker.publish(&topic, 1);
+            broker.publish(&topic, 2);
+            assert!(sub.try_next().is_some());
+            assert!(sub.try_next().is_some());
+            broker.finish_all();
+        }
+    });
+    assert!(
+        report.failure.is_none(),
+        "clean pipeline must stay silent: {:?}",
+        report.failure.map(|f| f.message)
+    );
+    assert!(!report.stats.budget_exhausted || report.stats.schedules_explored >= 6);
+    assert!(report.stats.schedules_explored >= 1);
+}
